@@ -1,0 +1,62 @@
+"""§3.3 mapping bench: CGC list-scheduler + binder behaviour and speed."""
+
+import pytest
+
+from repro.coarsegrain import bind_schedule, schedule_dfg, standard_datapath
+from repro.workloads import SyntheticBlockProfile, generate_dfg
+
+
+def make_dfg(ops, width=3.0):
+    return generate_dfg(
+        SyntheticBlockProfile(
+            bb_id=2000 + ops,
+            exec_freq=1,
+            alu_ops=int(ops * 0.6),
+            mul_ops=int(ops * 0.4),
+            load_ops=ops // 3,
+            store_ops=max(1, ops // 10),
+            width=width,
+        )
+    )
+
+
+@pytest.mark.parametrize("ops", [16, 64, 256])
+def test_scheduler_scales(benchmark, ops):
+    dfg = make_dfg(ops)
+    datapath = standard_datapath(2)
+    schedule = benchmark(schedule_dfg, dfg, datapath)
+    schedule.validate()
+
+
+def compute_bound_dfg():
+    """Wide, multiply-rich, few memory ops: the regime where extra CGCs
+    pay off (memory ports scale with the CGC count, as in paper_platform)."""
+    return generate_dfg(
+        SyntheticBlockProfile(
+            bb_id=2500, exec_freq=1, alu_ops=72, mul_ops=24,
+            load_ops=6, store_ops=2, width=8.0,
+        )
+    )
+
+
+@pytest.mark.parametrize("cgc_count", [1, 2, 3])
+def test_makespan_vs_cgc_count(benchmark, cgc_count, capsys):
+    dfg = compute_bound_dfg()
+    datapath = standard_datapath(cgc_count, memory_ports=cgc_count)
+    schedule = benchmark(schedule_dfg, dfg, datapath)
+    with capsys.disabled():
+        print(
+            f"\n  {datapath.describe()}: makespan {schedule.makespan} "
+            f"CGC cycles"
+        )
+    if cgc_count == 3:
+        one = schedule_dfg(
+            compute_bound_dfg(), standard_datapath(1, memory_ports=1)
+        )
+        assert schedule.makespan < one.makespan
+
+
+def test_binding_throughput(benchmark):
+    schedule = schedule_dfg(make_dfg(128), standard_datapath(2))
+    binding = benchmark(bind_schedule, schedule)
+    binding.validate()

@@ -1,0 +1,53 @@
+"""Figure 3 algorithm bench: temporal partitioning behaviour and speed.
+
+Not a results table in the paper, but the behaviour Figure 3 defines:
+partition counts fall as A_FPGA grows, and the mapper's own runtime stays
+linear in DFG size.
+"""
+
+import pytest
+
+from repro.finegrain import FPGADevice, block_fpga_timing, partition_dfg
+from repro.platform import default_characterization
+from repro.workloads import SyntheticBlockProfile, generate_dfg
+
+CHAR = default_characterization()
+
+
+def make_dfg(ops):
+    return generate_dfg(
+        SyntheticBlockProfile(
+            bb_id=1000 + ops,
+            exec_freq=1,
+            alu_ops=int(ops * 0.7),
+            mul_ops=int(ops * 0.3),
+            load_ops=ops // 2,
+            store_ops=max(1, ops // 8),
+            width=3.0,
+        )
+    )
+
+
+@pytest.mark.parametrize("ops", [16, 64, 256])
+def test_partitioner_scales_linearly(benchmark, ops):
+    dfg = make_dfg(ops)
+    result = benchmark(partition_dfg, dfg, 1500, CHAR)
+    result.validate(CHAR)
+
+
+@pytest.mark.parametrize("afpga", [800, 1500, 5000])
+def test_partition_count_vs_area(benchmark, afpga, capsys):
+    dfg = make_dfg(96)
+    device = FPGADevice.from_usable_area(afpga)
+    timing = benchmark(block_fpga_timing, dfg, device, CHAR)
+    with capsys.disabled():
+        print(
+            f"\n  A_FPGA={afpga}: {timing.partition_count} partitions, "
+            f"{timing.total_cycles} cycles/invocation"
+        )
+    if afpga >= 5000:
+        small = block_fpga_timing(
+            dfg, FPGADevice.from_usable_area(800), CHAR
+        )
+        assert timing.partition_count < small.partition_count
+        assert timing.total_cycles < small.total_cycles

@@ -1,0 +1,43 @@
+"""Headline-claims bench: the abstract's numbers and the §4 trends.
+
+The paper's abstract: "a maximum clock cycles decrease of 82% relative to
+the ones in an all fine-grain mapping solution is achieved [OFDM].  The
+corresponding performance improvement for the JPEG is 43%."  §4 also
+observes "as the FPGA area grows, the reduction of clock cycles is
+smaller".
+"""
+
+from repro.reporting import (
+    reproduce_headline_claims,
+    reproduce_table2,
+    reproduce_table3,
+)
+
+
+def test_headline_claims(benchmark, capsys):
+    def run():
+        table2 = reproduce_table2()
+        table3 = reproduce_table3()
+        return reproduce_headline_claims(table2, table3)
+
+    claims = benchmark(run)
+    assert claims.ofdm_area_trend_holds
+    assert claims.jpeg_area_trend_holds
+    assert 70.0 < claims.ofdm_max_reduction < 90.0
+    assert 35.0 < claims.jpeg_max_reduction < 55.0
+    with capsys.disabled():
+        print()
+        print("headline claims, ours vs paper:")
+        print(
+            f"  OFDM max reduction: {claims.ofdm_max_reduction:.1f}% "
+            f"(paper {claims.PAPER_OFDM_MAX}%)"
+        )
+        print(
+            f"  JPEG max reduction: {claims.jpeg_max_reduction:.1f}% "
+            f"(paper {claims.PAPER_JPEG_MAX}%)"
+        )
+        print(
+            f"  larger A_FPGA => smaller reduction: OFDM "
+            f"{claims.ofdm_area_trend_holds}, JPEG "
+            f"{claims.jpeg_area_trend_holds} (paper: both hold)"
+        )

@@ -1,0 +1,37 @@
+"""Table 1 regeneration bench: analysis ordering for both applications.
+
+Prints the regenerated (BB no., exec freq, ops weight, total weight) rows
+next to the paper's and benchmarks the analysis-ordering step itself.
+Every row must match the paper exactly — Table 1 is encoded data plus our
+weight model, so this is a hard equality.
+"""
+
+from repro.analysis import WeightModel
+from repro.reporting import (
+    render_table1,
+    reproduce_table1_jpeg,
+    reproduce_table1_ofdm,
+)
+
+
+def test_table1_ofdm_rows(benchmark, ofdm, capsys):
+    comparisons = benchmark(reproduce_table1_ofdm)
+    assert all(c.matches for c in comparisons)
+    with capsys.disabled():
+        print()
+        print(render_table1(comparisons, "Table 1 — OFDM transmitter"))
+
+
+def test_table1_jpeg_rows(benchmark, jpeg, capsys):
+    comparisons = benchmark(reproduce_table1_jpeg)
+    assert all(c.matches for c in comparisons)
+    with capsys.disabled():
+        print()
+        print(render_table1(comparisons, "Table 1 — JPEG encoder"))
+
+
+def test_kernel_ordering_throughput(benchmark, ofdm):
+    """Microbenchmark: Eq. 1 ordering over the 18-block OFDM workload."""
+    model = WeightModel()
+    result = benchmark(ofdm.kernel_candidates, model)
+    assert [b.bb_id for b in result[:3]] == [22, 12, 3]

@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.workloads import jpeg_workload, ofdm_workload
+
+
+@pytest.fixture(scope="session")
+def ofdm():
+    return ofdm_workload()
+
+
+@pytest.fixture(scope="session")
+def jpeg():
+    return jpeg_workload()

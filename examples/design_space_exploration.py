@@ -1,0 +1,101 @@
+"""Design-space exploration: sweep the platform around the paper's points.
+
+The methodology is "parameterized with respect to the reconfigurable
+hardware" (§1), so any (A_FPGA, CGC count, reconfiguration cost, clock
+ratio) point defines a platform.  This example sweeps the OFDM workload
+across a grid and prints where the timing constraint becomes satisfiable
+and how many kernels each point needs to move.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import PartitioningEngine, paper_platform
+from repro.reporting import scaled_constraint
+from repro.reporting.tables import format_grid
+from repro.workloads import (
+    OFDM_TIMING_CONSTRAINT,
+    PAPER_TABLE2_OFDM,
+    ofdm_workload,
+)
+
+
+def sweep_area_and_cgcs(workload, constraint) -> None:
+    print("A_FPGA x CGC-count sweep (OFDM, fixed relative constraint)")
+    headers = ["A_FPGA", "CGCs", "initial", "final", "moved", "red %", "met"]
+    rows = []
+    for afpga in (800, 1500, 3000, 5000, 8000):
+        for cgc_count in (1, 2, 3, 4):
+            engine = PartitioningEngine(
+                workload, paper_platform(afpga, cgc_count)
+            )
+            result = engine.run(constraint)
+            rows.append(
+                [
+                    str(afpga),
+                    str(cgc_count),
+                    str(result.initial_cycles),
+                    str(result.final_cycles),
+                    str(result.kernels_moved),
+                    f"{result.reduction_percent:.1f}",
+                    "yes" if result.constraint_met else "no",
+                ]
+            )
+    print(format_grid(headers, rows))
+    print()
+
+
+def sweep_reconfiguration_cost(workload, constraint) -> None:
+    print("Reconfiguration-cost sensitivity (A_FPGA=1500, two 2x2 CGCs)")
+    headers = ["reconfig cycles", "initial", "final", "red %"]
+    rows = []
+    for reconfig in (0, 10, 20, 40, 80, 160):
+        platform = paper_platform(1500, 2, reconfig_cycles=reconfig)
+        engine = PartitioningEngine(workload, platform)
+        result = engine.run(constraint)
+        rows.append(
+            [
+                str(reconfig),
+                str(result.initial_cycles),
+                str(result.final_cycles),
+                f"{result.reduction_percent:.1f}",
+            ]
+        )
+    print(format_grid(headers, rows))
+    print()
+
+
+def sweep_clock_ratio(workload, constraint) -> None:
+    print("T_FPGA / T_CGC ratio sensitivity (A_FPGA=1500, two 2x2 CGCs)")
+    headers = ["clock ratio", "final", "cycles in CGC", "red %"]
+    rows = []
+    for ratio in (1, 2, 3, 4, 6):
+        platform = paper_platform(1500, 2, clock_ratio=ratio)
+        engine = PartitioningEngine(workload, platform)
+        result = engine.run(constraint)
+        rows.append(
+            [
+                str(ratio),
+                str(result.final_cycles),
+                str(result.cycles_in_cgc),
+                f"{result.reduction_percent:.1f}",
+            ]
+        )
+    print(format_grid(headers, rows))
+
+
+def main() -> None:
+    workload = ofdm_workload()
+    constraint, scale = scaled_constraint(
+        workload, PAPER_TABLE2_OFDM, OFDM_TIMING_CONSTRAINT
+    )
+    print(
+        f"constraint: {constraint} cycles "
+        f"(paper's {OFDM_TIMING_CONSTRAINT} scaled by {scale:.3f})\n"
+    )
+    sweep_area_and_cgcs(workload, constraint)
+    sweep_reconfiguration_cost(workload, constraint)
+    sweep_clock_ratio(workload, constraint)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Calibration/verification utility: print our Tables 2/3 vs the paper's.
+
+This is the maintained remnant of the one-off calibration searches used to
+freeze the workload shape parameters (see DESIGN.md, "Calibration
+protocol").  Run it after touching the timing models or workload shapes:
+
+    python scripts/calibrate.py
+"""
+
+from repro.reporting import (
+    render_partition_table,
+    render_table1,
+    reproduce_headline_claims,
+    reproduce_table1_jpeg,
+    reproduce_table1_ofdm,
+    reproduce_table2,
+    reproduce_table3,
+)
+
+
+def main() -> None:
+    print(render_table1(reproduce_table1_ofdm(), "Table 1 — OFDM"))
+    print()
+    print(render_table1(reproduce_table1_jpeg(), "Table 1 — JPEG"))
+    print()
+    table2 = reproduce_table2()
+    print(render_partition_table(table2))
+    print()
+    table3 = reproduce_table3()
+    print(render_partition_table(table3))
+    print()
+    claims = reproduce_headline_claims(table2, table3)
+    print(
+        f"headline: OFDM max reduction {claims.ofdm_max_reduction:.1f}% "
+        f"(paper {claims.PAPER_OFDM_MAX}), JPEG "
+        f"{claims.jpeg_max_reduction:.1f}% (paper {claims.PAPER_JPEG_MAX}); "
+        f"area trends hold: {claims.ofdm_area_trend_holds}/"
+        f"{claims.jpeg_area_trend_holds}"
+    )
+
+
+if __name__ == "__main__":
+    main()

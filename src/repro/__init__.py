@@ -1,0 +1,106 @@
+"""repro — reproduction of "A Partitioning Methodology for Accelerating
+Applications in Hybrid Reconfigurable Platforms" (Galanis, Milidonis,
+Theodoridis, Soudris, Goutis; DATE 2004/05, AMDREL project).
+
+The package implements the full methodology of the paper's Figure 2 plus
+every substrate it depends on:
+
+* :mod:`repro.frontend` — mini-C language frontend (lexer/parser/semantics),
+  replacing the SUIF2/MachineSUIF + Lex toolchain;
+* :mod:`repro.ir` — three-address IR, CFGs, per-block DFGs and the
+  program-level CDFG (step 1);
+* :mod:`repro.interp` — CFG interpreter with per-block profiling counters
+  (the dynamic half of step 3);
+* :mod:`repro.analysis` — weights, static/dynamic analysis, kernel
+  extraction and ordering (step 3, Eq. 1);
+* :mod:`repro.finegrain` — FPGA device model and the Figure 3 temporal
+  partitioning algorithm with its timing model (steps 2, Eq. 4);
+* :mod:`repro.coarsegrain` — the CGC data-path of ref. [6]: list
+  scheduling, binding and timing (step 5, Eq. 3);
+* :mod:`repro.partition` — the partitioning engine loop (step 4, Eq. 2);
+* :mod:`repro.platform` — the generic hybrid platform of Figure 1;
+* :mod:`repro.workloads` — the OFDM transmitter and JPEG encoder
+  (mini-C implementations + Table 1-calibrated synthetic models);
+* :mod:`repro.reporting` — experiment runners regenerating Tables 1-3.
+
+Quickstart::
+
+    from repro import partition_application, paper_platform
+    from repro.workloads import ofdm_workload
+
+    result = partition_application(
+        ofdm_workload(), paper_platform(afpga=1500, cgc_count=2),
+        timing_constraint=35_000,
+    )
+    print(result.summary())
+"""
+
+from .analysis import (
+    AnalysisResult,
+    DynamicProfile,
+    KernelInfo,
+    WeightModel,
+    extract_kernels,
+    profile_cdfg,
+)
+from .coarsegrain import CGCDatapath, block_cgc_timing, schedule_dfg, standard_datapath
+from .finegrain import FPGADevice, block_fpga_timing, partition_dfg
+from .frontend import parse_program
+from .interp import Interpreter, run_function
+from .ir import CDFG, build_cdfg, cdfg_from_source
+from .partition import (
+    ApplicationWorkload,
+    BlockWorkload,
+    EngineConfig,
+    PartitioningEngine,
+    PartitionResult,
+    partition_application,
+    workload_from_cdfg,
+)
+from .platform import HybridPlatform, paper_platform
+from .reporting import (
+    reproduce_headline_claims,
+    reproduce_table1_jpeg,
+    reproduce_table1_ofdm,
+    reproduce_table2,
+    reproduce_table3,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisResult",
+    "ApplicationWorkload",
+    "BlockWorkload",
+    "CDFG",
+    "CGCDatapath",
+    "DynamicProfile",
+    "EngineConfig",
+    "FPGADevice",
+    "HybridPlatform",
+    "Interpreter",
+    "KernelInfo",
+    "PartitionResult",
+    "PartitioningEngine",
+    "WeightModel",
+    "block_cgc_timing",
+    "block_fpga_timing",
+    "build_cdfg",
+    "cdfg_from_source",
+    "extract_kernels",
+    "paper_platform",
+    "parse_program",
+    "partition_application",
+    "partition_dfg",
+    "profile_cdfg",
+    "reproduce_headline_claims",
+    "reproduce_table1_jpeg",
+    "reproduce_table1_ofdm",
+    "reproduce_table2",
+    "reproduce_table3",
+    "run_function",
+    "schedule_dfg",
+    "standard_datapath",
+    "workload_from_cdfg",
+    "__version__",
+]

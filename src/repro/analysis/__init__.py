@@ -1,0 +1,39 @@
+"""Analysis stage (paper §3.1): weights, static & dynamic analysis, kernels."""
+
+from .dynamic_analysis import (
+    DynamicProfile,
+    TraceProfile,
+    profile_cdfg,
+    profile_cdfg_many,
+)
+from .kernels import (
+    AnalysisResult,
+    KernelInfo,
+    extract_kernels,
+    kernels_from_records,
+)
+from .static_analysis import (
+    BlockStaticInfo,
+    StaticAnalysisResult,
+    analyze_block,
+    analyze_cdfg,
+)
+from .weights import PAPER_WEIGHT_MODEL, WeightModel, total_weight
+
+__all__ = [
+    "AnalysisResult",
+    "BlockStaticInfo",
+    "DynamicProfile",
+    "KernelInfo",
+    "PAPER_WEIGHT_MODEL",
+    "StaticAnalysisResult",
+    "TraceProfile",
+    "WeightModel",
+    "analyze_block",
+    "analyze_cdfg",
+    "extract_kernels",
+    "kernels_from_records",
+    "profile_cdfg",
+    "profile_cdfg_many",
+    "total_weight",
+]

@@ -1,0 +1,73 @@
+"""Operation weight model for static analysis (paper §3.1 / Eq. 1).
+
+"Since operations in a basic block do not have a uniform cost, a weighted
+sum is calculated and aggregated at the basic block level...  The weights
+indicate the delay allocated to each basic operator."  The experiments use
+weight 1 for ALU operations and weight 2 for multiplications (§4).
+
+Memory accesses are *counted* by the analysis but carry weight 0 by
+default: the paper's per-block operation weights (e.g. weight 3 for JPEG's
+most-executed block, which necessarily also loads/stores pixels) are only
+consistent with compute-op weighting.  The weight is configurable for
+sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.basicblock import BasicBlock
+from ..ir.dfg import DataFlowGraph
+from ..ir.operations import OpClass
+
+
+@dataclass(frozen=True)
+class WeightModel:
+    """Per-operator-class weights used by Eq. 1."""
+
+    class_weights: dict[OpClass, int] = field(
+        default_factory=lambda: {
+            OpClass.ALU: 1,
+            OpClass.MUL: 2,
+            OpClass.DIV: 4,
+            OpClass.MEM: 0,
+            OpClass.MOVE: 0,
+            OpClass.CALL: 0,
+            OpClass.CONTROL: 0,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        missing = [c for c in OpClass if c not in self.class_weights]
+        if missing:
+            raise ValueError(f"weight model missing op classes: {missing}")
+        if any(w < 0 for w in self.class_weights.values()):
+            raise ValueError("weights cannot be negative")
+
+    def weight_of_class(self, op_class: OpClass) -> int:
+        return self.class_weights[op_class]
+
+    def block_weight(self, block: BasicBlock) -> int:
+        """The paper's ``bb_weight``: weighted op count of one block."""
+        total = 0
+        for op_class, count in block.count_op_classes().items():
+            total += self.class_weights[op_class] * count
+        return total
+
+    def dfg_weight(self, dfg: DataFlowGraph) -> int:
+        """Weight computed from a DFG (identical to the block's weight)."""
+        total = 0
+        for op_class, count in dfg.op_class_histogram().items():
+            total += self.class_weights[op_class] * count
+        return total
+
+
+#: The exact weight assignment of the paper's experiments.
+PAPER_WEIGHT_MODEL = WeightModel()
+
+
+def total_weight(exec_freq: int, bb_weight: int) -> int:
+    """Eq. 1: ``total_weight = exec_freq × bb_weight``."""
+    if exec_freq < 0:
+        raise ValueError("execution frequency cannot be negative")
+    return exec_freq * bb_weight

@@ -1,0 +1,40 @@
+"""Coarse-grain CGC data-path: model, scheduling, binding, timing (§3.3)."""
+
+from .binding import (
+    BindingError,
+    DatapathBinding,
+    NodeBinding,
+    RegisterAllocation,
+    bind_schedule,
+)
+from .cgc import CGC, CGCGeometry, cgc_node_executable, make_cgc_array
+from .datapath import CGCDatapath, UnsupportedOperationError, standard_datapath
+from .scheduler import CGCSchedule, ListScheduler, ScheduledOp, schedule_dfg
+from .timing import (
+    CoarseGrainBlockTiming,
+    application_cgc_ticks,
+    block_cgc_timing,
+    speedup_over_fpga,
+)
+
+__all__ = [
+    "BindingError",
+    "CGC",
+    "CGCDatapath",
+    "CGCGeometry",
+    "CGCSchedule",
+    "CoarseGrainBlockTiming",
+    "DatapathBinding",
+    "ListScheduler",
+    "NodeBinding",
+    "RegisterAllocation",
+    "ScheduledOp",
+    "UnsupportedOperationError",
+    "application_cgc_ticks",
+    "bind_schedule",
+    "block_cgc_timing",
+    "cgc_node_executable",
+    "make_cgc_array",
+    "schedule_dfg",
+    "speedup_over_fpga",
+]

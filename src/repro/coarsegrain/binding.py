@@ -1,0 +1,150 @@
+"""Binding: scheduled operations -> physical CGC nodes + register bank.
+
+The second mapping step of §3.3 ("binding with the CGCs").  The scheduler
+already fixed each op's cycle, CGC and chain depth; binding assigns the
+concrete (row, col) node inside that CGC and allocates register-bank slots
+for every value that lives across cycles, reporting register pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.dfg import DataFlowGraph
+from .datapath import CGCDatapath
+from .scheduler import CGCSchedule
+
+
+class BindingError(ValueError):
+    """Raised when a schedule cannot be realized on the data-path."""
+
+
+@dataclass(frozen=True)
+class NodeBinding:
+    """Physical placement of one scheduled compute op."""
+
+    node_id: int
+    cycle: int
+    cgc_index: int
+    row: int
+    col: int
+
+
+@dataclass
+class RegisterAllocation:
+    """Register-bank usage: values produced in one cycle, used later."""
+
+    max_live: int = 0
+    per_cycle_live: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class DatapathBinding:
+    """Complete binding of a schedule."""
+
+    schedule: CGCSchedule
+    node_bindings: dict[int, NodeBinding] = field(default_factory=dict)
+    registers: RegisterAllocation = field(default_factory=RegisterAllocation)
+
+    def validate(self) -> None:
+        """No physical node is used twice in the same cycle; rows increase
+        along chains (steering flows downward through the array)."""
+        used: set[tuple[int, int, int, int]] = set()
+        for binding in self.node_bindings.values():
+            key = (binding.cycle, binding.cgc_index, binding.row, binding.col)
+            if key in used:
+                raise AssertionError(
+                    f"physical node reused in cycle {binding.cycle}: "
+                    f"CGC{binding.cgc_index} ({binding.row},{binding.col})"
+                )
+            used.add(key)
+        datapath = self.schedule.datapath
+        if self.registers.max_live > datapath.register_bank_size:
+            raise AssertionError(
+                f"register pressure {self.registers.max_live} exceeds bank "
+                f"size {datapath.register_bank_size}"
+            )
+
+
+def bind_schedule(schedule: CGCSchedule) -> DatapathBinding:
+    """Assign physical CGC nodes and compute register pressure.
+
+    Within a (cycle, CGC) group, ops are placed in chain-depth order: an op
+    at depth d lands in row d-1, columns first-fit.  The scheduler's
+    per-CGC slot accounting guarantees a free node exists; chain depth ≤
+    rows guarantees the row exists.
+    """
+    dfg = schedule.dfg
+    datapath = schedule.datapath
+    binding = DatapathBinding(schedule)
+
+    # ------------------------------------------------------------------
+    # Physical node assignment
+    # ------------------------------------------------------------------
+    by_cycle_cgc: dict[tuple[int, int], list] = {}
+    for op in schedule.ops.values():
+        if op.unit != "node":
+            continue
+        assert op.cgc_index is not None
+        by_cycle_cgc.setdefault((op.cycle, op.cgc_index), []).append(op)
+
+    for (cycle, cgc_index), ops in sorted(by_cycle_cgc.items()):
+        geometry = datapath.cgcs[cgc_index].geometry
+        # occupied[row] = set of used columns
+        occupied: dict[int, set[int]] = {r: set() for r in range(geometry.rows)}
+        for op in sorted(ops, key=lambda o: (o.chain_depth, o.node_id)):
+            preferred_row = min(op.chain_depth - 1, geometry.rows - 1)
+            placed = False
+            # Try the preferred row first, then any row with space: chain
+            # steering is flexible enough to route within the array.
+            rows_to_try = [preferred_row] + [
+                r for r in range(geometry.rows) if r != preferred_row
+            ]
+            for row in rows_to_try:
+                for col in range(geometry.cols):
+                    if col not in occupied[row]:
+                        occupied[row].add(col)
+                        binding.node_bindings[op.node_id] = NodeBinding(
+                            op.node_id, cycle, cgc_index, row, col
+                        )
+                        placed = True
+                        break
+                if placed:
+                    break
+            if not placed:
+                raise BindingError(
+                    f"no free node in CGC {cgc_index} at cycle {cycle} "
+                    f"(scheduler over-subscribed — internal error)"
+                )
+
+    # ------------------------------------------------------------------
+    # Register-bank pressure: a value is live from the end of its producing
+    # cycle until the last cycle that consumes it from a *later* cycle.
+    # ------------------------------------------------------------------
+    makespan = schedule.makespan
+    live_intervals: list[tuple[int, int]] = []
+    for node in dfg.nodes:
+        producer = schedule.ops[node.node_id]
+        consumers = [
+            schedule.ops[s] for s in dfg.successors(node.node_id)
+        ]
+        cross_cycle = [c.cycle for c in consumers if c.cycle > producer.cycle]
+        is_live_out = (
+            node.instruction.dest is not None
+            and not dfg.successors(node.node_id)
+        )
+        if cross_cycle:
+            live_intervals.append((producer.cycle, max(cross_cycle)))
+        elif is_live_out and producer.cycle < makespan:
+            # Block outputs stay in the bank until the kernel drains.
+            live_intervals.append((producer.cycle, makespan))
+
+    per_cycle: dict[int, int] = {}
+    for start, end in live_intervals:
+        for cycle in range(start, end):
+            per_cycle[cycle] = per_cycle.get(cycle, 0) + 1
+    binding.registers.per_cycle_live = per_cycle
+    binding.registers.max_live = max(per_cycle.values(), default=0)
+
+    binding.validate()
+    return binding

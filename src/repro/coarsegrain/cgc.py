@@ -1,0 +1,79 @@
+"""Coarse-Grain Component (CGC) model, after Galanis et al. FPL'04 [6].
+
+A CGC is an ``n × m`` array of nodes; every node contains a multiplier and
+an ALU, exactly one of which is active per clock cycle.  Steering logic
+reconfigures the connections among nodes so that chains of dependent
+operations (e.g. multiply-add) complete within a single CGC clock cycle —
+this intra-cycle chaining is the CGC data-path's key performance feature.
+
+We model a chain-depth limit equal to the number of rows ``n``: a chain of
+up to ``n`` dependent ALU/MUL operations fits inside one cycle (the clock
+period T_CGC "is set for having unit execution delay for the CGCs", §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.operations import OpClass, Opcode
+
+
+@dataclass(frozen=True)
+class CGCGeometry:
+    """Shape of one CGC node array."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("CGC geometry must be at least 1x1")
+
+    @property
+    def node_count(self) -> int:
+        return self.rows * self.cols
+
+    def __str__(self) -> str:
+        return f"{self.rows}x{self.cols}"
+
+
+@dataclass(frozen=True)
+class CGC:
+    """One coarse-grain component instance."""
+
+    index: int
+    geometry: CGCGeometry
+
+    @property
+    def node_count(self) -> int:
+        return self.geometry.node_count
+
+    @property
+    def chain_depth(self) -> int:
+        """Maximum dependent ops chainable in one cycle (= rows)."""
+        return self.geometry.rows
+
+    def __str__(self) -> str:
+        return f"CGC{self.index}({self.geometry})"
+
+
+def cgc_node_executable(opcode: Opcode) -> bool:
+    """Can a CGC node's multiplier/ALU execute this opcode?
+
+    CGC nodes handle word-level ALU and multiply operations.  Memory ops go
+    through the shared-memory ports (handled by the data-path, not a node),
+    moves are routing, and divisions/calls are not implementable.
+    """
+    if opcode.op_class is OpClass.ALU:
+        return True
+    if opcode.op_class is OpClass.MUL:
+        return True
+    return False
+
+
+def make_cgc_array(count: int, rows: int = 2, cols: int = 2) -> list[CGC]:
+    """Build ``count`` identical CGCs (the paper uses two or three 2x2)."""
+    if count < 1:
+        raise ValueError("need at least one CGC")
+    geometry = CGCGeometry(rows, cols)
+    return [CGC(index, geometry) for index in range(count)]

@@ -1,0 +1,315 @@
+"""Resource-constrained list scheduler for the CGC data-path (§3.3).
+
+"The steps of the mapping process are: (a) scheduling of DFG operations,
+and (b) binding with the CGCs.  A proper list-based scheduler has been
+developed."  This module is that scheduler.
+
+Model
+-----
+* Time advances in CGC cycles (unit execution delay per node, §3.3).
+* Each CGC node executes one ALU or MUL operation per cycle; a data-path
+  with k CGCs of n×m nodes issues up to ``k·n·m`` compute ops per cycle.
+* Intra-cycle chaining: steering logic connects nodes of the *same* CGC,
+  so a chain of up to ``n`` dependent operations (multiply-add, add-add-…)
+  completes within one cycle.  Chains cannot cross CGC boundaries within a
+  cycle.
+* LOAD/STORE go to the *shared data memory* (Figure 1): an access occupies
+  one of ``memory_ports`` ports for ``memory_latency`` CGC cycles
+  (non-pipelined — the memory is one physical SRAM shared with the rest of
+  the platform and does not scale with the CGC clock).  Memory ops neither
+  start from nor extend an intra-cycle chain.
+* MOVE/COPY nodes are routing/steering: free, same-cycle, and transparent
+  to chain depth.
+
+The scheduler records, for every op, its start cycle, duration, chain depth
+and CGC, which makes the result directly bindable (see
+:mod:`repro.coarsegrain.binding`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.dfg import DataFlowGraph
+from ..ir.operations import ArrayBase, OpClass
+from .datapath import CGCDatapath
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """Placement of one DFG node in the schedule."""
+
+    node_id: int
+    cycle: int
+    chain_depth: int       # 1-based within an intra-cycle chain; 0 for moves
+    cgc_index: int | None  # compute ops only; None for moves / memory ops
+    unit: str              # "node" | "mem" | "move"
+    duration: int = 1      # cycles the op occupies its unit (0 for moves)
+    port: int | None = None  # memory ops: which shared-memory port
+
+    @property
+    def end(self) -> int:
+        """First cycle in which this op's result is available."""
+        return self.cycle + self.duration
+
+
+@dataclass
+class CGCSchedule:
+    """Complete schedule of one DFG on a CGC data-path."""
+
+    dfg: DataFlowGraph
+    datapath: CGCDatapath
+    ops: dict[int, ScheduledOp] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> int:
+        """Latency in CGC cycles (0 for an empty DFG)."""
+        if not self.ops:
+            return 0
+        return max(op.cycle + max(op.duration, 1) for op in self.ops.values())
+
+    def ops_in_cycle(self, cycle: int) -> list[ScheduledOp]:
+        """Ops *active* during ``cycle`` (multi-cycle memory ops included)."""
+        return [
+            op
+            for op in self.ops.values()
+            if op.cycle <= cycle < op.cycle + max(op.duration, 1)
+        ]
+
+    # ------------------------------------------------------------------
+    # Legality checking
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Assert every resource and dependency constraint holds."""
+        dfg, dp = self.dfg, self.datapath
+        expected = {node.node_id for node in dfg.nodes}
+        if set(self.ops) != expected:
+            raise AssertionError("schedule does not cover every DFG node")
+
+        for cycle in range(self.makespan):
+            active = self.ops_in_cycle(cycle)
+            mem_ops = [op for op in active if op.unit == "mem"]
+            if len(mem_ops) > dp.memory_ports:
+                raise AssertionError(
+                    f"cycle {cycle}: {len(mem_ops)} memory ops exceed "
+                    f"{dp.memory_ports} ports"
+                )
+            ports_used = [op.port for op in mem_ops]
+            if len(set(ports_used)) != len(ports_used):
+                raise AssertionError(
+                    f"cycle {cycle}: shared-memory port double-booked"
+                )
+            per_cgc: dict[int, int] = {}
+            for op in active:
+                if op.unit == "node":
+                    assert op.cgc_index is not None
+                    per_cgc[op.cgc_index] = per_cgc.get(op.cgc_index, 0) + 1
+            for cgc_index, used in per_cgc.items():
+                capacity = dp.cgcs[cgc_index].node_count
+                if used > capacity:
+                    raise AssertionError(
+                        f"cycle {cycle}: CGC {cgc_index} issues {used} ops, "
+                        f"capacity {capacity}"
+                    )
+
+        for src, dst in dfg.graph.edges():
+            self._check_edge(src, dst)
+
+    def _check_edge(self, src: int, dst: int) -> None:
+        producer, consumer = self.ops[src], self.ops[dst]
+        if producer.end <= consumer.cycle:
+            return
+        if producer.cycle != consumer.cycle:
+            raise AssertionError(
+                f"edge {src}->{dst}: consumer starts at {consumer.cycle} "
+                f"before producer finishes at {producer.end}"
+            )
+        # Same cycle: must be a legal chain.
+        if producer.unit == "mem" or consumer.unit == "mem":
+            raise AssertionError(
+                f"edge {src}->{dst}: memory ops cannot chain in-cycle"
+            )
+        if consumer.unit == "node" and producer.unit == "node":
+            if producer.cgc_index != consumer.cgc_index:
+                raise AssertionError(
+                    f"edge {src}->{dst}: chain crosses CGC boundary"
+                )
+        if consumer.unit == "node":
+            limit = (
+                self.datapath.cgcs[consumer.cgc_index].chain_depth
+                if consumer.cgc_index is not None
+                else self.datapath.chain_depth
+            )
+            if consumer.chain_depth > limit:
+                raise AssertionError(
+                    f"edge {src}->{dst}: chain depth {consumer.chain_depth} "
+                    f"exceeds limit {limit}"
+                )
+            if producer.chain_depth >= consumer.chain_depth and (
+                producer.unit == "node"
+            ):
+                raise AssertionError(
+                    f"edge {src}->{dst}: chain depth not increasing"
+                )
+
+
+def _node_heights(dfg: DataFlowGraph) -> dict[int, int]:
+    """Longest path (in compute+mem ops) from each node to any sink."""
+    heights: dict[int, int] = {}
+    for node in reversed(list(dfg.nodes)):
+        own = 0 if node.op_class is OpClass.MOVE else 1
+        succ_heights = [heights[s] for s in dfg.successors(node.node_id)]
+        heights[node.node_id] = own + max(succ_heights, default=0)
+    return heights
+
+
+class ListScheduler:
+    """List scheduling with chain-aware per-CGC slot allocation."""
+
+    def __init__(self, dfg: DataFlowGraph, datapath: CGCDatapath):
+        self.dfg = dfg
+        self.datapath = datapath
+        datapath.reject_unsupported(dfg)
+        self.heights = _node_heights(dfg)
+
+    def schedule(self) -> CGCSchedule:
+        result = CGCSchedule(self.dfg, self.datapath)
+        remaining = {node.node_id for node in self.dfg.nodes}
+        # busy-until time of each shared-memory port
+        port_free_at = [0] * self.datapath.memory_ports
+        cycle = 0
+        # Guard: any DAG schedules within |V| · latency cycles.
+        max_cycles = (2 + self.datapath.memory_latency) * (len(self.dfg) + 8)
+        while remaining:
+            if cycle > max_cycles:
+                raise RuntimeError(
+                    "scheduler failed to converge — internal error"
+                )
+            self._schedule_cycle(cycle, remaining, result, port_free_at)
+            cycle += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def _schedule_cycle(
+        self,
+        cycle: int,
+        remaining: set[int],
+        result: CGCSchedule,
+        port_free_at: list[int],
+    ) -> None:
+        free_slots = {
+            index: cgc.node_count for index, cgc in enumerate(self.datapath.cgcs)
+        }
+        progressed = True
+        while progressed:
+            progressed = False
+            candidates = sorted(
+                remaining,
+                key=lambda n: (-self.heights[n], n),
+            )
+            for node_id in candidates:
+                placement = self._try_place(
+                    node_id, cycle, free_slots, port_free_at, result
+                )
+                if placement is None:
+                    continue
+                result.ops[node_id] = placement
+                remaining.discard(node_id)
+                if placement.unit == "mem":
+                    assert placement.port is not None
+                    port_free_at[placement.port] = placement.end
+                elif placement.unit == "node":
+                    assert placement.cgc_index is not None
+                    free_slots[placement.cgc_index] -= 1
+                progressed = True
+
+    def _try_place(
+        self,
+        node_id: int,
+        cycle: int,
+        free_slots: dict[int, int],
+        port_free_at: list[int],
+        result: CGCSchedule,
+    ) -> ScheduledOp | None:
+        node = self.dfg.node(node_id)
+        op_class = node.op_class
+        preds = self.dfg.predecessors(node_id)
+        in_cycle_preds: list[ScheduledOp] = []
+        for pred in preds:
+            placed = result.ops.get(pred)
+            if placed is None:
+                return None  # dependency not yet scheduled at all
+            if placed.cycle == cycle and placed.unit in ("node", "move"):
+                in_cycle_preds.append(placed)
+            elif placed.end > cycle:
+                return None  # result not available yet (e.g. memory in flight)
+
+        if op_class is OpClass.MOVE:
+            # Moves are wires: free, chain-depth transparent.
+            depth = max((p.chain_depth for p in in_cycle_preds), default=0)
+            cgcs = {
+                p.cgc_index for p in in_cycle_preds if p.cgc_index is not None
+            }
+            if len(cgcs) > 1:
+                return None
+            cgc_index = cgcs.pop() if cgcs else None
+            return ScheduledOp(
+                node_id, cycle, depth, cgc_index, "move", duration=0
+            )
+
+        if op_class is OpClass.MEM:
+            if in_cycle_preds:
+                return None  # address/value must come from earlier cycles
+            # Local scratch buffers live in the data-path's register bank
+            # and respond in one CGC cycle; globals go to the shared data
+            # memory at its own (slower) access time.
+            base = node.instruction.operands[0]
+            is_local = isinstance(base, ArrayBase) and base.local
+            duration = 1 if is_local else self.datapath.memory_latency
+            for port, free_at in enumerate(port_free_at):
+                if free_at <= cycle:
+                    return ScheduledOp(
+                        node_id,
+                        cycle,
+                        0,
+                        None,
+                        "mem",
+                        duration=duration,
+                        port=port,
+                    )
+            return None
+
+        # Compute op (ALU/MUL).
+        depth = 1 + max((p.chain_depth for p in in_cycle_preds), default=0)
+        forced_cgcs = {
+            p.cgc_index for p in in_cycle_preds if p.cgc_index is not None
+        }
+        if len(forced_cgcs) > 1:
+            return None  # chain would span two CGCs
+        if forced_cgcs:
+            cgc_index = forced_cgcs.pop()
+            if free_slots[cgc_index] <= 0:
+                return None
+            if depth > self.datapath.cgcs[cgc_index].chain_depth:
+                return None
+            return ScheduledOp(node_id, cycle, depth, cgc_index, "node")
+        # Start of a new chain: pick the CGC with the most free slots that
+        # satisfies the depth limit.
+        best: int | None = None
+        for index, slots in free_slots.items():
+            if slots <= 0:
+                continue
+            if depth > self.datapath.cgcs[index].chain_depth:
+                continue
+            if best is None or slots > free_slots[best]:
+                best = index
+        if best is None:
+            return None
+        return ScheduledOp(node_id, cycle, depth, best, "node")
+
+
+def schedule_dfg(dfg: DataFlowGraph, datapath: CGCDatapath) -> CGCSchedule:
+    """Schedule one DFG and return the validated schedule."""
+    schedule = ListScheduler(dfg, datapath).schedule()
+    schedule.validate()
+    return schedule

@@ -1,0 +1,53 @@
+"""Fine-grain (FPGA) mapping: temporal partitioning and timing (paper §3.2)."""
+
+from .asap import (
+    LevelSummary,
+    dfg_total_area,
+    nodes_in_level_order,
+    summarize_levels,
+    widest_node_area,
+)
+from .bitstream import (
+    BYTES_PER_AREA_UNIT,
+    ConfigurationBitstream,
+    HEADER_BYTES,
+    generate_bitstreams,
+    total_configuration_bytes,
+    unique_streams,
+)
+from .device import FPGADevice
+from .temporal import (
+    TemporalPartition,
+    TemporalPartitioning,
+    TemporalPartitioningError,
+    partition_dfg,
+)
+from .timing import (
+    FineGrainBlockTiming,
+    application_fpga_cycles,
+    block_fpga_timing,
+    partition_execution_cycles,
+)
+
+__all__ = [
+    "BYTES_PER_AREA_UNIT",
+    "ConfigurationBitstream",
+    "FineGrainBlockTiming",
+    "FPGADevice",
+    "HEADER_BYTES",
+    "LevelSummary",
+    "TemporalPartition",
+    "TemporalPartitioning",
+    "TemporalPartitioningError",
+    "application_fpga_cycles",
+    "block_fpga_timing",
+    "dfg_total_area",
+    "generate_bitstreams",
+    "nodes_in_level_order",
+    "partition_dfg",
+    "partition_execution_cycles",
+    "summarize_levels",
+    "total_configuration_bytes",
+    "unique_streams",
+    "widest_node_area",
+]

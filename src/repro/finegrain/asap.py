@@ -1,0 +1,70 @@
+"""ASAP-level utilities for the fine-grain mapper (paper §3.2).
+
+"The mapping methodology classifies the nodes in the DFG of the input
+application according to their As Soon As Possible (ASAP) levels.  The ASAP
+levels expose the parallelism hidden in the DFG."  The DFG itself computes
+the levels; this module provides the level-ordered traversals and per-level
+summaries the temporal partitioner and the timing model consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.dfg import DataFlowGraph, DFGNode
+from ..platform.characterization import HardwareCharacterization
+
+
+def nodes_in_level_order(dfg: DataFlowGraph) -> list[DFGNode]:
+    """All DFG nodes ordered by (ASAP level, node id).
+
+    This is the traversal order of the Figure 3 algorithm: "the algorithm
+    traverses each node of the DFG, level by level".  Ties within a level
+    are broken by node id for determinism.
+    """
+    asap = dfg.asap_levels()
+    return sorted(dfg.nodes, key=lambda node: (asap[node.node_id], node.node_id))
+
+
+@dataclass(frozen=True)
+class LevelSummary:
+    """Area/delay summary of one ASAP level."""
+
+    level: int
+    node_count: int
+    total_area: int
+    max_delay: int
+
+
+def summarize_levels(
+    dfg: DataFlowGraph, characterization: HardwareCharacterization
+) -> list[LevelSummary]:
+    """Per-level node counts, areas and critical delays."""
+    summaries: list[LevelSummary] = []
+    for index, nodes in enumerate(dfg.levels(), start=1):
+        total_area = sum(
+            characterization.fpga_area(node.opcode) for node in nodes
+        )
+        max_delay = max(
+            (characterization.fpga_delay(node.opcode) for node in nodes),
+            default=0,
+        )
+        summaries.append(LevelSummary(index, len(nodes), total_area, max_delay))
+    return summaries
+
+
+def dfg_total_area(
+    dfg: DataFlowGraph, characterization: HardwareCharacterization
+) -> int:
+    """Total fine-grain area of every node in the DFG."""
+    return sum(characterization.fpga_area(node.opcode) for node in dfg.nodes)
+
+
+def widest_node_area(
+    dfg: DataFlowGraph, characterization: HardwareCharacterization
+) -> int:
+    """Largest single-node area — a lower bound on the feasible A_FPGA."""
+    return max(
+        (characterization.fpga_area(node.opcode) for node in dfg.nodes),
+        default=0,
+    )

@@ -1,0 +1,76 @@
+"""Configuration bit-stream synthesis for temporal partitions.
+
+"For each temporal segment a configuration bit-stream is generated.
+According to the application's data- and control-flow, the appropriate
+configuration bit-stream is loaded to the FPGA device" (§3.2).  We generate
+a deterministic pseudo-bitstream per partition — enough to exercise the
+reconfiguration scheduling path (which stream loads when, and how large it
+is) without modelling a vendor bit format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..platform.characterization import HardwareCharacterization
+from .temporal import TemporalPartitioning
+
+#: Configuration payload per area unit, in bytes.  Loosely modelled on
+#: LUT-fabric configuration densities; only relative sizes matter here.
+BYTES_PER_AREA_UNIT = 16
+
+#: Fixed per-stream header (command words, frame addresses, CRC).
+HEADER_BYTES = 64
+
+
+@dataclass(frozen=True)
+class ConfigurationBitstream:
+    """One partition's configuration image."""
+
+    partition_index: int
+    payload_bytes: int
+    checksum: str
+
+    @property
+    def total_bytes(self) -> int:
+        return HEADER_BYTES + self.payload_bytes
+
+
+def generate_bitstreams(
+    partitioning: TemporalPartitioning,
+    characterization: HardwareCharacterization,
+) -> list[ConfigurationBitstream]:
+    """One deterministic pseudo-bitstream per temporal partition.
+
+    The checksum digests the partition's node assignment so two partitions
+    with identical contents produce identical streams (enabling
+    configuration caching studies), while any change to the mapping changes
+    the stream.
+    """
+    streams: list[ConfigurationBitstream] = []
+    for partition in partitioning.partitions:
+        payload = partition.area_used * BYTES_PER_AREA_UNIT
+        digest_input = ",".join(
+            f"{node_id}:{partitioning.dfg.node(node_id).opcode.mnemonic}"
+            for node_id in sorted(partition.node_ids)
+        )
+        checksum = hashlib.sha256(digest_input.encode("ascii")).hexdigest()[:16]
+        streams.append(
+            ConfigurationBitstream(
+                partition_index=partition.index,
+                payload_bytes=payload,
+                checksum=checksum,
+            )
+        )
+    return streams
+
+
+def total_configuration_bytes(streams: list[ConfigurationBitstream]) -> int:
+    """Aggregate configuration storage the program memory must hold."""
+    return sum(stream.total_bytes for stream in streams)
+
+
+def unique_streams(streams: list[ConfigurationBitstream]) -> int:
+    """Number of distinct configurations (cacheable reconfiguration)."""
+    return len({stream.checksum for stream in streams})

@@ -1,0 +1,524 @@
+"""Recursive-descent parser for the mini-C language.
+
+Grammar sketch (EBNF)::
+
+    program        := (global_decl | function_decl)*
+    function_decl  := type IDENT '(' params? ')' block
+    global_decl    := 'const'? type declarator ('=' initializer)? ';'
+    declarator     := IDENT ('[' INT ']')*
+    statement      := block | if | while | do-while | for | return
+                    | break ';' | continue ';' | decl ';' | expr_stmt ';'
+    expr_stmt      := assignment | expression
+    assignment     := lvalue assign_op expression | lvalue '++' | lvalue '--'
+
+Expressions use precedence climbing with C-like precedence, including the
+ternary conditional and short-circuit ``&&`` / ``||``.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    ArrayRef,
+    ArrayType,
+    AssignStmt,
+    BinaryExpr,
+    BinaryOp,
+    BlockStmt,
+    BreakStmt,
+    CallExpr,
+    ConditionalExpr,
+    ContinueStmt,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    ForStmt,
+    FunctionDecl,
+    GlobalDecl,
+    IfStmt,
+    IntLiteral,
+    NameRef,
+    Param,
+    Program,
+    ReturnStmt,
+    Stmt,
+    Type,
+    UnaryExpr,
+    UnaryOp,
+    WhileStmt,
+)
+from .errors import ParserError
+from .lexer import tokenize
+from .tokens import COMPOUND_ASSIGN_BASE, Token, TokenKind
+
+#: Binary operator precedence (larger binds tighter), mirroring C.
+_BINARY_PRECEDENCE: dict[TokenKind, tuple[int, BinaryOp]] = {
+    TokenKind.OROR: (1, BinaryOp.LOR),
+    TokenKind.ANDAND: (2, BinaryOp.LAND),
+    TokenKind.PIPE: (3, BinaryOp.OR),
+    TokenKind.CARET: (4, BinaryOp.XOR),
+    TokenKind.AMP: (5, BinaryOp.AND),
+    TokenKind.EQ: (6, BinaryOp.EQ),
+    TokenKind.NE: (6, BinaryOp.NE),
+    TokenKind.LT: (7, BinaryOp.LT),
+    TokenKind.GT: (7, BinaryOp.GT),
+    TokenKind.LE: (7, BinaryOp.LE),
+    TokenKind.GE: (7, BinaryOp.GE),
+    TokenKind.SHL: (8, BinaryOp.SHL),
+    TokenKind.SHR: (8, BinaryOp.SHR),
+    TokenKind.PLUS: (9, BinaryOp.ADD),
+    TokenKind.MINUS: (9, BinaryOp.SUB),
+    TokenKind.STAR: (10, BinaryOp.MUL),
+    TokenKind.SLASH: (10, BinaryOp.DIV),
+    TokenKind.PERCENT: (10, BinaryOp.MOD),
+}
+
+_TYPE_KEYWORDS = {
+    TokenKind.KW_INT: Type.INT,
+    TokenKind.KW_FLOAT: Type.FLOAT,
+    TokenKind.KW_VOID: Type.VOID,
+}
+
+_ASSIGN_KINDS = {TokenKind.ASSIGN} | set(COMPOUND_ASSIGN_BASE)
+
+
+class Parser:
+    """Parses one translation unit from a token list."""
+
+    def __init__(self, tokens: list[Token], filename: str = "<source>"):
+        self.tokens = tokens
+        self.index = 0
+        self.filename = filename
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _check(self, *kinds: TokenKind) -> bool:
+        return self._peek().kind in kinds
+
+    def _match(self, *kinds: TokenKind) -> Token | None:
+        if self._check(*kinds):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, context: str) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParserError(
+                f"expected {kind.value!r} {context}, found {token.text!r}",
+                token.location,
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse_program(self) -> Program:
+        program = Program(filename=self.filename)
+        while not self._check(TokenKind.EOF):
+            is_const = self._match(TokenKind.KW_CONST) is not None
+            type_token = self._peek()
+            if type_token.kind not in _TYPE_KEYWORDS:
+                raise ParserError(
+                    f"expected a type at top level, found {type_token.text!r}",
+                    type_token.location,
+                )
+            self._advance()
+            base_type = _TYPE_KEYWORDS[type_token.kind]
+            name_token = self._expect(TokenKind.IDENT, "after type")
+            if self._check(TokenKind.LPAREN) and not is_const:
+                program.functions.append(
+                    self._parse_function_rest(base_type, name_token)
+                )
+            else:
+                program.globals.append(
+                    self._parse_global_rest(base_type, name_token, is_const)
+                )
+        return program
+
+    def _parse_function_rest(self, return_type: Type, name: Token) -> FunctionDecl:
+        self._expect(TokenKind.LPAREN, "to open parameter list")
+        params: list[Param] = []
+        if not self._check(TokenKind.RPAREN):
+            if self._check(TokenKind.KW_VOID) and self._peek(1).kind is TokenKind.RPAREN:
+                self._advance()
+            else:
+                params.append(self._parse_param())
+                while self._match(TokenKind.COMMA):
+                    params.append(self._parse_param())
+        self._expect(TokenKind.RPAREN, "to close parameter list")
+        body = self._parse_block()
+        return FunctionDecl(
+            name=str(name.value),
+            return_type=return_type,
+            params=params,
+            body=body,
+            location=name.location,
+        )
+
+    def _parse_param(self) -> Param:
+        type_token = self._peek()
+        if type_token.kind not in _TYPE_KEYWORDS or type_token.kind is TokenKind.KW_VOID:
+            raise ParserError(
+                f"expected parameter type, found {type_token.text!r}",
+                type_token.location,
+            )
+        self._advance()
+        base_type = _TYPE_KEYWORDS[type_token.kind]
+        name_token = self._expect(TokenKind.IDENT, "as parameter name")
+        dims: list[int] = []
+        while self._match(TokenKind.LBRACKET):
+            # Allow `a[]` for the first dimension of an array parameter —
+            # callers pass whole arrays by reference, so an unsized first
+            # dimension is recorded as size 1 placeholder replaced by the
+            # argument's true shape at call time.
+            if self._check(TokenKind.RBRACKET):
+                dims.append(0)
+            else:
+                size_token = self._expect(TokenKind.INT_LITERAL, "as array dimension")
+                dims.append(int(size_token.value))  # type: ignore[arg-type]
+            self._expect(TokenKind.RBRACKET, "to close array dimension")
+        param_type: Type | ArrayType
+        if dims:
+            param_type = ArrayType(base_type, tuple(d if d > 0 else 1 for d in dims))
+        else:
+            param_type = base_type
+        return Param(str(name_token.value), param_type, name_token.location)
+
+    def _parse_global_rest(
+        self, base_type: Type, name: Token, is_const: bool
+    ) -> GlobalDecl:
+        dims: list[int] = []
+        while self._match(TokenKind.LBRACKET):
+            size_token = self._expect(TokenKind.INT_LITERAL, "as array dimension")
+            dims.append(int(size_token.value))  # type: ignore[arg-type]
+            self._expect(TokenKind.RBRACKET, "to close array dimension")
+        decl_type: Type | ArrayType = (
+            ArrayType(base_type, tuple(dims)) if dims else base_type
+        )
+        init_values: list[float | int] | None = None
+        if self._match(TokenKind.ASSIGN):
+            init_values = self._parse_initializer_list(base_type, bool(dims))
+        self._expect(TokenKind.SEMICOLON, "after global declaration")
+        return GlobalDecl(
+            name=str(name.value),
+            decl_type=decl_type,
+            init_values=init_values,
+            is_const=is_const,
+            location=name.location,
+        )
+
+    def _parse_initializer_list(
+        self, base_type: Type, is_array: bool
+    ) -> list[float | int]:
+        values: list[float | int] = []
+        if is_array:
+            self._expect(TokenKind.LBRACE, "to open initializer list")
+            while not self._check(TokenKind.RBRACE):
+                values.append(self._parse_constant(base_type))
+                if not self._match(TokenKind.COMMA):
+                    break
+            self._expect(TokenKind.RBRACE, "to close initializer list")
+        else:
+            values.append(self._parse_constant(base_type))
+        return values
+
+    def _parse_constant(self, base_type: Type) -> float | int:
+        negative = self._match(TokenKind.MINUS) is not None
+        token = self._peek()
+        if token.kind is TokenKind.INT_LITERAL:
+            self._advance()
+            value: float | int = int(token.value)  # type: ignore[arg-type]
+        elif token.kind is TokenKind.FLOAT_LITERAL:
+            self._advance()
+            value = float(token.value)  # type: ignore[arg-type]
+        else:
+            raise ParserError(
+                f"expected literal initializer, found {token.text!r}", token.location
+            )
+        if negative:
+            value = -value
+        if base_type is Type.FLOAT:
+            return float(value)
+        return int(value)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_block(self) -> BlockStmt:
+        open_token = self._expect(TokenKind.LBRACE, "to open block")
+        body: list[Stmt] = []
+        while not self._check(TokenKind.RBRACE, TokenKind.EOF):
+            body.append(self._parse_statement())
+        self._expect(TokenKind.RBRACE, "to close block")
+        return BlockStmt(body=body, location=open_token.location)
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token.kind is TokenKind.LBRACE:
+            return self._parse_block()
+        if token.kind is TokenKind.KW_IF:
+            return self._parse_if()
+        if token.kind is TokenKind.KW_WHILE:
+            return self._parse_while()
+        if token.kind is TokenKind.KW_DO:
+            return self._parse_do_while()
+        if token.kind is TokenKind.KW_FOR:
+            return self._parse_for()
+        if token.kind is TokenKind.KW_RETURN:
+            return self._parse_return()
+        if token.kind is TokenKind.KW_BREAK:
+            self._advance()
+            self._expect(TokenKind.SEMICOLON, "after break")
+            return BreakStmt(location=token.location)
+        if token.kind is TokenKind.KW_CONTINUE:
+            self._advance()
+            self._expect(TokenKind.SEMICOLON, "after continue")
+            return ContinueStmt(location=token.location)
+        if token.kind in (TokenKind.KW_INT, TokenKind.KW_FLOAT, TokenKind.KW_CONST):
+            stmt = self._parse_declaration()
+            self._expect(TokenKind.SEMICOLON, "after declaration")
+            return stmt
+        stmt = self._parse_expression_statement()
+        self._expect(TokenKind.SEMICOLON, "after statement")
+        return stmt
+
+    def _parse_if(self) -> IfStmt:
+        token = self._advance()
+        self._expect(TokenKind.LPAREN, "after if")
+        cond = self._parse_expression()
+        self._expect(TokenKind.RPAREN, "to close if condition")
+        then = self._parse_statement()
+        otherwise: Stmt | None = None
+        if self._match(TokenKind.KW_ELSE):
+            otherwise = self._parse_statement()
+        return IfStmt(cond=cond, then=then, otherwise=otherwise, location=token.location)
+
+    def _parse_while(self) -> WhileStmt:
+        token = self._advance()
+        self._expect(TokenKind.LPAREN, "after while")
+        cond = self._parse_expression()
+        self._expect(TokenKind.RPAREN, "to close while condition")
+        body = self._parse_statement()
+        return WhileStmt(cond=cond, body=body, location=token.location)
+
+    def _parse_do_while(self) -> DoWhileStmt:
+        token = self._advance()
+        body = self._parse_statement()
+        self._expect(TokenKind.KW_WHILE, "after do body")
+        self._expect(TokenKind.LPAREN, "after while")
+        cond = self._parse_expression()
+        self._expect(TokenKind.RPAREN, "to close do-while condition")
+        self._expect(TokenKind.SEMICOLON, "after do-while")
+        return DoWhileStmt(body=body, cond=cond, location=token.location)
+
+    def _parse_for(self) -> ForStmt:
+        token = self._advance()
+        self._expect(TokenKind.LPAREN, "after for")
+        init: Stmt | None = None
+        if not self._check(TokenKind.SEMICOLON):
+            if self._check(TokenKind.KW_INT, TokenKind.KW_FLOAT, TokenKind.KW_CONST):
+                init = self._parse_declaration()
+            else:
+                init = self._parse_expression_statement()
+        self._expect(TokenKind.SEMICOLON, "after for initializer")
+        cond: Expr | None = None
+        if not self._check(TokenKind.SEMICOLON):
+            cond = self._parse_expression()
+        self._expect(TokenKind.SEMICOLON, "after for condition")
+        step: Stmt | None = None
+        if not self._check(TokenKind.RPAREN):
+            step = self._parse_expression_statement()
+        self._expect(TokenKind.RPAREN, "to close for header")
+        body = self._parse_statement()
+        return ForStmt(init=init, cond=cond, step=step, body=body, location=token.location)
+
+    def _parse_return(self) -> ReturnStmt:
+        token = self._advance()
+        value: Expr | None = None
+        if not self._check(TokenKind.SEMICOLON):
+            value = self._parse_expression()
+        self._expect(TokenKind.SEMICOLON, "after return")
+        return ReturnStmt(value=value, location=token.location)
+
+    def _parse_declaration(self) -> DeclStmt:
+        is_const = self._match(TokenKind.KW_CONST) is not None
+        type_token = self._peek()
+        if type_token.kind not in (TokenKind.KW_INT, TokenKind.KW_FLOAT):
+            raise ParserError(
+                f"expected 'int' or 'float', found {type_token.text!r}",
+                type_token.location,
+            )
+        self._advance()
+        base_type = _TYPE_KEYWORDS[type_token.kind]
+        name_token = self._expect(TokenKind.IDENT, "as variable name")
+        dims: list[int] = []
+        while self._match(TokenKind.LBRACKET):
+            size_token = self._expect(TokenKind.INT_LITERAL, "as array dimension")
+            dims.append(int(size_token.value))  # type: ignore[arg-type]
+            self._expect(TokenKind.RBRACKET, "to close array dimension")
+        decl_type: Type | ArrayType = (
+            ArrayType(base_type, tuple(dims)) if dims else base_type
+        )
+        init: Expr | None = None
+        if self._match(TokenKind.ASSIGN):
+            if dims:
+                raise ParserError(
+                    "array initializers are only supported on globals",
+                    name_token.location,
+                )
+            init = self._parse_expression()
+        return DeclStmt(
+            name=str(name_token.value),
+            decl_type=decl_type,
+            init=init,
+            is_const=is_const,
+            location=name_token.location,
+        )
+
+    def _parse_expression_statement(self) -> Stmt:
+        start = self._peek()
+        expr = self._parse_expression()
+        if self._check(*_ASSIGN_KINDS):
+            op_token = self._advance()
+            value = self._parse_expression()
+            self._require_lvalue(expr)
+            if op_token.kind is not TokenKind.ASSIGN:
+                base_kind = COMPOUND_ASSIGN_BASE[op_token.kind]
+                __, binop = _BINARY_PRECEDENCE[base_kind]
+                value = BinaryExpr(
+                    op=binop, left=expr, right=value, location=op_token.location
+                )
+            return AssignStmt(target=expr, value=value, location=start.location)
+        if self._check(TokenKind.PLUSPLUS, TokenKind.MINUSMINUS):
+            op_token = self._advance()
+            self._require_lvalue(expr)
+            binop = (
+                BinaryOp.ADD if op_token.kind is TokenKind.PLUSPLUS else BinaryOp.SUB
+            )
+            one = IntLiteral(value=1, location=op_token.location)
+            value = BinaryExpr(op=binop, left=expr, right=one, location=op_token.location)
+            return AssignStmt(target=expr, value=value, location=start.location)
+        return ExprStmt(expr=expr, location=start.location)
+
+    def _require_lvalue(self, expr: Expr) -> None:
+        if not isinstance(expr, (NameRef, ArrayRef)):
+            raise ParserError("assignment target is not an lvalue", expr.location)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expression(self) -> Expr:
+        return self._parse_conditional()
+
+    def _parse_conditional(self) -> Expr:
+        cond = self._parse_binary(1)
+        if self._check(TokenKind.QUESTION):
+            token = self._advance()
+            then = self._parse_expression()
+            self._expect(TokenKind.COLON, "in conditional expression")
+            otherwise = self._parse_conditional()
+            return ConditionalExpr(
+                cond=cond, then=then, otherwise=otherwise, location=token.location
+            )
+        return cond
+
+    def _parse_binary(self, min_precedence: int) -> Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            entry = _BINARY_PRECEDENCE.get(token.kind)
+            if entry is None or entry[0] < min_precedence:
+                return left
+            precedence, op = entry
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = BinaryExpr(op=op, left=left, right=right, location=token.location)
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            return UnaryExpr(
+                op=UnaryOp.NEG, operand=self._parse_unary(), location=token.location
+            )
+        if token.kind is TokenKind.PLUS:
+            self._advance()
+            return UnaryExpr(
+                op=UnaryOp.POS, operand=self._parse_unary(), location=token.location
+            )
+        if token.kind is TokenKind.NOT:
+            self._advance()
+            return UnaryExpr(
+                op=UnaryOp.NOT, operand=self._parse_unary(), location=token.location
+            )
+        if token.kind is TokenKind.TILDE:
+            self._advance()
+            return UnaryExpr(
+                op=UnaryOp.BNOT, operand=self._parse_unary(), location=token.location
+            )
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while self._check(TokenKind.LBRACKET):
+            if not isinstance(expr, NameRef):
+                raise ParserError("only named arrays can be indexed", expr.location)
+            indices: list[Expr] = []
+            while self._match(TokenKind.LBRACKET):
+                indices.append(self._parse_expression())
+                self._expect(TokenKind.RBRACKET, "to close array index")
+            expr = ArrayRef(name=expr.name, indices=indices, location=expr.location)
+        return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT_LITERAL:
+            self._advance()
+            return IntLiteral(value=int(token.value), location=token.location)  # type: ignore[arg-type]
+        if token.kind is TokenKind.FLOAT_LITERAL:
+            self._advance()
+            return FloatLiteral(value=float(token.value), location=token.location)  # type: ignore[arg-type]
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            name = str(token.value)
+            if self._check(TokenKind.LPAREN):
+                self._advance()
+                args: list[Expr] = []
+                if not self._check(TokenKind.RPAREN):
+                    args.append(self._parse_expression())
+                    while self._match(TokenKind.COMMA):
+                        args.append(self._parse_expression())
+                self._expect(TokenKind.RPAREN, "to close call")
+                return CallExpr(callee=name, args=args, location=token.location)
+            return NameRef(name=name, location=token.location)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            # Support C-style casts `(int) e` / `(float) e`.
+            if self._check(TokenKind.KW_INT, TokenKind.KW_FLOAT):
+                cast_token = self._advance()
+                self._expect(TokenKind.RPAREN, "to close cast")
+                operand = self._parse_unary()
+                callee = "int" if cast_token.kind is TokenKind.KW_INT else "float"
+                return CallExpr(callee=f"__cast_{callee}", args=[operand],
+                                location=token.location)
+            expr = self._parse_expression()
+            self._expect(TokenKind.RPAREN, "to close parenthesized expression")
+            return expr
+        raise ParserError(f"unexpected token {token.text!r}", token.location)
+
+
+def parse_program(source: str, filename: str = "<source>") -> Program:
+    """Tokenize and parse ``source`` into a :class:`Program`."""
+    return Parser(tokenize(source, filename), filename).parse_program()

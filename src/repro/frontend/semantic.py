@@ -1,0 +1,459 @@
+"""Semantic analysis for the mini-C language.
+
+Checks performed:
+
+* every name is declared before use, with no duplicate declarations in the
+  same scope;
+* array references have the right number of indices and scalars are never
+  indexed;
+* assignment targets are mutable (not ``const``);
+* calls match a declared function or a known intrinsic, with correct arity;
+* ``break``/``continue`` appear only inside loops;
+* non-void functions return a value on the paths we can see syntactically.
+
+Expression types are annotated in-place (``Expr.ctype``) because lowering
+uses them to pick integer vs floating operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast_nodes import (
+    ArrayRef,
+    ArrayType,
+    AssignStmt,
+    BinaryExpr,
+    BinaryOp,
+    BlockStmt,
+    BreakStmt,
+    CallExpr,
+    ConditionalExpr,
+    ContinueStmt,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    ForStmt,
+    FunctionDecl,
+    IfStmt,
+    IntLiteral,
+    NameRef,
+    Program,
+    ReturnStmt,
+    Stmt,
+    Type,
+    UnaryExpr,
+    UnaryOp,
+    WhileStmt,
+    unify_numeric,
+)
+from .errors import DiagnosticBag, SemanticError, SourceLocation
+
+#: Intrinsic functions available without declaration.  Values are
+#: ``(arity, return_type_rule)`` where the rule is either a fixed Type or
+#: the string "same" (returns its argument's type).
+INTRINSICS: dict[str, tuple[int, Type | str]] = {
+    "abs": (1, "same"),
+    "min": (2, "same"),
+    "max": (2, "same"),
+    "sqrt": (1, Type.FLOAT),
+    "sin": (1, Type.FLOAT),
+    "cos": (1, Type.FLOAT),
+    "floor": (1, Type.FLOAT),
+    "round": (1, Type.INT),
+    "__cast_int": (1, Type.INT),
+    "__cast_float": (1, Type.FLOAT),
+}
+
+
+@dataclass
+class Symbol:
+    """One declared name: scalar or array, possibly const."""
+
+    name: str
+    sym_type: Type | ArrayType
+    is_const: bool = False
+    is_global: bool = False
+    is_param: bool = False
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self.sym_type, ArrayType)
+
+    @property
+    def element_type(self) -> Type:
+        if isinstance(self.sym_type, ArrayType):
+            return self.sym_type.element
+        return self.sym_type
+
+
+class Scope:
+    """A lexical scope in the symbol table chain."""
+
+    def __init__(self, parent: "Scope | None" = None):
+        self.parent = parent
+        self.symbols: dict[str, Symbol] = {}
+
+    def declare(self, symbol: Symbol) -> None:
+        if symbol.name in self.symbols:
+            raise SemanticError(
+                f"duplicate declaration of {symbol.name!r}", symbol.location
+            )
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+@dataclass
+class FunctionSignature:
+    name: str
+    return_type: Type
+    param_types: list[Type | ArrayType]
+
+
+class SemanticAnalyzer:
+    """Runs all checks over a parsed :class:`Program`."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.diagnostics = DiagnosticBag()
+        self.global_scope = Scope()
+        self.functions: dict[str, FunctionSignature] = {}
+        self._loop_depth = 0
+        self._current_function: FunctionDecl | None = None
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def analyze(self) -> DiagnosticBag:
+        for decl in self.program.globals:
+            self._check_global(decl)
+        for fn in self.program.functions:
+            if fn.name in self.functions:
+                raise SemanticError(f"duplicate function {fn.name!r}", fn.location)
+            if fn.name in INTRINSICS:
+                raise SemanticError(
+                    f"function {fn.name!r} shadows an intrinsic", fn.location
+                )
+            self.functions[fn.name] = FunctionSignature(
+                fn.name, fn.return_type, [p.param_type for p in fn.params]
+            )
+        for fn in self.program.functions:
+            self._check_function(fn)
+        self.diagnostics.raise_if_errors()
+        return self.diagnostics
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def _check_global(self, decl) -> None:
+        if isinstance(decl.decl_type, ArrayType) and decl.init_values is not None:
+            if len(decl.init_values) > decl.decl_type.size:
+                raise SemanticError(
+                    f"initializer for {decl.name!r} has {len(decl.init_values)} "
+                    f"values but the array holds {decl.decl_type.size}",
+                    decl.location,
+                )
+        self.global_scope.declare(
+            Symbol(
+                decl.name,
+                decl.decl_type,
+                is_const=decl.is_const,
+                is_global=True,
+                location=decl.location,
+            )
+        )
+
+    def _check_function(self, fn: FunctionDecl) -> None:
+        self._current_function = fn
+        scope = Scope(self.global_scope)
+        for param in fn.params:
+            scope.declare(
+                Symbol(
+                    param.name,
+                    param.param_type,
+                    is_param=True,
+                    location=param.location,
+                )
+            )
+        self._check_block(fn.body, Scope(scope))
+        if fn.return_type is not Type.VOID and not self._returns_on_all_paths(fn.body):
+            self.diagnostics.warning(
+                f"function {fn.name!r} may not return a value on all paths",
+                fn.location,
+            )
+        self._current_function = None
+
+    def _returns_on_all_paths(self, stmt: Stmt) -> bool:
+        if isinstance(stmt, ReturnStmt):
+            return True
+        if isinstance(stmt, BlockStmt):
+            return any(self._returns_on_all_paths(child) for child in stmt.body)
+        if isinstance(stmt, IfStmt):
+            return (
+                stmt.otherwise is not None
+                and self._returns_on_all_paths(stmt.then)
+                and self._returns_on_all_paths(stmt.otherwise)
+            )
+        return False
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _check_block(self, block: BlockStmt, scope: Scope) -> None:
+        for stmt in block.body:
+            self._check_statement(stmt, scope)
+
+    def _check_statement(self, stmt: Stmt, scope: Scope) -> None:
+        if isinstance(stmt, BlockStmt):
+            self._check_block(stmt, Scope(scope))
+        elif isinstance(stmt, DeclStmt):
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope)
+            scope.declare(
+                Symbol(
+                    stmt.name,
+                    stmt.decl_type,
+                    is_const=stmt.is_const,
+                    location=stmt.location,
+                )
+            )
+        elif isinstance(stmt, AssignStmt):
+            target_type = self._check_expr(stmt.target, scope)
+            self._check_expr(stmt.value, scope)
+            self._check_assignable(stmt.target, scope)
+            if target_type is Type.VOID:
+                self.diagnostics.error(
+                    "cannot assign to a void expression", stmt.location
+                )
+        elif isinstance(stmt, ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, IfStmt):
+            self._check_expr(stmt.cond, scope)
+            self._check_statement(stmt.then, Scope(scope))
+            if stmt.otherwise is not None:
+                self._check_statement(stmt.otherwise, Scope(scope))
+        elif isinstance(stmt, WhileStmt):
+            self._check_expr(stmt.cond, scope)
+            self._in_loop(stmt.body, Scope(scope))
+        elif isinstance(stmt, DoWhileStmt):
+            self._in_loop(stmt.body, Scope(scope))
+            self._check_expr(stmt.cond, scope)
+        elif isinstance(stmt, ForStmt):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self._check_statement(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self._check_statement(stmt.step, inner)
+            self._in_loop(stmt.body, Scope(inner))
+        elif isinstance(stmt, ReturnStmt):
+            fn = self._current_function
+            assert fn is not None
+            if stmt.value is not None:
+                value_type = self._check_expr(stmt.value, scope)
+                if fn.return_type is Type.VOID:
+                    self.diagnostics.error(
+                        f"void function {fn.name!r} returns a value", stmt.location
+                    )
+                elif value_type is Type.VOID:
+                    self.diagnostics.error(
+                        "returning a void expression", stmt.location
+                    )
+            elif fn.return_type is not Type.VOID:
+                self.diagnostics.error(
+                    f"non-void function {fn.name!r} returns without a value",
+                    stmt.location,
+                )
+        elif isinstance(stmt, (BreakStmt, ContinueStmt)):
+            if self._loop_depth == 0:
+                keyword = "break" if isinstance(stmt, BreakStmt) else "continue"
+                self.diagnostics.error(f"{keyword} outside of a loop", stmt.location)
+        else:  # pragma: no cover - exhaustive over our AST
+            raise AssertionError(f"unhandled statement {type(stmt).__name__}")
+
+    def _in_loop(self, body: Stmt, scope: Scope) -> None:
+        self._loop_depth += 1
+        try:
+            self._check_statement(body, scope)
+        finally:
+            self._loop_depth -= 1
+
+    def _check_assignable(self, target: Expr, scope: Scope) -> None:
+        name = target.name if isinstance(target, (NameRef, ArrayRef)) else None
+        if name is None:
+            self.diagnostics.error("assignment target is not an lvalue", target.location)
+            return
+        symbol = scope.lookup(name)
+        if symbol is not None and symbol.is_const:
+            self.diagnostics.error(
+                f"cannot assign to const {name!r}", target.location
+            )
+        if (
+            symbol is not None
+            and symbol.is_array
+            and isinstance(target, NameRef)
+        ):
+            self.diagnostics.error(
+                f"cannot assign to whole array {name!r}", target.location
+            )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _check_expr(self, expr: Expr, scope: Scope) -> Type:
+        result = self._infer(expr, scope)
+        expr.ctype = result
+        return result
+
+    def _infer(self, expr: Expr, scope: Scope) -> Type:
+        if isinstance(expr, IntLiteral):
+            return Type.INT
+        if isinstance(expr, FloatLiteral):
+            return Type.FLOAT
+        if isinstance(expr, NameRef):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                self.diagnostics.error(
+                    f"use of undeclared name {expr.name!r}", expr.location
+                )
+                return Type.INT
+            # A bare array name is only valid as a call argument; treat its
+            # type as its element type so arithmetic misuse is flagged by the
+            # call/arity checks rather than cascading failures here.
+            return symbol.element_type
+        if isinstance(expr, ArrayRef):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                self.diagnostics.error(
+                    f"use of undeclared array {expr.name!r}", expr.location
+                )
+                return Type.INT
+            if not symbol.is_array:
+                self.diagnostics.error(
+                    f"{expr.name!r} is scalar and cannot be indexed", expr.location
+                )
+                return symbol.element_type
+            assert isinstance(symbol.sym_type, ArrayType)
+            if len(expr.indices) != len(symbol.sym_type.dimensions):
+                self.diagnostics.error(
+                    f"array {expr.name!r} expects "
+                    f"{len(symbol.sym_type.dimensions)} indices, got "
+                    f"{len(expr.indices)}",
+                    expr.location,
+                )
+            for index in expr.indices:
+                index_type = self._check_expr(index, scope)
+                if index_type is Type.FLOAT:
+                    self.diagnostics.error(
+                        "array index must be an integer", index.location
+                    )
+            return symbol.element_type
+        if isinstance(expr, UnaryExpr):
+            operand_type = self._check_expr(expr.operand, scope)
+            if expr.op in (UnaryOp.NOT, UnaryOp.BNOT) and operand_type is Type.FLOAT:
+                if expr.op is UnaryOp.BNOT:
+                    self.diagnostics.error(
+                        "bitwise complement requires an integer operand",
+                        expr.location,
+                    )
+                return Type.INT
+            if expr.op is UnaryOp.NOT:
+                return Type.INT
+            return operand_type
+        if isinstance(expr, BinaryExpr):
+            left = self._check_expr(expr.left, scope)
+            right = self._check_expr(expr.right, scope)
+            integer_only = {
+                BinaryOp.MOD,
+                BinaryOp.SHL,
+                BinaryOp.SHR,
+                BinaryOp.AND,
+                BinaryOp.OR,
+                BinaryOp.XOR,
+            }
+            if expr.op in integer_only and Type.FLOAT in (left, right):
+                self.diagnostics.error(
+                    f"operator {expr.op.value!r} requires integer operands",
+                    expr.location,
+                )
+                return Type.INT
+            comparisons = {
+                BinaryOp.LT,
+                BinaryOp.GT,
+                BinaryOp.LE,
+                BinaryOp.GE,
+                BinaryOp.EQ,
+                BinaryOp.NE,
+                BinaryOp.LAND,
+                BinaryOp.LOR,
+            }
+            if expr.op in comparisons:
+                return Type.INT
+            return unify_numeric(left, right)
+        if isinstance(expr, ConditionalExpr):
+            self._check_expr(expr.cond, scope)
+            then_type = self._check_expr(expr.then, scope)
+            else_type = self._check_expr(expr.otherwise, scope)
+            return unify_numeric(then_type, else_type)
+        if isinstance(expr, CallExpr):
+            return self._check_call(expr, scope)
+        raise AssertionError(f"unhandled expression {type(expr).__name__}")
+
+    def _check_call(self, expr: CallExpr, scope: Scope) -> Type:
+        arg_types = [self._check_expr(arg, scope) for arg in expr.args]
+        intrinsic = INTRINSICS.get(expr.callee)
+        if intrinsic is not None:
+            arity, rule = intrinsic
+            if len(expr.args) != arity:
+                self.diagnostics.error(
+                    f"intrinsic {expr.callee!r} expects {arity} argument(s), "
+                    f"got {len(expr.args)}",
+                    expr.location,
+                )
+            if rule == "same":
+                return arg_types[0] if arg_types else Type.INT
+            assert isinstance(rule, Type)
+            return rule
+        signature = self.functions.get(expr.callee)
+        if signature is None:
+            self.diagnostics.error(
+                f"call to undeclared function {expr.callee!r}", expr.location
+            )
+            return Type.INT
+        if len(expr.args) != len(signature.param_types):
+            self.diagnostics.error(
+                f"function {expr.callee!r} expects "
+                f"{len(signature.param_types)} argument(s), got {len(expr.args)}",
+                expr.location,
+            )
+        for arg, param_type in zip(expr.args, signature.param_types):
+            if isinstance(param_type, ArrayType):
+                if not isinstance(arg, NameRef):
+                    self.diagnostics.error(
+                        "array parameters accept only whole arrays", arg.location
+                    )
+                else:
+                    symbol = scope.lookup(arg.name)
+                    if symbol is not None and not symbol.is_array:
+                        self.diagnostics.error(
+                            f"passing scalar {arg.name!r} where an array is "
+                            "expected",
+                            arg.location,
+                        )
+        return signature.return_type
+
+
+def analyze_program(program: Program) -> DiagnosticBag:
+    """Run semantic analysis, raising :class:`SemanticError` on failure."""
+    return SemanticAnalyzer(program).analyze()

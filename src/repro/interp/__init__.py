@@ -1,0 +1,27 @@
+"""Execution substrate: a CFG interpreter with profiling hooks.
+
+Replaces the paper's Lex-instrumented native execution for dynamic analysis
+(§3.1) with exact interpreted per-basic-block counters.
+"""
+
+from .interpreter import (
+    ExecutionLimitExceeded,
+    ExecutionResult,
+    Interpreter,
+    run_function,
+)
+from .profiler import BlockProfile, BlockProfiler, profile_run
+from .values import ArrayStorage, Frame, coerce
+
+__all__ = [
+    "ArrayStorage",
+    "BlockProfile",
+    "BlockProfiler",
+    "ExecutionLimitExceeded",
+    "ExecutionResult",
+    "Frame",
+    "Interpreter",
+    "coerce",
+    "profile_run",
+    "run_function",
+]

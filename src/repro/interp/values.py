@@ -1,0 +1,86 @@
+"""Runtime value model for the CFG interpreter.
+
+Scalars are plain Python ``int``/``float`` coerced to their declared type on
+every write (C assignment semantics: float-to-int truncates).  Arrays are
+flat mutable buffers passed by reference, matching C array parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.ast_nodes import ArrayType, Type
+
+Number = int | float
+
+
+def coerce(value: Number, to_type: Type) -> Number:
+    """Coerce a number to a declared scalar type (C assignment rules)."""
+    if to_type is Type.INT:
+        return int(value)
+    if to_type is Type.FLOAT:
+        return float(value)
+    raise TypeError(f"cannot store a value of type {to_type}")
+
+
+@dataclass
+class ArrayStorage:
+    """A flat, fixed-size array buffer with element-type coercion."""
+
+    name: str
+    element_type: Type
+    data: list[Number]
+
+    @classmethod
+    def allocate(cls, name: str, array_type: ArrayType) -> "ArrayStorage":
+        zero: Number = 0 if array_type.element is Type.INT else 0.0
+        return cls(name, array_type.element, [zero] * array_type.size)
+
+    @classmethod
+    def from_values(
+        cls, name: str, array_type: ArrayType, values: list[Number]
+    ) -> "ArrayStorage":
+        storage = cls.allocate(name, array_type)
+        if len(values) > array_type.size:
+            raise ValueError(
+                f"{len(values)} initial values exceed array size "
+                f"{array_type.size} for {name!r}"
+            )
+        for index, value in enumerate(values):
+            storage.data[index] = coerce(value, array_type.element)
+        return storage
+
+    def load(self, index: int) -> Number:
+        self._check(index)
+        return self.data[index]
+
+    def store(self, index: int, value: Number) -> None:
+        self._check(index)
+        self.data[index] = coerce(value, self.element_type)
+
+    def _check(self, index: int) -> None:
+        if not isinstance(index, int):
+            raise TypeError(
+                f"array {self.name!r} indexed with non-integer {index!r}"
+            )
+        if index < 0 or index >= len(self.data):
+            raise IndexError(
+                f"array {self.name!r} index {index} out of range "
+                f"[0, {len(self.data)})"
+            )
+
+    def snapshot(self) -> list[Number]:
+        return list(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class Frame:
+    """One activation record: scalar locals, temps and array bindings."""
+
+    function: str
+    scalars: dict[str, Number] = field(default_factory=dict)
+    temps: dict[int, Number] = field(default_factory=dict)
+    arrays: dict[str, ArrayStorage] = field(default_factory=dict)

@@ -1,0 +1,78 @@
+"""Compiler mid-end: three-address IR, CFGs, DFGs and the program CDFG.
+
+This subpackage is the substrate the paper obtained from SUIF2/MachineSUIF:
+it turns the checked AST into the Control/Data Flow Graph representation
+that the analysis, mapping and partitioning stages consume.
+"""
+
+from .basicblock import BasicBlock
+from .cdfg import CDFG, BlockKey, build_cdfg, cdfg_from_source
+from .cfg import ControlFlowGraph, VariableInfo
+from .dfg import DataFlowGraph, DFGNode, DFGStatistics
+from .dominators import DominatorTree, compute_dominators
+from .loops import LoopForest, NaturalLoop, find_loops
+from .lowering import FunctionLowerer, lower_function, lower_program
+from .operations import (
+    ArrayBase,
+    BINARY_OPCODES,
+    Const,
+    Instruction,
+    INTRINSIC_OPCODES,
+    OpClass,
+    Opcode,
+    Operand,
+    Temp,
+    TempFactory,
+    Value,
+    VarRef,
+)
+from .opsemantics import FOLDABLE_OPCODES, evaluate_opcode
+from .passes import (
+    eliminate_dead_code_in_block,
+    fold_constants_in_block,
+    optimize_cdfg,
+    optimize_cfg,
+    propagate_copies_in_block,
+    run_block_passes,
+)
+
+__all__ = [
+    "ArrayBase",
+    "BasicBlock",
+    "BINARY_OPCODES",
+    "BlockKey",
+    "CDFG",
+    "Const",
+    "ControlFlowGraph",
+    "DataFlowGraph",
+    "DFGNode",
+    "DFGStatistics",
+    "DominatorTree",
+    "FOLDABLE_OPCODES",
+    "FunctionLowerer",
+    "Instruction",
+    "INTRINSIC_OPCODES",
+    "LoopForest",
+    "NaturalLoop",
+    "OpClass",
+    "Opcode",
+    "Operand",
+    "Temp",
+    "TempFactory",
+    "Value",
+    "VariableInfo",
+    "VarRef",
+    "build_cdfg",
+    "cdfg_from_source",
+    "compute_dominators",
+    "eliminate_dead_code_in_block",
+    "evaluate_opcode",
+    "find_loops",
+    "fold_constants_in_block",
+    "lower_function",
+    "lower_program",
+    "optimize_cdfg",
+    "optimize_cfg",
+    "propagate_copies_in_block",
+    "run_block_passes",
+]

@@ -1,0 +1,565 @@
+"""AST -> three-address CFG lowering (CDFG creation, paper §3 step 1).
+
+Design notes:
+
+* Scalars live in named storage (:class:`VarRef`); every expression result
+  flows through fresh :class:`Temp` registers, which keeps per-block DFG
+  construction trivial (one def per temp).
+* Array accesses lower to ``LOAD``/``STORE`` with the multi-dimensional
+  index linearized by explicit MUL/ADD operations, exactly the address
+  arithmetic a compiler would materialize for the reconfigurable fabric.
+* ``&&``/``||`` are lowered **without** short-circuiting (both sides are
+  evaluated, then combined with ALU ops).  Expressions in the language have
+  no side effects other than calls, and data-flow-style evaluation matches
+  how HLS tools flatten conditions into predicated DFGs.
+* The C ternary becomes a ``SELECT`` data-flow node rather than control
+  flow, again mirroring HLS predication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontend.ast_nodes import (
+    ArrayRef,
+    ArrayType,
+    AssignStmt,
+    BinaryExpr,
+    BinaryOp,
+    BlockStmt,
+    BreakStmt,
+    CallExpr,
+    ConditionalExpr,
+    ContinueStmt,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    ForStmt,
+    FunctionDecl,
+    IfStmt,
+    IntLiteral,
+    NameRef,
+    Program,
+    ReturnStmt,
+    Stmt,
+    Type,
+    UnaryExpr,
+    UnaryOp,
+    WhileStmt,
+    unify_numeric,
+)
+from ..frontend.errors import SemanticError
+from .basicblock import BasicBlock
+from .cfg import ControlFlowGraph, VariableInfo
+from .operations import (
+    ArrayBase,
+    BINARY_OPCODES,
+    Const,
+    Instruction,
+    INTRINSIC_OPCODES,
+    Opcode,
+    Temp,
+    TempFactory,
+    Value,
+    VarRef,
+)
+
+
+@dataclass
+class _LoopContext:
+    """Branch targets for break/continue inside the innermost loop."""
+
+    break_label: str
+    continue_label: str
+
+
+class FunctionLowerer:
+    """Lowers one function declaration to a :class:`ControlFlowGraph`."""
+
+    def __init__(self, function: FunctionDecl, program: Program):
+        self.function = function
+        self.program = program
+        self.cfg = ControlFlowGraph(function.name, function.return_type)
+        self.temps = TempFactory()
+        self.current: BasicBlock | None = None
+        self.loop_stack: list[_LoopContext] = []
+        self._declare_symbols()
+
+    # ------------------------------------------------------------------
+    # Symbol bookkeeping
+    # ------------------------------------------------------------------
+    def _declare_symbols(self) -> None:
+        for decl in self.program.globals:
+            self.cfg.add_variable(
+                VariableInfo(
+                    decl.name,
+                    decl.decl_type,
+                    is_global=True,
+                    is_const=decl.is_const,
+                )
+            )
+        for param in self.function.params:
+            self.cfg.add_variable(
+                VariableInfo(param.name, param.param_type, is_param=True)
+            )
+            self.cfg.param_names.append(param.name)
+
+    def _variable(self, name: str) -> VariableInfo:
+        info = self.cfg.variables.get(name)
+        if info is None:
+            raise SemanticError(
+                f"lowering saw undeclared name {name!r} (semantic analysis "
+                "should have rejected this program)"
+            )
+        return info
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+    def _block(self) -> BasicBlock:
+        assert self.current is not None, "no active block"
+        return self.current
+
+    def _start_block(self, hint: str = "bb") -> BasicBlock:
+        block = self.cfg.new_block(hint)
+        self.current = block
+        return block
+
+    def _emit(self, instruction: Instruction) -> None:
+        block = self._block()
+        if block.is_terminated:
+            # Statements after return/break/continue are unreachable; give
+            # them their own block, which CFG cleanup then removes.
+            block = self._start_block("dead")
+        block.append(instruction)
+
+    def _branch_to(self, label: str) -> None:
+        """Terminate the current block with BR if it is still open."""
+        block = self.current
+        if block is not None and not block.is_terminated:
+            block.append(Instruction(Opcode.BR, targets=(label,)))
+
+    def _emit_value_op(
+        self,
+        opcode: Opcode,
+        operands: tuple,
+        result_type: Type,
+        location,
+    ) -> Temp:
+        dest = self.temps.fresh(result_type)
+        self._emit(
+            Instruction(
+                opcode,
+                dest=dest,
+                operands=operands,
+                result_type=result_type,
+                location=location,
+            )
+        )
+        return dest
+
+    # ------------------------------------------------------------------
+    # Values & types
+    # ------------------------------------------------------------------
+    def _value_type(self, value: Value) -> Type:
+        if isinstance(value, (Temp, VarRef)):
+            return value.vtype
+        return value.vtype  # Const
+
+    def _lower_linear_index(self, ref: ArrayRef, dims: tuple[int, ...]) -> Value:
+        """Linearize ``a[i][j]`` to ``i*dim1 + j`` with explicit IR ops."""
+        indices = [self._lower_expr(index) for index in ref.indices]
+        if len(indices) == 1:
+            return indices[0]
+        linear = indices[0]
+        for dim, index in zip(dims[1:], indices[1:]):
+            scaled = self._emit_value_op(
+                Opcode.MUL, (linear, Const(dim)), Type.INT, ref.location
+            )
+            linear = self._emit_value_op(
+                Opcode.ADD, (scaled, index), Type.INT, ref.location
+            )
+        return linear
+
+    # ------------------------------------------------------------------
+    # Expression lowering
+    # ------------------------------------------------------------------
+    def _lower_expr(self, expr: Expr) -> Value:
+        if isinstance(expr, IntLiteral):
+            return Const(int(expr.value))
+        if isinstance(expr, FloatLiteral):
+            return Const(float(expr.value))
+        if isinstance(expr, NameRef):
+            info = self._variable(expr.name)
+            if info.is_array:
+                raise SemanticError(
+                    f"whole array {expr.name!r} used as a scalar value",
+                    expr.location,
+                )
+            return VarRef(expr.name, info.element_type)
+        if isinstance(expr, ArrayRef):
+            info = self._variable(expr.name)
+            if not info.is_array:
+                raise SemanticError(
+                    f"indexing scalar {expr.name!r}", expr.location
+                )
+            assert isinstance(info.var_type, ArrayType)
+            index = self._lower_linear_index(expr, info.var_type.dimensions)
+            base = ArrayBase(
+                expr.name,
+                info.element_type,
+                local=not (info.is_global or info.is_param),
+            )
+            return self._emit_value_op(
+                Opcode.LOAD,
+                (base, index),
+                info.element_type,
+                expr.location,
+            )
+        if isinstance(expr, UnaryExpr):
+            return self._lower_unary(expr)
+        if isinstance(expr, BinaryExpr):
+            return self._lower_binary(expr)
+        if isinstance(expr, ConditionalExpr):
+            cond = self._lower_expr(expr.cond)
+            then = self._lower_expr(expr.then)
+            otherwise = self._lower_expr(expr.otherwise)
+            result_type = unify_numeric(
+                self._value_type(then), self._value_type(otherwise)
+            )
+            return self._emit_value_op(
+                Opcode.SELECT, (cond, then, otherwise), result_type, expr.location
+            )
+        if isinstance(expr, CallExpr):
+            return self._lower_call(expr)
+        raise AssertionError(f"unhandled expression {type(expr).__name__}")
+
+    def _lower_unary(self, expr: UnaryExpr) -> Value:
+        operand = self._lower_expr(expr.operand)
+        operand_type = self._value_type(operand)
+        if expr.op is UnaryOp.POS:
+            return operand
+        if expr.op is UnaryOp.NEG:
+            return self._emit_value_op(
+                Opcode.NEG, (operand,), operand_type, expr.location
+            )
+        if expr.op is UnaryOp.BNOT:
+            return self._emit_value_op(
+                Opcode.BNOT, (operand,), Type.INT, expr.location
+            )
+        if expr.op is UnaryOp.NOT:
+            return self._emit_value_op(
+                Opcode.LNOT, (operand,), Type.INT, expr.location
+            )
+        raise AssertionError(f"unhandled unary operator {expr.op}")
+
+    def _lower_binary(self, expr: BinaryExpr) -> Value:
+        if expr.op in (BinaryOp.LAND, BinaryOp.LOR):
+            left = self._lower_expr(expr.left)
+            right = self._lower_expr(expr.right)
+            left_bool = self._emit_value_op(
+                Opcode.NE, (left, Const(0)), Type.INT, expr.location
+            )
+            right_bool = self._emit_value_op(
+                Opcode.NE, (right, Const(0)), Type.INT, expr.location
+            )
+            opcode = Opcode.AND if expr.op is BinaryOp.LAND else Opcode.OR
+            return self._emit_value_op(
+                opcode, (left_bool, right_bool), Type.INT, expr.location
+            )
+        left = self._lower_expr(expr.left)
+        right = self._lower_expr(expr.right)
+        opcode = BINARY_OPCODES[expr.op.value]
+        comparisons = {
+            Opcode.LT, Opcode.GT, Opcode.LE, Opcode.GE, Opcode.EQ, Opcode.NE,
+        }
+        if opcode in comparisons:
+            result_type = Type.INT
+        else:
+            result_type = unify_numeric(
+                self._value_type(left), self._value_type(right)
+            )
+        return self._emit_value_op(
+            opcode, (left, right), result_type, expr.location
+        )
+
+    def _lower_call(self, expr: CallExpr) -> Value:
+        intrinsic = INTRINSIC_OPCODES.get(expr.callee)
+        if intrinsic is not None:
+            operands = tuple(self._lower_expr(arg) for arg in expr.args)
+            if intrinsic in (Opcode.SQRT, Opcode.SIN, Opcode.COS, Opcode.FLOOR):
+                result_type = Type.FLOAT
+            elif intrinsic in (Opcode.F2I, Opcode.ROUND):
+                result_type = Type.INT
+            elif intrinsic is Opcode.I2F:
+                result_type = Type.FLOAT
+            else:
+                result_type = (
+                    self._value_type(operands[0]) if operands else Type.INT
+                )
+            return self._emit_value_op(
+                intrinsic, operands, result_type, expr.location
+            )
+        operands = []
+        for arg in expr.args:
+            if isinstance(arg, NameRef):
+                info = self._variable(arg.name)
+                if info.is_array:
+                    operands.append(
+                        ArrayBase(
+                            arg.name,
+                            info.element_type,
+                            local=not (info.is_global or info.is_param),
+                        )
+                    )
+                    continue
+            operands.append(self._lower_expr(arg))
+        try:
+            callee = self.program.function(expr.callee)
+            result_type = callee.return_type
+        except KeyError as exc:
+            raise SemanticError(
+                f"call to unknown function {expr.callee!r}", expr.location
+            ) from exc
+        dest = (
+            self.temps.fresh(result_type)
+            if result_type is not Type.VOID
+            else None
+        )
+        self._emit(
+            Instruction(
+                Opcode.CALL,
+                dest=dest,
+                operands=tuple(operands),
+                callee=expr.callee,
+                result_type=result_type,
+                location=expr.location,
+            )
+        )
+        if dest is None:
+            return Const(0)
+        return dest
+
+    # ------------------------------------------------------------------
+    # Statement lowering
+    # ------------------------------------------------------------------
+    def _lower_statement(self, stmt: Stmt) -> None:
+        if isinstance(stmt, BlockStmt):
+            for child in stmt.body:
+                self._lower_statement(child)
+        elif isinstance(stmt, DeclStmt):
+            self._lower_decl(stmt)
+        elif isinstance(stmt, AssignStmt):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, DoWhileStmt):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ReturnStmt):
+            self._lower_return(stmt)
+        elif isinstance(stmt, BreakStmt):
+            if not self.loop_stack:
+                raise SemanticError("break outside loop", stmt.location)
+            self._branch_to(self.loop_stack[-1].break_label)
+        elif isinstance(stmt, ContinueStmt):
+            if not self.loop_stack:
+                raise SemanticError("continue outside loop", stmt.location)
+            self._branch_to(self.loop_stack[-1].continue_label)
+        else:  # pragma: no cover
+            raise AssertionError(f"unhandled statement {type(stmt).__name__}")
+
+    def _lower_decl(self, stmt: DeclStmt) -> None:
+        self.cfg.add_variable(
+            VariableInfo(stmt.name, stmt.decl_type, is_const=stmt.is_const)
+        )
+        if stmt.init is not None:
+            value = self._lower_expr(stmt.init)
+            element = (
+                stmt.decl_type
+                if isinstance(stmt.decl_type, Type)
+                else stmt.decl_type.element
+            )
+            self._emit(
+                Instruction(
+                    Opcode.COPY,
+                    dest=VarRef(stmt.name, element),
+                    operands=(value,),
+                    result_type=element,
+                    location=stmt.location,
+                )
+            )
+
+    def _lower_assign(self, stmt: AssignStmt) -> None:
+        value = self._lower_expr(stmt.value)
+        target = stmt.target
+        if isinstance(target, NameRef):
+            info = self._variable(target.name)
+            self._emit(
+                Instruction(
+                    Opcode.COPY,
+                    dest=VarRef(target.name, info.element_type),
+                    operands=(value,),
+                    result_type=info.element_type,
+                    location=stmt.location,
+                )
+            )
+        elif isinstance(target, ArrayRef):
+            info = self._variable(target.name)
+            assert isinstance(info.var_type, ArrayType)
+            index = self._lower_linear_index(target, info.var_type.dimensions)
+            base = ArrayBase(
+                target.name,
+                info.element_type,
+                local=not (info.is_global or info.is_param),
+            )
+            self._emit(
+                Instruction(
+                    Opcode.STORE,
+                    operands=(base, index, value),
+                    result_type=info.element_type,
+                    location=stmt.location,
+                )
+            )
+        else:  # pragma: no cover - parser guarantees lvalues
+            raise SemanticError("invalid assignment target", stmt.location)
+
+    def _lower_if(self, stmt: IfStmt) -> None:
+        cond = self._lower_expr(stmt.cond)
+        then_block = self.cfg.new_block("then")
+        join_block = self.cfg.new_block("join")
+        else_block = (
+            self.cfg.new_block("else") if stmt.otherwise is not None else join_block
+        )
+        self._emit(
+            Instruction(
+                Opcode.CBR,
+                operands=(cond,),
+                targets=(then_block.label, else_block.label),
+                location=stmt.location,
+            )
+        )
+        self.current = then_block
+        self._lower_statement(stmt.then)
+        self._branch_to(join_block.label)
+        if stmt.otherwise is not None:
+            self.current = else_block
+            self._lower_statement(stmt.otherwise)
+            self._branch_to(join_block.label)
+        self.current = join_block
+
+    def _lower_condition_branch(
+        self, cond_expr: Expr | None, body_label: str, exit_label: str, location
+    ) -> None:
+        if cond_expr is None:
+            self._branch_to(body_label)
+            return
+        cond = self._lower_expr(cond_expr)
+        self._emit(
+            Instruction(
+                Opcode.CBR,
+                operands=(cond,),
+                targets=(body_label, exit_label),
+                location=location,
+            )
+        )
+
+    def _lower_while(self, stmt: WhileStmt) -> None:
+        header = self.cfg.new_block("while_header")
+        body = self.cfg.new_block("while_body")
+        exit_block = self.cfg.new_block("while_exit")
+        self._branch_to(header.label)
+        self.current = header
+        self._lower_condition_branch(
+            stmt.cond, body.label, exit_block.label, stmt.location
+        )
+        self.loop_stack.append(_LoopContext(exit_block.label, header.label))
+        self.current = body
+        self._lower_statement(stmt.body)
+        self._branch_to(header.label)
+        self.loop_stack.pop()
+        self.current = exit_block
+
+    def _lower_do_while(self, stmt: DoWhileStmt) -> None:
+        body = self.cfg.new_block("do_body")
+        latch = self.cfg.new_block("do_latch")
+        exit_block = self.cfg.new_block("do_exit")
+        self._branch_to(body.label)
+        self.loop_stack.append(_LoopContext(exit_block.label, latch.label))
+        self.current = body
+        self._lower_statement(stmt.body)
+        self._branch_to(latch.label)
+        self.loop_stack.pop()
+        self.current = latch
+        self._lower_condition_branch(
+            stmt.cond, body.label, exit_block.label, stmt.location
+        )
+        self.current = exit_block
+
+    def _lower_for(self, stmt: ForStmt) -> None:
+        if stmt.init is not None:
+            self._lower_statement(stmt.init)
+        header = self.cfg.new_block("for_header")
+        body = self.cfg.new_block("for_body")
+        step = self.cfg.new_block("for_step")
+        exit_block = self.cfg.new_block("for_exit")
+        self._branch_to(header.label)
+        self.current = header
+        self._lower_condition_branch(
+            stmt.cond, body.label, exit_block.label, stmt.location
+        )
+        self.loop_stack.append(_LoopContext(exit_block.label, step.label))
+        self.current = body
+        self._lower_statement(stmt.body)
+        self._branch_to(step.label)
+        self.loop_stack.pop()
+        self.current = step
+        if stmt.step is not None:
+            self._lower_statement(stmt.step)
+        self._branch_to(header.label)
+        self.current = exit_block
+
+    def _lower_return(self, stmt: ReturnStmt) -> None:
+        operands: tuple = ()
+        if stmt.value is not None:
+            operands = (self._lower_expr(stmt.value),)
+        self._emit(Instruction(Opcode.RET, operands=operands, location=stmt.location))
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def lower(self) -> ControlFlowGraph:
+        self._start_block("entry")
+        self._lower_statement(self.function.body)
+        # Close any open fall-through path with an implicit return.
+        block = self.current
+        if block is not None and not block.is_terminated:
+            if self.function.return_type is Type.VOID:
+                block.append(Instruction(Opcode.RET))
+            else:
+                block.append(
+                    Instruction(Opcode.RET, operands=(Const(0),))
+                )
+        self.cfg.remove_unreachable_blocks()
+        self.cfg.verify()
+        return self.cfg
+
+
+def lower_function(function: FunctionDecl, program: Program) -> ControlFlowGraph:
+    """Lower one function of ``program`` to its CFG."""
+    return FunctionLowerer(function, program).lower()
+
+
+def lower_program(program: Program) -> dict[str, ControlFlowGraph]:
+    """Lower every function; returns a name -> CFG mapping."""
+    return {
+        function.name: lower_function(function, program)
+        for function in program.functions
+    }

@@ -1,0 +1,124 @@
+"""Shared evaluation semantics for IR opcodes.
+
+Both the interpreter (dynamic analysis substrate) and the constant-folding
+pass need to execute opcodes; keeping one evaluator guarantees they agree.
+
+Integer semantics follow C-on-a-32-bit-word closely enough for the DSP
+kernels we run: Python's arbitrary-precision ints with C-style truncating
+division (the applications only divide positives, but we keep the semantics
+honest), and logical results are 0/1 ints.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .operations import Opcode
+
+Number = int | float
+
+
+def _c_div(a: Number, b: Number) -> Number:
+    if isinstance(a, float) or isinstance(b, float):
+        return a / b
+    if b == 0:
+        raise ZeroDivisionError("integer division by zero")
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return quotient
+
+
+def _c_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("integer modulo by zero")
+    return a - _c_div(a, b) * b
+
+
+def _as_int(value: Number) -> int:
+    return int(value)
+
+
+def evaluate_opcode(opcode: Opcode, args: tuple[Number, ...]) -> Number:
+    """Evaluate a value-producing opcode on concrete numbers."""
+    if opcode is Opcode.ADD:
+        return args[0] + args[1]
+    if opcode is Opcode.SUB:
+        return args[0] - args[1]
+    if opcode is Opcode.MUL:
+        return args[0] * args[1]
+    if opcode is Opcode.DIV:
+        return _c_div(args[0], args[1])
+    if opcode is Opcode.MOD:
+        return _c_mod(_as_int(args[0]), _as_int(args[1]))
+    if opcode is Opcode.SHL:
+        return _as_int(args[0]) << _as_int(args[1])
+    if opcode is Opcode.SHR:
+        return _as_int(args[0]) >> _as_int(args[1])
+    if opcode is Opcode.AND:
+        return _as_int(args[0]) & _as_int(args[1])
+    if opcode is Opcode.OR:
+        return _as_int(args[0]) | _as_int(args[1])
+    if opcode is Opcode.XOR:
+        return _as_int(args[0]) ^ _as_int(args[1])
+    if opcode is Opcode.NEG:
+        return -args[0]
+    if opcode is Opcode.BNOT:
+        return ~_as_int(args[0])
+    if opcode is Opcode.LNOT:
+        return 0 if args[0] else 1
+    if opcode is Opcode.LT:
+        return 1 if args[0] < args[1] else 0
+    if opcode is Opcode.GT:
+        return 1 if args[0] > args[1] else 0
+    if opcode is Opcode.LE:
+        return 1 if args[0] <= args[1] else 0
+    if opcode is Opcode.GE:
+        return 1 if args[0] >= args[1] else 0
+    if opcode is Opcode.EQ:
+        return 1 if args[0] == args[1] else 0
+    if opcode is Opcode.NE:
+        return 1 if args[0] != args[1] else 0
+    if opcode is Opcode.SELECT:
+        return args[1] if args[0] else args[2]
+    if opcode is Opcode.ABS:
+        return abs(args[0])
+    if opcode is Opcode.MIN:
+        return min(args[0], args[1])
+    if opcode is Opcode.MAX:
+        return max(args[0], args[1])
+    if opcode is Opcode.SQRT:
+        return math.sqrt(args[0])
+    if opcode is Opcode.SIN:
+        return math.sin(args[0])
+    if opcode is Opcode.COS:
+        return math.cos(args[0])
+    if opcode is Opcode.FLOOR:
+        return float(math.floor(args[0]))
+    if opcode is Opcode.ROUND:
+        # C-style round-half-away-from-zero, unlike Python's banker's
+        # rounding — DSP reference code expects this.
+        value = args[0]
+        return int(math.floor(value + 0.5)) if value >= 0 else int(
+            math.ceil(value - 0.5)
+        )
+    if opcode is Opcode.I2F:
+        return float(args[0])
+    if opcode is Opcode.F2I:
+        return int(args[0])
+    if opcode is Opcode.COPY:
+        return args[0]
+    raise ValueError(f"opcode {opcode.mnemonic!r} is not a pure value operation")
+
+
+#: Opcodes safe to constant-fold (pure, deterministic, no memory access).
+FOLDABLE_OPCODES = frozenset(
+    {
+        Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.MOD,
+        Opcode.SHL, Opcode.SHR, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.NEG, Opcode.BNOT, Opcode.LNOT,
+        Opcode.LT, Opcode.GT, Opcode.LE, Opcode.GE, Opcode.EQ, Opcode.NE,
+        Opcode.SELECT, Opcode.ABS, Opcode.MIN, Opcode.MAX,
+        Opcode.FLOOR, Opcode.ROUND, Opcode.I2F, Opcode.F2I,
+    }
+)

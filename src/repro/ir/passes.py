@@ -1,0 +1,197 @@
+"""Local optimization passes over lowered CFGs.
+
+These keep the DFGs the mappers see honest: a naive lowering emits folding
+opportunities (e.g. linearized 2-D indices with constant rows) and dead
+temps that real compilers would never hand to a mapper.  All passes are
+block-local, so they preserve the basic-block structure the analysis and
+partitioning stages rely on.
+"""
+
+from __future__ import annotations
+
+from .basicblock import BasicBlock
+from .cfg import ControlFlowGraph
+from .operations import (
+    Const,
+    Instruction,
+    Opcode,
+    Temp,
+    VarRef,
+)
+from .opsemantics import FOLDABLE_OPCODES, evaluate_opcode
+
+
+def fold_constants_in_block(block: BasicBlock) -> int:
+    """Evaluate ops whose operands are all constants; returns fold count.
+
+    Folded instructions become ``COPY dest <- #value`` so downstream passes
+    (copy propagation, DCE) can finish cleaning them up.
+    """
+    known: dict[Temp, Const] = {}
+    folded = 0
+    new_instructions: list[Instruction] = []
+    for ins in block.instructions:
+        operands = tuple(
+            known.get(op, op) if isinstance(op, Temp) else op
+            for op in ins.operands
+        )
+        ins = Instruction(
+            ins.opcode,
+            dest=ins.dest,
+            operands=operands,
+            targets=ins.targets,
+            callee=ins.callee,
+            result_type=ins.result_type,
+            location=ins.location,
+        )
+        if (
+            ins.opcode in FOLDABLE_OPCODES
+            and isinstance(ins.dest, Temp)
+            and all(isinstance(op, Const) for op in operands)
+        ):
+            try:
+                value = evaluate_opcode(
+                    ins.opcode, tuple(op.value for op in operands)  # type: ignore[union-attr]
+                )
+            except ZeroDivisionError:
+                new_instructions.append(ins)
+                continue
+            constant = Const(value)
+            known[ins.dest] = constant
+            new_instructions.append(
+                Instruction(
+                    Opcode.COPY,
+                    dest=ins.dest,
+                    operands=(constant,),
+                    result_type=ins.result_type,
+                    location=ins.location,
+                )
+            )
+            folded += 1
+        else:
+            if isinstance(ins.dest, Temp):
+                known.pop(ins.dest, None)
+            new_instructions.append(ins)
+    block.instructions = new_instructions
+    return folded
+
+
+def propagate_copies_in_block(block: BasicBlock) -> int:
+    """Forward temp-to-temp/const copies into later uses (block-local)."""
+    replacement: dict[Temp, object] = {}
+    rewrites = 0
+    new_instructions: list[Instruction] = []
+    for ins in block.instructions:
+        operands = []
+        changed = False
+        for op in ins.operands:
+            if isinstance(op, Temp) and op in replacement:
+                operands.append(replacement[op])
+                changed = True
+            else:
+                operands.append(op)
+        if changed:
+            rewrites += 1
+            ins = Instruction(
+                ins.opcode,
+                dest=ins.dest,
+                operands=tuple(operands),
+                targets=ins.targets,
+                callee=ins.callee,
+                result_type=ins.result_type,
+                location=ins.location,
+            )
+        if (
+            ins.opcode is Opcode.COPY
+            and isinstance(ins.dest, Temp)
+            and isinstance(ins.operands[0], (Temp, Const))
+        ):
+            source = ins.operands[0]
+            # Chase chains: if the source itself has a replacement use that.
+            if isinstance(source, Temp) and source in replacement:
+                source = replacement[source]  # type: ignore[assignment]
+            replacement[ins.dest] = source
+        elif isinstance(ins.dest, Temp):
+            replacement.pop(ins.dest, None)
+        # A scalar VarRef write invalidates copies that read that VarRef.
+        if isinstance(ins.dest, VarRef):
+            stale = [
+                t
+                for t, v in replacement.items()
+                if isinstance(v, VarRef) and v.name == ins.dest.name
+            ]
+            for t in stale:
+                del replacement[t]
+        new_instructions.append(ins)
+    block.instructions = new_instructions
+    return rewrites
+
+
+def eliminate_dead_code_in_block(block: BasicBlock) -> int:
+    """Remove pure instructions whose Temp result is never used.
+
+    Temps are block-local by construction, so liveness is purely local.
+    CALLs, STOREs, VarRef writes and terminators are always kept.
+    """
+    used: set[Temp] = set()
+    for ins in block.instructions:
+        for op in ins.operands:
+            if isinstance(op, Temp):
+                used.add(op)
+    removed = 0
+    kept: list[Instruction] = []
+    for ins in reversed(block.instructions):
+        is_dead = (
+            isinstance(ins.dest, Temp)
+            and ins.dest not in used
+            and ins.opcode is not Opcode.CALL
+            and not ins.opcode.is_control
+            and ins.opcode is not Opcode.STORE
+        )
+        if is_dead:
+            removed += 1
+            continue
+        kept.append(ins)
+    kept.reverse()
+    block.instructions = kept
+    return removed
+
+
+def run_block_passes(block: BasicBlock, max_iterations: int = 4) -> dict[str, int]:
+    """Fold/propagate/DCE to a fixed point (bounded)."""
+    totals = {"folded": 0, "propagated": 0, "removed": 0}
+    for _ in range(max_iterations):
+        folded = fold_constants_in_block(block)
+        propagated = propagate_copies_in_block(block)
+        removed = eliminate_dead_code_in_block(block)
+        totals["folded"] += folded
+        totals["propagated"] += propagated
+        totals["removed"] += removed
+        if folded == propagated == removed == 0:
+            break
+    return totals
+
+
+def optimize_cfg(cfg: ControlFlowGraph) -> dict[str, int]:
+    """Run the local pass pipeline over every block of a CFG."""
+    totals = {"folded": 0, "propagated": 0, "removed": 0}
+    for block in cfg:
+        results = run_block_passes(block)
+        for key, value in results.items():
+            totals[key] += value
+    cfg.verify()
+    return totals
+
+
+def optimize_cdfg(cdfg) -> dict[str, int]:
+    """Optimize every function of a CDFG in place.
+
+    Note: invalidates cached DFGs, so this must run before any DFG queries.
+    """
+    totals = {"folded": 0, "propagated": 0, "removed": 0}
+    for cfg in cdfg.cfgs.values():
+        results = optimize_cfg(cfg)
+        for key, value in results.items():
+            totals[key] += value
+    cdfg._dfg_cache.clear()
+    return totals

@@ -1,0 +1,32 @@
+"""Partitioning engine (paper §3.4, Figure 2 flow) and its data types."""
+
+from .comm import (
+    CommunicationCost,
+    kernel_communication,
+    total_communication_cycles,
+)
+from .engine import (
+    EngineConfig,
+    PartitioningEngine,
+    partition_application,
+)
+from .result import PartitionResult, PartitionStep
+from .workload import (
+    ApplicationWorkload,
+    BlockWorkload,
+    workload_from_cdfg,
+)
+
+__all__ = [
+    "ApplicationWorkload",
+    "BlockWorkload",
+    "CommunicationCost",
+    "EngineConfig",
+    "PartitionResult",
+    "PartitionStep",
+    "PartitioningEngine",
+    "kernel_communication",
+    "partition_application",
+    "total_communication_cycles",
+    "workload_from_cdfg",
+]

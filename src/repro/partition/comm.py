@@ -1,0 +1,61 @@
+"""Communication cost model — the ``t_comm`` term of Eq. 2.
+
+"The time required for communicating data values through the shared data
+memory of Figure 1, between the two types of hardware is also taken into
+account" (§3).  When a kernel executes on the coarse-grain data-path, its
+live-in scalars must be staged into the shared memory by the producer side
+and its live-outs retrieved by the consumer side, each burst paying the
+interconnect's route-setup overhead.
+
+Array data needs no extra transfer: arrays live in the shared data memory
+permanently and both fabrics access them directly (their accesses are
+already priced as LOAD/STORE operations in the mapping models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..platform.interconnect import Interconnect
+from ..platform.memory import SharedMemory
+from .workload import BlockWorkload
+
+
+@dataclass(frozen=True)
+class CommunicationCost:
+    """Per-invocation and total communication cost of one moved kernel."""
+
+    bb_id: int
+    words_in: int
+    words_out: int
+    cycles_per_invocation: int  # FPGA cycles
+    invocations: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cycles_per_invocation * self.invocations
+
+
+def kernel_communication(
+    block: BlockWorkload,
+    memory: SharedMemory,
+    interconnect: Interconnect,
+) -> CommunicationCost:
+    """Price moving one kernel's boundary data through shared memory."""
+    words_in = block.comm_words_in or 0
+    words_out = block.comm_words_out or 0
+    per_invocation = memory.transfer_cycles(words_in, words_out)
+    per_invocation += interconnect.transfer_overhead(words_in)
+    per_invocation += interconnect.transfer_overhead(words_out)
+    return CommunicationCost(
+        bb_id=block.bb_id,
+        words_in=words_in,
+        words_out=words_out,
+        cycles_per_invocation=per_invocation,
+        invocations=block.exec_freq,
+    )
+
+
+def total_communication_cycles(costs: list[CommunicationCost]) -> int:
+    """Aggregate t_comm over every moved kernel, in FPGA cycles."""
+    return sum(cost.total_cycles for cost in costs)

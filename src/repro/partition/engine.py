@@ -1,0 +1,202 @@
+"""The partitioning engine — paper §3.4 and the Figure 2 flow.
+
+Flow implemented here:
+
+1. Map the whole application to the fine-grain hardware (Figure 3 temporal
+   partitioning per block) and compute the all-FPGA execution time.
+2. If the timing constraint is met, exit — no partitioning needed.
+3. Analysis: order kernel candidates by descending ``total_weight``
+   (Eq. 1).
+4. Move kernels one by one to the coarse-grain data-path.  After each
+   move, recompute ``t_total = t_FPGA + t_coarse + t_comm`` (Eq. 2, with
+   Eq. 3/4 aggregation) and stop as soon as the constraint is satisfied.
+
+Timebase: internally everything is accumulated in CGC ticks
+(``1 FPGA cycle = clock_ratio ticks``) so arithmetic stays integral; the
+result is reported in FPGA cycles (the paper's unit), rounding up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.weights import WeightModel
+from ..coarsegrain.timing import CoarseGrainBlockTiming, block_cgc_timing
+from ..finegrain.timing import FineGrainBlockTiming, block_fpga_timing
+from ..platform.soc import HybridPlatform
+from .comm import CommunicationCost, kernel_communication
+from .result import PartitionResult, PartitionStep
+from .workload import ApplicationWorkload, BlockWorkload
+
+
+@dataclass
+class EngineConfig:
+    """Tunables of the engine loop."""
+
+    max_kernels_moved: int | None = None
+    stop_at_constraint: bool = True
+    skip_unsupported_kernels: bool = True
+    #: Charge the reconfiguration penalty even to blocks that fit in one
+    #: temporal partition (disables configuration caching; ablation knob).
+    charge_single_partition_reconfig: bool = False
+
+
+@dataclass
+class _BlockCosts:
+    """Cached per-block mapping results."""
+
+    fine: FineGrainBlockTiming
+    coarse: CoarseGrainBlockTiming | None
+    comm: CommunicationCost
+
+
+class PartitioningEngine:
+    """Runs the Figure 2 flow for one workload on one platform."""
+
+    def __init__(
+        self,
+        workload: ApplicationWorkload,
+        platform: HybridPlatform,
+        weight_model: WeightModel | None = None,
+        config: EngineConfig | None = None,
+    ):
+        self.workload = workload
+        self.platform = platform
+        self.weight_model = weight_model or WeightModel()
+        self.config = config or EngineConfig()
+        self._costs: dict[int, _BlockCosts] = {}
+
+    # ------------------------------------------------------------------
+    # Per-block mapping (steps 2 and 5 of Figure 2)
+    # ------------------------------------------------------------------
+    def _block_costs(self, block: BlockWorkload) -> _BlockCosts:
+        cached = self._costs.get(block.bb_id)
+        if cached is not None:
+            return cached
+        fine = block_fpga_timing(
+            block.dfg,
+            self.platform.fpga,
+            self.platform.characterization,
+            charge_single_partition=self.config.charge_single_partition_reconfig,
+        )
+        coarse: CoarseGrainBlockTiming | None = None
+        if self.platform.datapath.supports_dfg(block.dfg):
+            coarse = block_cgc_timing(block.dfg, self.platform.datapath)
+        comm = kernel_communication(
+            block, self.platform.memory, self.platform.interconnect
+        )
+        costs = _BlockCosts(fine=fine, coarse=coarse, comm=comm)
+        self._costs[block.bb_id] = costs
+        return costs
+
+    # ------------------------------------------------------------------
+    # Aggregation (Eqs. 2-4)
+    # ------------------------------------------------------------------
+    def _total_ticks(self, moved: set[int]) -> tuple[int, int, int, int]:
+        """(fpga, cgc, comm, total) in CGC ticks for a given move set."""
+        ratio = self.platform.clock_ratio
+        fpga_ticks = 0
+        cgc_ticks = 0
+        comm_ticks = 0
+        for block in self.workload.blocks:
+            costs = self._block_costs(block)
+            if block.bb_id in moved:
+                assert costs.coarse is not None
+                cgc_ticks += costs.coarse.cgc_cycles * block.exec_freq
+                comm_ticks += costs.comm.total_cycles * ratio
+            else:
+                fpga_ticks += (
+                    costs.fine.total_cycles * block.exec_freq * ratio
+                )
+        return fpga_ticks, cgc_ticks, comm_ticks, fpga_ticks + cgc_ticks + comm_ticks
+
+    def _ticks_to_cycles(self, ticks: int) -> int:
+        ratio = self.platform.clock_ratio
+        return -(-ticks // ratio)  # ceil
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def initial_cycles(self) -> int:
+        """All-FPGA execution time in FPGA cycles (Table 2/3 row 1)."""
+        __, __, __, total = self._total_ticks(set())
+        return self._ticks_to_cycles(total)
+
+    def run(self, timing_constraint: int) -> PartitionResult:
+        """Execute the Figure 2 loop against a timing constraint
+        expressed in FPGA clock cycles."""
+        if timing_constraint <= 0:
+            raise ValueError("timing constraint must be positive")
+
+        initial = self.initial_cycles()
+        result = PartitionResult(
+            workload_name=self.workload.name,
+            platform_name=self.platform.name,
+            timing_constraint=timing_constraint,
+            initial_cycles=initial,
+            final_cycles=initial,
+            cycles_in_cgc=0,
+            comm_cycles=0,
+            fpga_cycles=initial,
+        )
+        if initial <= timing_constraint:
+            result.constraint_met = True
+            return result
+
+        kernels = self.workload.kernel_candidates(self.weight_model)
+        moved: set[int] = set()
+        for kernel in kernels:
+            if (
+                self.config.max_kernels_moved is not None
+                and len(moved) >= self.config.max_kernels_moved
+            ):
+                break
+            costs = self._block_costs(kernel)
+            if costs.coarse is None:
+                if not self.config.skip_unsupported_kernels:
+                    raise ValueError(
+                        f"kernel BB {kernel.bb_id} cannot execute on the "
+                        "coarse-grain data-path"
+                    )
+                result.skipped_bb_ids.append(kernel.bb_id)
+                continue
+
+            moved.add(kernel.bb_id)
+            fpga_t, cgc_t, comm_t, total_t = self._total_ticks(moved)
+            total_cycles = self._ticks_to_cycles(total_t)
+            met = total_cycles <= timing_constraint
+            result.steps.append(
+                PartitionStep(
+                    moved_bb_id=kernel.bb_id,
+                    fpga_cycles=self._ticks_to_cycles(fpga_t),
+                    cgc_fpga_cycles=self._ticks_to_cycles(cgc_t),
+                    comm_cycles=self._ticks_to_cycles(comm_t),
+                    total_cycles=total_cycles,
+                    constraint_met=met,
+                )
+            )
+            result.moved_bb_ids.append(kernel.bb_id)
+            result.final_cycles = total_cycles
+            result.fpga_cycles = self._ticks_to_cycles(fpga_t)
+            result.cycles_in_cgc = self._ticks_to_cycles(cgc_t)
+            result.comm_cycles = self._ticks_to_cycles(comm_t)
+            result.constraint_met = met
+            if met and self.config.stop_at_constraint:
+                break
+        return result
+
+    def sweep(self, constraints: list[int]) -> list[PartitionResult]:
+        """Run the engine at several timing constraints (cost cached)."""
+        return [self.run(constraint) for constraint in constraints]
+
+
+def partition_application(
+    workload: ApplicationWorkload,
+    platform: HybridPlatform,
+    timing_constraint: int,
+    weight_model: WeightModel | None = None,
+    config: EngineConfig | None = None,
+) -> PartitionResult:
+    """One-shot convenience wrapper around :class:`PartitioningEngine`."""
+    engine = PartitioningEngine(workload, platform, weight_model, config)
+    return engine.run(timing_constraint)

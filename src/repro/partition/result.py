@@ -1,0 +1,72 @@
+"""Partitioning outcomes: per-step records and the final result.
+
+Field names mirror the rows of the paper's Tables 2 and 3 so the benchmark
+harness can print them directly: initial cycles (all-FPGA), cycles in CGC,
+moved BB numbers, final cycles, percentage reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PartitionStep:
+    """State after moving one kernel to the coarse-grain hardware."""
+
+    moved_bb_id: int
+    fpga_cycles: int      # t_FPGA of the blocks still on the FPGA
+    cgc_fpga_cycles: int  # t_coarse expressed in FPGA cycles (rounded up)
+    comm_cycles: int      # t_comm in FPGA cycles
+    total_cycles: int     # Eq. 2 total
+    constraint_met: bool
+
+
+@dataclass
+class PartitionResult:
+    """Full outcome of one engine run (one row-set of Table 2/3)."""
+
+    workload_name: str
+    platform_name: str
+    timing_constraint: int
+    initial_cycles: int
+    final_cycles: int
+    cycles_in_cgc: int
+    comm_cycles: int
+    fpga_cycles: int
+    moved_bb_ids: list[int] = field(default_factory=list)
+    steps: list[PartitionStep] = field(default_factory=list)
+    constraint_met: bool = False
+    skipped_bb_ids: list[int] = field(default_factory=list)
+
+    @property
+    def reduction_percent(self) -> float:
+        """The "% cycles reduction" row: vs. the all-FPGA mapping."""
+        if self.initial_cycles == 0:
+            return 0.0
+        return 100.0 * (self.initial_cycles - self.final_cycles) / self.initial_cycles
+
+    @property
+    def kernels_moved(self) -> int:
+        return len(self.moved_bb_ids)
+
+    def table_row(self) -> dict[str, object]:
+        """The Table 2/3 column set for this configuration."""
+        return {
+            "initial_cycles": self.initial_cycles,
+            "cycles_in_cgc": self.cycles_in_cgc,
+            "bb_no": list(self.moved_bb_ids),
+            "final_cycles": self.final_cycles,
+            "reduction_percent": round(self.reduction_percent, 1),
+        }
+
+    def summary(self) -> str:
+        moved = ", ".join(str(b) for b in self.moved_bb_ids) or "none"
+        status = "met" if self.constraint_met else "NOT met"
+        return (
+            f"{self.workload_name} on {self.platform_name}: "
+            f"{self.initial_cycles} -> {self.final_cycles} cycles "
+            f"({self.reduction_percent:.1f}% reduction), "
+            f"constraint {self.timing_constraint} {status}, "
+            f"BBs moved: {moved}"
+        )

@@ -1,0 +1,141 @@
+"""Workload abstraction consumed by the partitioning engine.
+
+The engine prices basic blocks on both fabrics; all it needs from an
+application is, per block: a DFG, an execution frequency, and whether the
+block is a kernel candidate (inside a loop).  Real applications produce
+this via CDFG + profiling; the calibrated Table 1 workloads synthesize it
+directly — either way the engine code path is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.dynamic_analysis import DynamicProfile
+from ..analysis.weights import WeightModel, total_weight
+from ..ir.cdfg import CDFG
+from ..ir.dfg import DataFlowGraph
+from ..ir.loops import LoopForest
+
+
+@dataclass
+class BlockWorkload:
+    """One basic block as seen by the partitioning engine.
+
+    ``comm_words_in``/``comm_words_out`` are the scalar words exchanged
+    through the shared data memory per invocation if this block executes on
+    the coarse-grain data-path; by default they come from the DFG's
+    live-in/live-out sets.
+    """
+
+    bb_id: int
+    exec_freq: int
+    dfg: DataFlowGraph
+    is_kernel_candidate: bool = True
+    comm_words_in: int | None = None
+    comm_words_out: int | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.exec_freq < 0:
+            raise ValueError("execution frequency cannot be negative")
+        if self.comm_words_in is None:
+            self.comm_words_in = len(self.dfg.live_in_scalars)
+        if self.comm_words_out is None:
+            self.comm_words_out = len(self.dfg.live_out_scalars)
+
+    def bb_weight(self, model: WeightModel) -> int:
+        return model.dfg_weight(self.dfg)
+
+    def total_weight(self, model: WeightModel) -> int:
+        return total_weight(self.exec_freq, self.bb_weight(model))
+
+
+@dataclass
+class ApplicationWorkload:
+    """A whole application: every basic block with its frequency."""
+
+    name: str
+    blocks: list[BlockWorkload] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for block in self.blocks:
+            if block.bb_id in seen:
+                raise ValueError(f"duplicate BB id {block.bb_id}")
+            seen.add(block.bb_id)
+
+    def block(self, bb_id: int) -> BlockWorkload:
+        for block in self.blocks:
+            if block.bb_id == bb_id:
+                return block
+        raise KeyError(f"no block with id {bb_id}")
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def iterations(self) -> dict[int, int]:
+        return {block.bb_id: block.exec_freq for block in self.blocks}
+
+    def kernel_candidates(self, model: WeightModel) -> list[BlockWorkload]:
+        """Candidates ordered by descending total weight (Eq. 1 ordering)."""
+        candidates = [
+            block
+            for block in self.blocks
+            if block.is_kernel_candidate
+            and block.exec_freq > 0
+            and block.bb_weight(model) > 0
+        ]
+        candidates.sort(key=lambda b: (-b.total_weight(model), b.bb_id))
+        return candidates
+
+    def analysis_rows(self, model: WeightModel, count: int = 8):
+        """(bb_id, exec_freq, bb_weight, total_weight) rows — Table 1."""
+        return [
+            (
+                block.bb_id,
+                block.exec_freq,
+                block.bb_weight(model),
+                block.total_weight(model),
+            )
+            for block in self.kernel_candidates(model)[:count]
+        ]
+
+
+def workload_from_cdfg(
+    cdfg: CDFG,
+    profile: DynamicProfile,
+    name: str = "application",
+    require_loop: bool = True,
+) -> ApplicationWorkload:
+    """Build an engine workload from a real program + dynamic profile.
+
+    Only executed blocks participate (blocks with zero frequency cannot
+    affect Eq. 2–4).  Kernel candidacy follows §3.1: blocks inside loops.
+    """
+    depths: dict[int, int] = {}
+    for function_name, cfg in cdfg.cfgs.items():
+        forest = LoopForest(cfg)
+        for block in cfg:
+            depths[block.bb_id] = forest.loop_depth(block.label)
+
+    blocks: list[BlockWorkload] = []
+    for key in cdfg.all_block_keys():
+        block = cdfg.block(key)
+        freq = profile.exec_freq(block.bb_id)
+        if freq == 0:
+            continue
+        dfg = cdfg.dfg(key)
+        blocks.append(
+            BlockWorkload(
+                bb_id=block.bb_id,
+                exec_freq=freq,
+                dfg=dfg,
+                is_kernel_candidate=(
+                    depths.get(block.bb_id, 0) > 0 or not require_loop
+                ),
+                name=str(key),
+            )
+        )
+    return ApplicationWorkload(name=name, blocks=blocks)

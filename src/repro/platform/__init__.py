@@ -1,0 +1,22 @@
+"""Generic hybrid platform model (paper Figure 1) and fabric characterization."""
+
+from .characterization import (
+    DEFAULT_CLASS_HARDWARE,
+    HardwareCharacterization,
+    OperationHardware,
+    default_characterization,
+)
+from .interconnect import Interconnect
+from .memory import SharedMemory
+from .soc import HybridPlatform, paper_platform
+
+__all__ = [
+    "DEFAULT_CLASS_HARDWARE",
+    "HardwareCharacterization",
+    "HybridPlatform",
+    "Interconnect",
+    "OperationHardware",
+    "SharedMemory",
+    "default_characterization",
+    "paper_platform",
+]

@@ -1,0 +1,120 @@
+"""Hardware characterization of the two reconfigurable fabrics.
+
+The methodology "is parameterized with respect to the reconfigurable
+hardware, i.e. the fine and the coarse-grain parts of the target
+architecture.  It is assumed that both types of reconfigurable hardware are
+characterized in terms of timing and area characteristics" (§1).  This
+module is that characterization: per-operation area and delay on the
+fine-grain (FPGA) fabric, executability on the coarse-grain CGC nodes, and
+the clock relation between the fabrics (``T_FPGA = clock_ratio × T_CGC``,
+default 3 as in §4).
+
+Area is in the paper's abstract "units of area" (A_FPGA ∈ {1500, 5000} in
+the experiments).  The defaults below assume a LUT-based fabric where a
+word-level multiplier costs several times an adder, and data movement is
+routing (zero units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..ir.operations import OpClass, Opcode
+
+
+@dataclass(frozen=True)
+class OperationHardware:
+    """Fabric-level cost of one operation class.
+
+    ``fpga_area`` — area units one DFG node occupies in the fine-grain
+    fabric (the ``size(ui)`` of the paper's Figure 3 algorithm).
+    ``fpga_delay`` — FPGA clock cycles the node needs (same-level nodes run
+    in parallel; a level costs the max delay of its nodes).
+    ``cgc_executable`` — whether a CGC node (multiplier + ALU) can run it.
+    """
+
+    fpga_area: int
+    fpga_delay: int
+    cgc_executable: bool
+
+
+#: Default per-class characterization.  MOVE ops are wires/register reads:
+#: free area and folded into their consumer's cycle.  Area values are
+#: calibrated against the paper's A_FPGA ∈ {1500, 5000} operating points: a
+#: word-level adder occupies 60 units (so the small fabric holds ~25 ALU
+#: ops), a word multiplier 3× that, and a memory interface port 24 units.
+DEFAULT_CLASS_HARDWARE: dict[OpClass, OperationHardware] = {
+    OpClass.ALU: OperationHardware(fpga_area=60, fpga_delay=1, cgc_executable=True),
+    OpClass.MUL: OperationHardware(fpga_area=180, fpga_delay=2, cgc_executable=True),
+    OpClass.DIV: OperationHardware(fpga_area=480, fpga_delay=4, cgc_executable=False),
+    OpClass.MEM: OperationHardware(fpga_area=24, fpga_delay=1, cgc_executable=True),
+    OpClass.MOVE: OperationHardware(fpga_area=0, fpga_delay=0, cgc_executable=True),
+    OpClass.CALL: OperationHardware(fpga_area=0, fpga_delay=1, cgc_executable=False),
+    OpClass.CONTROL: OperationHardware(fpga_area=0, fpga_delay=0, cgc_executable=False),
+}
+
+
+@dataclass
+class HardwareCharacterization:
+    """Joint characterization of the fine- and coarse-grain fabrics.
+
+    ``clock_ratio`` is T_FPGA / T_CGC (integer; the paper uses 3).
+    ``reconfig_cycles`` is the full-reconfiguration penalty of the
+    fine-grain device expressed in FPGA cycles; "the reconfiguration time
+    has the same value for each partition and it is added to the execution
+    time of each temporal partition" (§3.2).
+    """
+
+    class_hardware: dict[OpClass, OperationHardware] = field(
+        default_factory=lambda: dict(DEFAULT_CLASS_HARDWARE)
+    )
+    opcode_overrides: dict[Opcode, OperationHardware] = field(default_factory=dict)
+    clock_ratio: int = 3
+    reconfig_cycles: int = 20
+
+    def __post_init__(self) -> None:
+        if self.clock_ratio < 1:
+            raise ValueError("clock_ratio must be >= 1")
+        if self.reconfig_cycles < 0:
+            raise ValueError("reconfig_cycles cannot be negative")
+        missing = [c for c in OpClass if c not in self.class_hardware]
+        if missing:
+            raise ValueError(f"characterization missing op classes: {missing}")
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def for_opcode(self, opcode: Opcode) -> OperationHardware:
+        override = self.opcode_overrides.get(opcode)
+        if override is not None:
+            return override
+        return self.class_hardware[opcode.op_class]
+
+    def fpga_area(self, opcode: Opcode) -> int:
+        return self.for_opcode(opcode).fpga_area
+
+    def fpga_delay(self, opcode: Opcode) -> int:
+        return self.for_opcode(opcode).fpga_delay
+
+    def cgc_executable(self, opcode: Opcode) -> bool:
+        return self.for_opcode(opcode).cgc_executable
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def fpga_cycles_to_cgc_ticks(self, fpga_cycles: int) -> int:
+        """Convert FPGA cycles to the internal CGC-tick timebase."""
+        return fpga_cycles * self.clock_ratio
+
+    def cgc_ticks_to_fpga_cycles(self, ticks: int) -> float:
+        """Convert CGC ticks back to (possibly fractional) FPGA cycles."""
+        return ticks / self.clock_ratio
+
+    def with_overrides(self, **kwargs) -> "HardwareCharacterization":
+        """A copy with selected top-level fields replaced."""
+        return replace(self, **kwargs)
+
+
+def default_characterization(**kwargs) -> HardwareCharacterization:
+    """The characterization used throughout the paper reproduction."""
+    return HardwareCharacterization(**kwargs)

@@ -1,0 +1,35 @@
+"""Reconfigurable interconnection network model (paper Figure 1).
+
+The generic platform routes data between the microprocessor, the two
+reconfigurable fabrics and the shared memory over a reconfigurable
+interconnect.  For the execution-time model only its per-transfer overhead
+matters; we expose it as a fixed setup cost plus per-word cost so ablation
+benchmarks can study sensitivity to interconnect quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Interconnect:
+    """Timing model of the reconfigurable interconnection network.
+
+    ``setup_cycles`` — cycles to configure a route before a burst.
+    ``cycles_per_word`` — additional cycles each transferred word spends
+    on the network (on top of memory port latency).
+    """
+
+    setup_cycles: int = 2
+    cycles_per_word: int = 0
+
+    def __post_init__(self) -> None:
+        if self.setup_cycles < 0 or self.cycles_per_word < 0:
+            raise ValueError("interconnect costs cannot be negative")
+
+    def transfer_overhead(self, words: int) -> int:
+        """Network cycles added to a burst of ``words`` words."""
+        if words <= 0:
+            return 0
+        return self.setup_cycles + words * self.cycles_per_word

@@ -1,0 +1,52 @@
+"""Shared data memory model (the "Shared data memory" of paper Figure 1).
+
+Both fabrics exchange data exclusively through this memory: temporal
+partitions of the fine-grain mapping store their boundary values here
+(§3.2), and kernels moved to the coarse-grain data-path receive/return
+their live values through it (t_comm of Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SharedMemory:
+    """Timing model of the platform's shared data memory.
+
+    ``read_latency`` / ``write_latency`` are FPGA cycles per word,
+    ``ports`` is the number of words transferable concurrently.  A transfer
+    of N words therefore takes ``ceil(N / ports) × latency`` cycles.
+    """
+
+    read_latency: int = 1
+    write_latency: int = 1
+    ports: int = 2
+    size_words: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.ports < 1:
+            raise ValueError("memory needs at least one port")
+        if self.read_latency < 0 or self.write_latency < 0:
+            raise ValueError("latencies cannot be negative")
+        if self.size_words <= 0:
+            raise ValueError("memory size must be positive")
+
+    def read_cycles(self, words: int) -> int:
+        """FPGA cycles to read ``words`` words."""
+        if words <= 0:
+            return 0
+        bursts = -(-words // self.ports)  # ceil division
+        return bursts * self.read_latency
+
+    def write_cycles(self, words: int) -> int:
+        """FPGA cycles to write ``words`` words."""
+        if words <= 0:
+            return 0
+        bursts = -(-words // self.ports)
+        return bursts * self.write_latency
+
+    def transfer_cycles(self, words_in: int, words_out: int) -> int:
+        """Round-trip cost of staging inputs and retrieving outputs."""
+        return self.read_cycles(words_in) + self.write_cycles(words_out)

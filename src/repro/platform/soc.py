@@ -1,0 +1,95 @@
+"""The generic hybrid reconfigurable platform (paper Figure 1).
+
+Aggregates everything the partitioning engine needs to price an execution:
+the fine-grain FPGA device, the coarse-grain CGC data-path, the shared data
+memory, the interconnect, and the fabric characterization.  "This generic
+architecture can model a variety of existing hybrid reconfigurable
+architectures, like Pleiades, SPS and Chameleon" (§1/§2) — instantiate it
+with different parameters to model each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..coarsegrain.datapath import CGCDatapath, standard_datapath
+from ..finegrain.device import FPGADevice
+from .characterization import HardwareCharacterization, default_characterization
+from .interconnect import Interconnect
+from .memory import SharedMemory
+
+
+@dataclass
+class HybridPlatform:
+    """One configured instance of the Figure 1 architecture."""
+
+    fpga: FPGADevice
+    datapath: CGCDatapath
+    memory: SharedMemory = field(default_factory=SharedMemory)
+    interconnect: Interconnect = field(default_factory=Interconnect)
+    characterization: HardwareCharacterization = field(
+        default_factory=default_characterization
+    )
+    name: str = "generic-hybrid-platform"
+
+    def __post_init__(self) -> None:
+        # Keep the two sources of the reconfiguration penalty coherent:
+        # the device is authoritative, the characterization mirrors it.
+        if self.characterization.reconfig_cycles != self.fpga.reconfig_cycles:
+            self.characterization = self.characterization.with_overrides(
+                reconfig_cycles=self.fpga.reconfig_cycles
+            )
+
+    @property
+    def area_budget(self) -> int:
+        """The A_FPGA the temporal partitioner can fill."""
+        return self.fpga.usable_area
+
+    @property
+    def clock_ratio(self) -> int:
+        return self.characterization.clock_ratio
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: A_FPGA={self.area_budget}, "
+            f"CGCs={self.datapath.describe()}, "
+            f"T_FPGA={self.clock_ratio}·T_CGC, "
+            f"reconfig={self.fpga.reconfig_cycles}cyc"
+        )
+
+
+def paper_platform(
+    afpga: int,
+    cgc_count: int,
+    *,
+    reconfig_cycles: int = 20,
+    clock_ratio: int = 3,
+    rows: int = 2,
+    cols: int = 2,
+    memory: SharedMemory | None = None,
+    characterization: HardwareCharacterization | None = None,
+    memory_ports: int | None = None,
+) -> HybridPlatform:
+    """One of the paper's four experimental configurations.
+
+    §4 evaluates A_FPGA ∈ {1500, 5000} area units crossed with {two, three}
+    2×2 CGCs, at T_FPGA = 3·T_CGC.  Each CGC brings its own load/store path
+    to the shared data memory, so the data-path's memory ports default to
+    the CGC count; the interconnect between the fabrics and the shared
+    memory is assumed pre-routed for kernel transfers (no per-burst setup).
+    """
+    fpga = FPGADevice.from_usable_area(
+        afpga, reconfig_cycles=reconfig_cycles
+    )
+    char = characterization or default_characterization(
+        clock_ratio=clock_ratio, reconfig_cycles=reconfig_cycles
+    )
+    ports = memory_ports if memory_ports is not None else cgc_count
+    return HybridPlatform(
+        fpga=fpga,
+        datapath=standard_datapath(cgc_count, rows, cols, memory_ports=ports),
+        memory=memory or SharedMemory(),
+        interconnect=Interconnect(setup_cycles=0),
+        characterization=char,
+        name=f"amdrel-A{afpga}-{cgc_count}x({rows}x{cols})",
+    )

@@ -1,0 +1,35 @@
+"""Experiment reproduction runners and table rendering."""
+
+from .experiments import (
+    HeadlineClaims,
+    PartitionComparison,
+    Table1Comparison,
+    TableReproduction,
+    reproduce_headline_claims,
+    reproduce_partition_table,
+    reproduce_table1,
+    reproduce_table1_jpeg,
+    reproduce_table1_ofdm,
+    reproduce_table2,
+    reproduce_table3,
+    scaled_constraint,
+)
+from .tables import format_grid, render_partition_table, render_table1
+
+__all__ = [
+    "HeadlineClaims",
+    "PartitionComparison",
+    "Table1Comparison",
+    "TableReproduction",
+    "format_grid",
+    "render_partition_table",
+    "render_table1",
+    "reproduce_headline_claims",
+    "reproduce_partition_table",
+    "reproduce_table1",
+    "reproduce_table1_jpeg",
+    "reproduce_table1_ofdm",
+    "reproduce_table2",
+    "reproduce_table3",
+    "scaled_constraint",
+]

@@ -1,0 +1,58 @@
+"""NumPy reference implementations of the applications' DSP stages.
+
+Used by the test suite to validate the interpreter-executed mini-C
+applications against independent implementations.
+"""
+
+from .dct import DCT_FRAC_BITS, dct2d_fixed, dct2d_reference, dct_matrix_fixed
+from .fft import (
+    TWIDDLE_FRAC_BITS,
+    bit_reverse_indices,
+    ifft_fixed,
+    ifft_reference,
+    twiddle_tables,
+)
+from .huffman import (
+    RunLengthSymbol,
+    code_length,
+    encode_block,
+    encode_image_bits,
+    size_category,
+)
+from .qam import QAM_SCALE, qam16_map_bits, qam16_map_bits_fixed
+from .quantize import (
+    LUMA_QUANT_TABLE,
+    RECIP_SHIFT,
+    quantize_fixed,
+    quantize_reference,
+    reciprocal_table,
+)
+from .zigzag import inverse_zigzag, zigzag_indices, zigzag_scan
+
+__all__ = [
+    "DCT_FRAC_BITS",
+    "LUMA_QUANT_TABLE",
+    "QAM_SCALE",
+    "RECIP_SHIFT",
+    "RunLengthSymbol",
+    "TWIDDLE_FRAC_BITS",
+    "bit_reverse_indices",
+    "code_length",
+    "dct2d_fixed",
+    "dct2d_reference",
+    "dct_matrix_fixed",
+    "encode_block",
+    "encode_image_bits",
+    "ifft_fixed",
+    "ifft_reference",
+    "inverse_zigzag",
+    "qam16_map_bits",
+    "qam16_map_bits_fixed",
+    "quantize_fixed",
+    "quantize_reference",
+    "reciprocal_table",
+    "size_category",
+    "twiddle_tables",
+    "zigzag_indices",
+    "zigzag_scan",
+]

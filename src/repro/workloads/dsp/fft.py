@@ -1,0 +1,83 @@
+"""Reference fixed-point radix-2 IFFT, matching the mini-C implementation.
+
+The mini-C OFDM transmitter computes a 64-point IFFT in Q12 fixed point
+with per-stage scaling by 1/2 (so the result is the textbook IFFT including
+its 1/N factor).  This module computes the same thing with NumPy integers
+so tests can require exact equality with the interpreter, plus a floating
+reference against ``numpy.fft.ifft`` with tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Fixed-point fraction bits for twiddles.
+TWIDDLE_FRAC_BITS = 12
+TWIDDLE_SCALE = 1 << TWIDDLE_FRAC_BITS
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Bit-reversal permutation for a power-of-two n."""
+    if n & (n - 1):
+        raise ValueError("n must be a power of two")
+    bits = n.bit_length() - 1
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for bit in range(bits):
+        reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
+    return reversed_indices
+
+
+def twiddle_tables(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Q12 cos/sin tables for the *inverse* FFT (positive exponent)."""
+    angles = 2.0 * np.pi * np.arange(n // 2) / n
+    cos_table = np.round(np.cos(angles) * TWIDDLE_SCALE).astype(np.int64)
+    sin_table = np.round(np.sin(angles) * TWIDDLE_SCALE).astype(np.int64)
+    return cos_table, sin_table
+
+
+def ifft_fixed(real: np.ndarray, imag: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Fixed-point radix-2 DIT IFFT with per-stage 1/2 scaling.
+
+    Bit-exact model of the mini-C ``ifft64`` routine (C truncating shifts).
+    """
+    real = np.asarray(real, dtype=np.int64).copy()
+    imag = np.asarray(imag, dtype=np.int64).copy()
+    n = real.size
+    if n & (n - 1):
+        raise ValueError("size must be a power of two")
+    order = bit_reverse_indices(n)
+    real, imag = real[order], imag[order]
+    cos_table, sin_table = twiddle_tables(n)
+
+    size = 2
+    while size <= n:
+        half = size // 2
+        step = n // size
+        for start in range(0, n, size):
+            for k in range(half):
+                w_cos = int(cos_table[k * step])
+                w_sin = int(sin_table[k * step])
+                top = start + k
+                bottom = start + k + half
+                tr = (int(real[bottom]) * w_cos - int(imag[bottom]) * w_sin)
+                ti = (int(real[bottom]) * w_sin + int(imag[bottom]) * w_cos)
+                tr >>= TWIDDLE_FRAC_BITS
+                ti >>= TWIDDLE_FRAC_BITS
+                # Per-stage scaling by 1/2 keeps magnitudes bounded and
+                # accumulates to the IFFT's 1/N factor.
+                real_top, imag_top = int(real[top]), int(imag[top])
+                real[top] = (real_top + tr) >> 1
+                imag[top] = (imag_top + ti) >> 1
+                real[bottom] = (real_top - tr) >> 1
+                imag[bottom] = (imag_top - ti) >> 1
+        size *= 2
+    return real, imag
+
+
+def ifft_reference(real: np.ndarray, imag: np.ndarray) -> np.ndarray:
+    """Floating-point IFFT (includes 1/N) for tolerance comparison."""
+    spectrum = np.asarray(real, dtype=np.float64) + 1j * np.asarray(
+        imag, dtype=np.float64
+    )
+    return np.fft.ifft(spectrum)

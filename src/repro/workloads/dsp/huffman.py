@@ -1,0 +1,78 @@
+"""Reference run-length + size-category entropy model for the JPEG path.
+
+The mini-C encoder implements the JPEG entropy front half: zig-zag
+coefficients become (zero-run, size-category, amplitude) triples, and each
+triple is charged a code length from a static table (a simplified baseline
+Huffman book).  We model the symbol stream and the emitted bit count — the
+quantities the encoder's hot loop actually computes — rather than a full
+standards-compliant bitstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def size_category(value: int) -> int:
+    """JPEG 'SSSS' size category: bits needed for |value| (0 for 0)."""
+    magnitude = abs(int(value))
+    return int(magnitude).bit_length()
+
+
+#: Simplified static code-length book: code length for (run, size) grows
+#: with both, mirroring the shape of the Annex K luminance AC table.
+def code_length(run: int, size: int) -> int:
+    if size == 0:
+        return 4  # ZRL / EOB class codes
+    return min(16, 2 + run + size)
+
+
+@dataclass(frozen=True)
+class RunLengthSymbol:
+    run: int
+    size: int
+    amplitude: int
+
+
+def encode_block(zigzag_coeffs: np.ndarray) -> tuple[list[RunLengthSymbol], int]:
+    """Run-length encode one block's zig-zag AC sequence.
+
+    Returns the symbol list (DC handled as the first symbol with run 0)
+    and the total emitted bit count (code length + amplitude bits).
+    """
+    coeffs = np.asarray(zigzag_coeffs, dtype=np.int64)
+    if coeffs.size != 64:
+        raise ValueError("expected 64 zig-zag coefficients")
+    symbols: list[RunLengthSymbol] = []
+    bits = 0
+
+    dc = int(coeffs[0])
+    dc_size = size_category(dc)
+    symbols.append(RunLengthSymbol(0, dc_size, dc))
+    bits += code_length(0, dc_size) + dc_size
+
+    run = 0
+    for value in coeffs[1:]:
+        value = int(value)
+        if value == 0:
+            run += 1
+            if run == 16:
+                symbols.append(RunLengthSymbol(15, 0, 0))  # ZRL
+                bits += code_length(15, 0)
+                run = 0
+            continue
+        size = size_category(value)
+        symbols.append(RunLengthSymbol(run, size, value))
+        bits += code_length(run, size) + size
+        run = 0
+    if run > 0:
+        symbols.append(RunLengthSymbol(0, 0, 0))  # EOB
+        bits += code_length(0, 0)
+    return symbols, bits
+
+
+def encode_image_bits(zigzag_blocks: list[np.ndarray]) -> int:
+    """Total bit count over a sequence of blocks."""
+    return sum(encode_block(block)[1] for block in zigzag_blocks)

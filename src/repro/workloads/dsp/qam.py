@@ -1,0 +1,42 @@
+"""Reference 16-QAM mapper (IEEE 802.11a style), used to validate the
+mini-C OFDM transmitter against an independent implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Gray-coded 16-QAM level map for two bits (802.11a Table 88 ordering).
+_LEVELS = {0b00: -3, 0b01: -1, 0b11: 1, 0b10: 3}
+
+#: Fixed-point scale used by the mini-C implementation (Q8).
+QAM_SCALE = 256
+
+
+def qam16_map_bits(bits: np.ndarray) -> np.ndarray:
+    """Map a bit array (multiple of 4) to complex 16-QAM symbols.
+
+    Normalization 1/sqrt(10) is folded into the fixed-point scale the
+    mini-C code uses, so here we return raw ±1/±3 lattice points.
+    """
+    bits = np.asarray(bits, dtype=np.int64).ravel()
+    if bits.size % 4 != 0:
+        raise ValueError("16-QAM needs a multiple of 4 bits")
+    if np.any((bits != 0) & (bits != 1)):
+        raise ValueError("bits must be 0/1")
+    pairs = bits.reshape(-1, 2)
+    symbols_i = np.array(
+        [_LEVELS[(a << 1) | b] for a, b in pairs[0::2]], dtype=np.int64
+    )
+    symbols_q = np.array(
+        [_LEVELS[(a << 1) | b] for a, b in pairs[1::2]], dtype=np.int64
+    )
+    return symbols_i + 1j * symbols_q
+
+
+def qam16_map_bits_fixed(bits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Fixed-point (Q8) I/Q integer outputs matching the mini-C code."""
+    symbols = qam16_map_bits(bits)
+    return (
+        (symbols.real * QAM_SCALE).astype(np.int64),
+        (symbols.imag * QAM_SCALE).astype(np.int64),
+    )

@@ -1,0 +1,60 @@
+"""Reference JPEG quantizer (divide-free, reciprocal-multiply form).
+
+The paper notes the application DFGs contain no divisions (§4); real
+embedded JPEG encoders quantize with precomputed fixed-point reciprocals:
+``q = (coeff * recip[i]) >> SHIFT`` with symmetric handling of negatives.
+This module is the NumPy model the mini-C code is tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The ISO/IEC 10918-1 Annex K luminance quantization table.
+LUMA_QUANT_TABLE = np.array(
+    [
+        16, 11, 10, 16, 24, 40, 51, 61,
+        12, 12, 14, 19, 26, 58, 60, 55,
+        14, 13, 16, 24, 40, 57, 69, 56,
+        14, 17, 22, 29, 51, 87, 80, 62,
+        18, 22, 37, 56, 68, 109, 103, 77,
+        24, 35, 55, 64, 81, 104, 113, 92,
+        49, 64, 78, 87, 103, 121, 120, 101,
+        72, 92, 95, 98, 112, 100, 103, 99,
+    ],
+    dtype=np.int64,
+).reshape(8, 8)
+
+RECIP_SHIFT = 16
+
+
+def reciprocal_table(quant: np.ndarray | None = None) -> np.ndarray:
+    """Fixed-point reciprocals ``round(2^16 / q)`` of a quant table."""
+    table = LUMA_QUANT_TABLE if quant is None else np.asarray(quant)
+    return np.round((1 << RECIP_SHIFT) / table).astype(np.int64)
+
+
+def quantize_fixed(
+    coeffs: np.ndarray, quant: np.ndarray | None = None
+) -> np.ndarray:
+    """Divide-free quantization, bit-exact vs the mini-C implementation.
+
+    Negative coefficients are negated, quantized, and re-negated so the
+    truncating shift rounds toward zero like integer division would.
+    """
+    coeffs = np.asarray(coeffs, dtype=np.int64)
+    recip = reciprocal_table(quant).reshape(coeffs.shape)
+    magnitude = np.abs(coeffs)
+    quantized = (magnitude * recip) >> RECIP_SHIFT
+    return np.where(coeffs < 0, -quantized, quantized)
+
+
+def quantize_reference(
+    coeffs: np.ndarray, quant: np.ndarray | None = None
+) -> np.ndarray:
+    """True rounding-division quantization for tolerance comparison."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    table = (LUMA_QUANT_TABLE if quant is None else np.asarray(quant)).reshape(
+        coeffs.shape
+    )
+    return np.trunc(coeffs / table).astype(np.int64)

@@ -1,0 +1,38 @@
+"""Zig-zag scan order for 8x8 JPEG blocks (reference implementation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zigzag_indices() -> np.ndarray:
+    """The 64 (row-major) positions in JPEG zig-zag order."""
+    order = []
+    for diagonal in range(15):
+        cells = [
+            (r, diagonal - r)
+            for r in range(8)
+            if 0 <= diagonal - r < 8
+        ]
+        if diagonal % 2 == 0:
+            cells.reverse()  # even diagonals run bottom-left to top-right
+        order.extend(r * 8 + c for r, c in cells)
+    return np.array(order, dtype=np.int64)
+
+
+def zigzag_scan(block: np.ndarray) -> np.ndarray:
+    """Flatten an 8x8 block into its 64-element zig-zag sequence."""
+    block = np.asarray(block)
+    if block.shape != (8, 8):
+        raise ValueError("zig-zag operates on 8x8 blocks")
+    return block.ravel()[zigzag_indices()]
+
+
+def inverse_zigzag(sequence: np.ndarray) -> np.ndarray:
+    """Rebuild the 8x8 block from a zig-zag sequence."""
+    sequence = np.asarray(sequence)
+    if sequence.size != 64:
+        raise ValueError("zig-zag sequence has 64 entries")
+    block = np.zeros(64, dtype=sequence.dtype)
+    block[zigzag_indices()] = sequence
+    return block.reshape(8, 8)

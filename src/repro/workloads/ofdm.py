@@ -1,0 +1,190 @@
+"""Mini-C implementation of the IEEE 802.11a OFDM transmitter front-end.
+
+The paper's first benchmark: "the front-end consists of the Quadrature
+Amplitude Modulation (QAM) unit, the IFFT block and the cyclic prefix
+unit" (§4).  This is a complete, runnable implementation in the project's
+C subset — 16-QAM mapping, a 64-point Q12 fixed-point radix-2 IFFT and the
+16-sample cyclic prefix — exercising the whole pipeline: frontend, CDFG,
+interpreter profiling, analysis and partitioning.
+
+The constant tables (bit-reversal permutation, Q12 twiddles) are generated
+from the NumPy reference (:mod:`repro.workloads.dsp.fft`) so the test suite
+can require bit-exact agreement between the interpreted mini-C program and
+the reference model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.dynamic_analysis import DynamicProfile
+from ..interp.interpreter import Interpreter
+from ..interp.profiler import BlockProfiler
+from ..interp.values import ArrayStorage
+from ..ir.cdfg import CDFG, cdfg_from_source
+from .dsp.fft import bit_reverse_indices, twiddle_tables
+from .dsp.qam import QAM_SCALE
+
+FFT_SIZE = 64
+CP_LEN = 16
+BITS_PER_SYMBOL = FFT_SIZE * 4  # 16-QAM: 4 bits per subcarrier
+
+
+def _table(values) -> str:
+    return ", ".join(str(int(v)) for v in values)
+
+
+def ofdm_source() -> str:
+    """The mini-C source of the transmitter front-end."""
+    bitrev = bit_reverse_indices(FFT_SIZE)
+    cos_table, sin_table = twiddle_tables(FFT_SIZE)
+    return f"""
+// IEEE 802.11a OFDM transmitter front-end: 16-QAM -> IFFT64 -> cyclic prefix.
+// Fixed point: QAM outputs Q8, twiddles Q12, per-stage IFFT scaling by 1/2.
+
+const int QAM_LEVELS[4] = {{-3, -1, 3, 1}};
+const int BITREV[{FFT_SIZE}] = {{{_table(bitrev)}}};
+const int WCOS[{FFT_SIZE // 2}] = {{{_table(cos_table)}}};
+const int WSIN[{FFT_SIZE // 2}] = {{{_table(sin_table)}}};
+
+// Map 4 bits (Gray-coded I/Q pairs) to one 16-QAM symbol, Q8 scale.
+void qam16_map(int bits[{BITS_PER_SYMBOL}], int sym_re[{FFT_SIZE}], int sym_im[{FFT_SIZE}]) {{
+    for (int s = 0; s < {FFT_SIZE}; s++) {{
+        int b0 = bits[4 * s];
+        int b1 = bits[4 * s + 1];
+        int b2 = bits[4 * s + 2];
+        int b3 = bits[4 * s + 3];
+        int level_i = QAM_LEVELS[(b0 << 1) | b1];
+        int level_q = QAM_LEVELS[(b2 << 1) | b3];
+        sym_re[s] = level_i * {QAM_SCALE};
+        sym_im[s] = level_q * {QAM_SCALE};
+    }}
+}}
+
+// In-place 64-point radix-2 DIT IFFT, Q12 twiddles, 1/2 scaling per stage.
+void ifft64(int re[{FFT_SIZE}], int im[{FFT_SIZE}]) {{
+    int tr[{FFT_SIZE}];
+    int ti[{FFT_SIZE}];
+    for (int i = 0; i < {FFT_SIZE}; i++) {{
+        tr[i] = re[BITREV[i]];
+        ti[i] = im[BITREV[i]];
+    }}
+    for (int i = 0; i < {FFT_SIZE}; i++) {{
+        re[i] = tr[i];
+        im[i] = ti[i];
+    }}
+    int size = 2;
+    int step = {FFT_SIZE // 2};
+    while (size <= {FFT_SIZE}) {{
+        int half = size >> 1;
+        for (int start = 0; start < {FFT_SIZE}; start += size) {{
+            for (int k = 0; k < half; k++) {{
+                int wc = WCOS[k * step];
+                int ws = WSIN[k * step];
+                int bot = start + k + half;
+                int top = start + k;
+                int br = re[bot];
+                int bi = im[bot];
+                int prod_r = (br * wc - bi * ws) >> 12;
+                int prod_i = (br * ws + bi * wc) >> 12;
+                int ar = re[top];
+                int ai = im[top];
+                re[top] = (ar + prod_r) >> 1;
+                im[top] = (ai + prod_i) >> 1;
+                re[bot] = (ar - prod_r) >> 1;
+                im[bot] = (ai - prod_i) >> 1;
+            }}
+        }}
+        size = size << 1;
+        step = step >> 1;
+    }}
+}}
+
+// Prepend the last CP_LEN time-domain samples (802.11a guard interval).
+void cyclic_prefix(int re[{FFT_SIZE}], int im[{FFT_SIZE}],
+                   int out_re[{FFT_SIZE + CP_LEN}], int out_im[{FFT_SIZE + CP_LEN}]) {{
+    for (int i = 0; i < {CP_LEN}; i++) {{
+        out_re[i] = re[{FFT_SIZE - CP_LEN} + i];
+        out_im[i] = im[{FFT_SIZE - CP_LEN} + i];
+    }}
+    for (int i = 0; i < {FFT_SIZE}; i++) {{
+        out_re[{CP_LEN} + i] = re[i];
+        out_im[{CP_LEN} + i] = im[i];
+    }}
+}}
+
+// One payload symbol through the whole front-end.
+void ofdm_symbol(int bits[{BITS_PER_SYMBOL}],
+                 int out_re[{FFT_SIZE + CP_LEN}], int out_im[{FFT_SIZE + CP_LEN}]) {{
+    int re[{FFT_SIZE}];
+    int im[{FFT_SIZE}];
+    qam16_map(bits, re, im);
+    ifft64(re, im);
+    cyclic_prefix(re, im, out_re, out_im);
+}}
+"""
+
+
+@dataclass
+class OFDMSymbolResult:
+    """Output of one transmitted symbol plus execution metadata."""
+
+    out_re: np.ndarray
+    out_im: np.ndarray
+    steps: int
+
+
+class OFDMTransmitterApp:
+    """Runnable wrapper: compile once, transmit symbols, profile."""
+
+    def __init__(self) -> None:
+        self.source = ofdm_source()
+        self.cdfg: CDFG = cdfg_from_source(self.source, "ofdm_tx.c")
+
+    def transmit_symbol(self, bits: np.ndarray) -> OFDMSymbolResult:
+        """Run one 256-bit payload symbol through the interpreted design."""
+        bits = np.asarray(bits, dtype=np.int64).ravel()
+        if bits.size != BITS_PER_SYMBOL:
+            raise ValueError(f"need {BITS_PER_SYMBOL} bits per symbol")
+        interpreter = Interpreter(self.cdfg)
+        out_re = ArrayStorage.allocate("out_re", _int_array(FFT_SIZE + CP_LEN))
+        out_im = ArrayStorage.allocate("out_im", _int_array(FFT_SIZE + CP_LEN))
+        result = interpreter.run(
+            "ofdm_symbol", [int(b) for b in bits], out_re, out_im
+        )
+        return OFDMSymbolResult(
+            out_re=np.array(out_re.data, dtype=np.int64),
+            out_im=np.array(out_im.data, dtype=np.int64),
+            steps=result.steps,
+        )
+
+    def profile_symbols(self, symbol_bits: list[np.ndarray]) -> DynamicProfile:
+        """Dynamic analysis over several payload symbols (paper: 6)."""
+        profiler = BlockProfiler()
+        interpreter = Interpreter(self.cdfg, profiler)
+        for bits in symbol_bits:
+            bits = np.asarray(bits, dtype=np.int64).ravel()
+            out_len = FFT_SIZE + CP_LEN
+            interpreter.run(
+                "ofdm_symbol",
+                [int(b) for b in bits],
+                [0] * out_len,
+                [0] * out_len,
+            )
+        return DynamicProfile(
+            frequencies=profiler.frequencies(), runs=len(symbol_bits)
+        )
+
+
+def _int_array(size: int):
+    from ..frontend.ast_nodes import ArrayType, Type
+
+    return ArrayType(Type.INT, (size,))
+
+
+def random_bits(count: int, seed: int = 2004) -> np.ndarray:
+    """Deterministic pseudo-random payload bits."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=count, dtype=np.int64)

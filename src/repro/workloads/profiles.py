@@ -1,0 +1,330 @@
+"""Calibrated workload models of the paper's two applications.
+
+Table 1 of the paper publishes, for the 8 computationally heaviest basic
+blocks of each application, the exact execution frequency, operation weight
+and total weight the analysis step produced.  Those rows are encoded here
+*verbatim* (:data:`OFDM_TABLE1`, :data:`JPEG_TABLE1`) and drive synthetic
+DFG generation, so the partitioning engine sees blocks with exactly the
+paper's statistics.
+
+The applications' remaining blocks (OFDM has 18 BBs in total, JPEG 22) are
+below the Table 1 cut-off; we model them with filler profiles whose total
+weights sit under the lightest published row.
+
+Shape parameters (DFG width, memory intensity, serial-RMW structure,
+live-value counts) are *calibrated*: they were chosen, once, so that the
+partitioning engine reproduces the paper's Tables 2/3 kernel selections and
+reduction trends on the default platform; see EXPERIMENTS.md for the full
+paper-vs-measured record.  The Table 1 statistics themselves are never
+altered by calibration.
+
+Units note: the paper reports JPEG cycle counts "(×10^6)" with the timing
+constraint 11×10^6; internally we treat the published JPEG table values as
+kilocycles (e.g. initial 18434 → 18.434×10^6 cycles), which is the only
+reading consistent with the constraint and the published reduction
+percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..partition.workload import ApplicationWorkload, BlockWorkload
+from .synthetic import SyntheticBlockProfile, generate_dfg
+
+
+# ----------------------------------------------------------------------
+# Table 1 — verbatim rows
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PaperKernelRow:
+    """One row of the paper's Table 1."""
+
+    bb_id: int
+    exec_freq: int
+    ops_weight: int
+    total_weight: int
+
+    def __post_init__(self) -> None:
+        if self.exec_freq * self.ops_weight != self.total_weight:
+            raise ValueError(
+                f"Table 1 row BB{self.bb_id} inconsistent: "
+                f"{self.exec_freq} × {self.ops_weight} != {self.total_weight}"
+            )
+
+
+OFDM_TABLE1: list[PaperKernelRow] = [
+    PaperKernelRow(22, 336, 115, 38640),
+    PaperKernelRow(12, 1200, 25, 30000),
+    PaperKernelRow(3, 864, 6, 5184),
+    PaperKernelRow(5, 370, 12, 4440),
+    PaperKernelRow(42, 800, 5, 4000),
+    PaperKernelRow(32, 560, 6, 3360),
+    PaperKernelRow(29, 448, 7, 3136),
+    PaperKernelRow(21, 147, 18, 2646),
+]
+
+JPEG_TABLE1: list[PaperKernelRow] = [
+    PaperKernelRow(6, 355024, 3, 1065072),
+    PaperKernelRow(2, 8192, 85, 696320),
+    PaperKernelRow(1, 8192, 83, 679936),
+    PaperKernelRow(22, 65536, 5, 327680),
+    PaperKernelRow(8, 30927, 8, 247416),
+    PaperKernelRow(3, 65536, 3, 196608),
+    PaperKernelRow(16, 63540, 3, 190620),
+    PaperKernelRow(17, 63540, 2, 127080),
+]
+
+#: Timing constraints of §4 (FPGA clock cycles).
+OFDM_TIMING_CONSTRAINT = 60_000
+JPEG_TIMING_CONSTRAINT = 11_000_000
+
+#: Total block counts stated in §4.
+OFDM_TOTAL_BLOCKS = 18
+JPEG_TOTAL_BLOCKS = 22
+
+
+# ----------------------------------------------------------------------
+# Profile construction helpers
+# ----------------------------------------------------------------------
+def make_profile(
+    bb_id: int,
+    exec_freq: int,
+    weight: int,
+    *,
+    mul_fraction: float = 0.3,
+    width: float = 2.0,
+    mem_factor: float = 0.5,
+    serial_mem_ops: int | None = None,
+    live: tuple[int, int] = (1, 1),
+    name: str = "",
+) -> SyntheticBlockProfile:
+    """Build a profile whose analysis weight is exactly ``weight``.
+
+    ``mul_fraction`` is the share of the weight carried by multiplications
+    (``weight = alu + 2·mul``).  For layered blocks, ``mem_factor`` scales
+    memory ops relative to compute ops; passing ``serial_mem_ops`` instead
+    builds a serial read-modify-write block with that many buffer accesses.
+    """
+    mul = max(0, min(int(round(weight * mul_fraction / 2.0)), weight // 2))
+    alu = weight - 2 * mul
+    if alu == 0 and mul == 0:
+        alu = weight
+    compute = alu + mul
+    serial = serial_mem_ops is not None
+    mem_total = serial_mem_ops if serial else int(round(compute * mem_factor))
+    assert mem_total is not None
+    if serial:
+        stores = max(1, mem_total // 3)
+        loads = max(0, mem_total - stores)
+    else:
+        stores = max(1, mem_total // 4) if mem_total else 0
+        loads = max(0, mem_total - stores)
+    return SyntheticBlockProfile(
+        bb_id=bb_id,
+        exec_freq=exec_freq,
+        alu_ops=alu,
+        mul_ops=mul,
+        load_ops=loads,
+        store_ops=stores,
+        width=width,
+        live_in_words=live[0],
+        live_out_words=live[1],
+        serial_memory=serial,
+        name=name or f"bb{bb_id}",
+    )
+
+
+def _row_profile(row: PaperKernelRow, prefix: str, **kwargs) -> SyntheticBlockProfile:
+    return make_profile(
+        row.bb_id,
+        row.exec_freq,
+        row.ops_weight,
+        name=f"{prefix}_bb{row.bb_id}",
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# OFDM transmitter front-end: QAM -> 64-point IFFT -> cyclic prefix.
+# ----------------------------------------------------------------------
+#: Calibrated DFG shapes for the Table 1 OFDM rows.
+OFDM_ROW_SHAPES: dict[int, dict] = {
+    # BB22: IFFT butterfly stage body — multiply-rich, parallel butterflies.
+    22: dict(mul_fraction=0.55, width=3.5, mem_factor=0.3, live=(2, 1)),
+    # BB12: QAM symbol mapping — ALU-dominated, moderate parallelism.
+    12: dict(mul_fraction=0.30, width=2.0, mem_factor=0.2, live=(1, 1)),
+    # BB3 and the remaining kernels: small scrambler/interleaver/prefix
+    # steps, wide and shallow.
+    3: dict(mul_fraction=0.30, width=3.0, mem_factor=0.3, live=(1, 1)),
+    5: dict(mul_fraction=0.35, width=3.0, mem_factor=0.3, live=(1, 1)),
+    42: dict(mul_fraction=0.40, width=3.0, mem_factor=0.3, live=(1, 1)),
+    32: dict(mul_fraction=0.30, width=3.0, mem_factor=0.3, live=(1, 1)),
+    29: dict(mul_fraction=0.30, width=3.0, mem_factor=0.3, live=(1, 1)),
+    21: dict(mul_fraction=0.45, width=3.0, mem_factor=0.3, live=(1, 1)),
+}
+
+#: Filler blocks below the Table 1 cut-off: (bb_id, exec_freq, ops_weight).
+OFDM_FILLERS: list[tuple[int, int, int]] = [
+    (1, 72, 4),
+    (2, 72, 6),
+    (4, 144, 5),
+    (6, 96, 8),
+    (7, 180, 3),
+    (9, 252, 4),
+    (15, 110, 9),
+    (18, 336, 2),
+    (27, 168, 6),
+    (35, 72, 12),
+]
+
+
+def ofdm_profiles() -> list[SyntheticBlockProfile]:
+    """All 18 OFDM basic-block profiles (Table 1 rows + fillers)."""
+    profiles = [
+        _row_profile(row, "ofdm", **OFDM_ROW_SHAPES[row.bb_id])
+        for row in OFDM_TABLE1
+    ]
+    profiles.extend(
+        make_profile(
+            bb_id,
+            freq,
+            weight,
+            mul_fraction=0.3,
+            width=2.0,
+            mem_factor=0.3,
+            name=f"ofdm_bb{bb_id}",
+        )
+        for bb_id, freq, weight in OFDM_FILLERS
+    )
+    assert len(profiles) == OFDM_TOTAL_BLOCKS
+    return profiles
+
+
+# ----------------------------------------------------------------------
+# JPEG encoder: 8x8 DCT -> quantizer -> zig-zag -> Huffman.
+# ----------------------------------------------------------------------
+#: Calibrated DFG shapes for the Table 1 JPEG rows.
+JPEG_ROW_SHAPES: dict[int, dict] = {
+    # BB6: innermost Huffman bit-emission — a serial read-modify-write
+    # chain through the bit-buffer, barely any arithmetic.
+    6: dict(mul_fraction=0.0, width=1.0, serial_mem_ops=12, live=(1, 1)),
+    # BB2/BB1: row/column DCT passes — multiply-rich and memory-hungry
+    # (pixels in, coefficients out, twiddle table reads).
+    2: dict(mul_fraction=0.7, width=2.0, mem_factor=2.5, live=(3, 2)),
+    1: dict(mul_fraction=0.7, width=2.0, mem_factor=2.5, live=(3, 2)),
+    # BB22: zig-zag scan step — serial in-place buffer walk.
+    22: dict(mul_fraction=0.0, width=1.0, serial_mem_ops=6, live=(1, 1)),
+    # BB8: quantizer body.
+    8: dict(mul_fraction=0.40, width=1.5, mem_factor=0.8, live=(2, 1)),
+    3: dict(mul_fraction=0.0, width=1.0, serial_mem_ops=4, live=(1, 1)),
+    16: dict(mul_fraction=0.0, width=1.0, serial_mem_ops=4, live=(1, 1)),
+    17: dict(mul_fraction=0.0, width=1.0, serial_mem_ops=4, live=(1, 1)),
+}
+
+JPEG_FILLERS: list[tuple[int, int, int]] = [
+    (4, 12288, 9),
+    (5, 12288, 7),
+    (7, 30927, 4),
+    (9, 20480, 6),
+    (10, 6144, 12),
+    (11, 6144, 10),
+    (12, 1536, 20),
+    (13, 1536, 16),
+    (14, 12288, 5),
+    (15, 12288, 4),
+    (18, 18432, 3),
+    (19, 18432, 2),
+    (20, 1536, 8),
+    (21, 96, 30),
+]
+
+
+def jpeg_profiles() -> list[SyntheticBlockProfile]:
+    """All 22 JPEG basic-block profiles (Table 1 rows + fillers)."""
+    profiles = [
+        _row_profile(row, "jpeg", **JPEG_ROW_SHAPES[row.bb_id])
+        for row in JPEG_TABLE1
+    ]
+    profiles.extend(
+        make_profile(
+            bb_id,
+            freq,
+            weight,
+            mul_fraction=0.2,
+            width=1.5,
+            mem_factor=0.6,
+            name=f"jpeg_bb{bb_id}",
+        )
+        for bb_id, freq, weight in JPEG_FILLERS
+    )
+    assert len(profiles) == JPEG_TOTAL_BLOCKS
+    return profiles
+
+
+# ----------------------------------------------------------------------
+# Workload assembly
+# ----------------------------------------------------------------------
+def workload_from_profiles(
+    name: str, profiles: list[SyntheticBlockProfile]
+) -> ApplicationWorkload:
+    """Materialize profiles into an engine-ready workload."""
+    blocks = [
+        BlockWorkload(
+            bb_id=profile.bb_id,
+            exec_freq=profile.exec_freq,
+            dfg=generate_dfg(profile),
+            is_kernel_candidate=True,
+            comm_words_in=profile.live_in_words,
+            comm_words_out=profile.live_out_words,
+            name=profile.name,
+        )
+        for profile in profiles
+    ]
+    return ApplicationWorkload(name=name, blocks=blocks)
+
+
+def ofdm_workload() -> ApplicationWorkload:
+    """The OFDM transmitter front-end workload (6 payload symbols)."""
+    return workload_from_profiles("ofdm-transmitter", ofdm_profiles())
+
+
+def jpeg_workload() -> ApplicationWorkload:
+    """The JPEG encoder workload (256×256 greyscale image)."""
+    return workload_from_profiles("jpeg-encoder", jpeg_profiles())
+
+
+# ----------------------------------------------------------------------
+# Paper results (Tables 2 and 3) for comparison in benches/EXPERIMENTS.md
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PaperPartitionRow:
+    """One configuration column of the paper's Table 2/3."""
+
+    afpga: int
+    cgc_count: int
+    initial_cycles: int
+    cycles_in_cgc: int
+    moved_bbs: tuple[int, ...]
+    final_cycles: int
+    reduction_percent: float
+
+
+PAPER_TABLE2_OFDM: list[PaperPartitionRow] = [
+    PaperPartitionRow(1500, 2, 263408, 53184, (22, 12, 3), 57088, 78.3),
+    PaperPartitionRow(1500, 3, 263408, 41472, (22, 12), 47856, 81.8),
+    PaperPartitionRow(5000, 2, 124080, 53184, (22, 12, 3), 56864, 54.1),
+    PaperPartitionRow(5000, 3, 124080, 41472, (22, 12), 46512, 62.5),
+]
+
+#: JPEG values converted from the published table units to cycles
+#: (see the module docstring units note).  Note: the paper prints 5699 for
+#: (A=1500, three CGCs) and 5669 for (A=5000, three CGCs) although the same
+#: kernels run on the same data-path — one of the two is a typo in the
+#: original table; we record both verbatim.
+PAPER_TABLE3_JPEG: list[PaperPartitionRow] = [
+    PaperPartitionRow(1500, 2, 18_434_000, 5_817_000, (6, 2, 1), 10_558_000, 42.7),
+    PaperPartitionRow(1500, 3, 18_434_000, 5_699_000, (6, 2, 1), 10_411_000, 43.5),
+    PaperPartitionRow(5000, 2, 12_399_000, 5_817_000, (6, 2, 1), 10_423_000, 15.9),
+    PaperPartitionRow(5000, 3, 12_399_000, 5_669_000, (6, 2, 1), 10_227_000, 17.5),
+]

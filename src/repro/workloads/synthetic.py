@@ -1,0 +1,335 @@
+"""Calibrated synthetic basic blocks.
+
+The paper's applications were written by the AMDREL industrial partners and
+are not public; what *is* public (Table 1) are the per-block execution
+frequencies and operation weights the partitioning decisions depend on.
+This module turns such per-block statistics into real IR basic blocks —
+layered DFGs with an exact ALU/MUL/memory mix and a controlled parallelism
+profile — so the genuine mapping algorithms (Figure 3 temporal partitioning
+and the CGC list scheduler) run on them unmodified.
+
+Generation is fully deterministic: the same profile always produces the
+same block, keyed by the block id.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..frontend.ast_nodes import Type
+from ..ir.basicblock import BasicBlock
+from ..ir.dfg import DataFlowGraph
+from ..ir.operations import (
+    ArrayBase,
+    Const,
+    Instruction,
+    Opcode,
+    Temp,
+)
+
+#: ALU opcodes the generator draws from (all weight-1, delay-1 operations).
+_ALU_MIX = (Opcode.ADD, Opcode.SUB, Opcode.ADD, Opcode.SHR, Opcode.AND)
+
+#: Input/output arrays are rotated so independent stores do not serialize
+#: through write-after-write memory edges.
+_INPUT_ARRAYS = ("in0", "in1", "in2", "in3")
+_OUTPUT_ARRAYS = ("out0", "out1", "out2", "out3")
+
+
+@dataclass(frozen=True)
+class SyntheticBlockProfile:
+    """Statistical description of one basic block.
+
+    ``alu_ops``/``mul_ops`` fix the block's analysis weight
+    (``weight = alu_ops + 2·mul_ops`` under the paper's model).
+    ``load_ops``/``store_ops`` add shared-memory traffic.
+    ``width`` is the average data parallelism: how many compute ops share
+    one ASAP level (1.0 = a fully serial recurrence, like an accumulator
+    chain; 4.0 = wide butterfly-style parallelism).
+    ``live_in_words``/``live_out_words`` size the t_comm transfer if the
+    block moves to the coarse-grain data-path.
+    """
+
+    bb_id: int
+    exec_freq: int
+    alu_ops: int
+    mul_ops: int
+    load_ops: int = 0
+    store_ops: int = 0
+    width: float = 2.0
+    live_in_words: int = 2
+    live_out_words: int = 1
+    #: Read-modify-write blocks (Huffman bit-buffer emission, zig-zag
+    #: scans) access one buffer whose loads and stores alternate, so memory
+    #: ordering serializes the whole block.  When set, the generator builds
+    #: ``store_ops`` sequential phases (load → compute → store on a single
+    #: array) instead of the parallel load/compute/store layering.
+    serial_memory: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.alu_ops < 0 or self.mul_ops < 0:
+            raise ValueError("operation counts cannot be negative")
+        if self.alu_ops + self.mul_ops == 0:
+            raise ValueError("a block needs at least one compute op")
+        if self.load_ops < 0 or self.store_ops < 0:
+            raise ValueError("memory op counts cannot be negative")
+        if self.width < 1.0:
+            raise ValueError("width must be >= 1.0")
+
+    @property
+    def weight(self) -> int:
+        """Analysis weight under the paper's model (ALU=1, MUL=2)."""
+        return self.alu_ops + 2 * self.mul_ops
+
+    @property
+    def total_weight(self) -> int:
+        return self.exec_freq * self.weight
+
+    @property
+    def compute_ops(self) -> int:
+        return self.alu_ops + self.mul_ops
+
+
+def generate_block(profile: SyntheticBlockProfile) -> BasicBlock:
+    """Materialize one profile as an IR basic block.
+
+    Default structure: a layer of LOADs feeds ``depth`` compute levels of
+    roughly ``width`` operations each (every op consumes one value from the
+    level directly above it, pinning its ASAP level), and the final level's
+    values are STOREd.  ALU and MUL ops are interleaved deterministically
+    through the levels, giving the chains a multiply-add flavour.
+
+    With ``serial_memory=True`` the block is built as sequential
+    read-modify-write phases over a single buffer array instead (see
+    :class:`SyntheticBlockProfile`).
+    """
+    if profile.serial_memory:
+        return _generate_serial_memory_block(profile)
+    rng = random.Random(0xA3D7 ^ (profile.bb_id * 2654435761))
+    block = BasicBlock(label=f"synth{profile.bb_id}", bb_id=profile.bb_id)
+    next_temp = 0
+
+    def fresh() -> Temp:
+        nonlocal next_temp
+        temp = Temp(next_temp, Type.INT)
+        next_temp += 1
+        return temp
+
+    # ------------------------------------------------------------------
+    # Level 1: loads (sources).  At least one constant source always
+    # exists so blocks with zero loads still have operands.
+    # ------------------------------------------------------------------
+    sources: list[Temp] = []
+    for index in range(profile.load_ops):
+        dest = fresh()
+        array = ArrayBase(_INPUT_ARRAYS[index % len(_INPUT_ARRAYS)], Type.INT)
+        block.append(
+            Instruction(
+                Opcode.LOAD,
+                dest=dest,
+                operands=(array, Const(index)),
+                result_type=Type.INT,
+            )
+        )
+        sources.append(dest)
+    if not sources:
+        dest = fresh()
+        block.append(
+            Instruction(
+                Opcode.COPY,
+                dest=dest,
+                operands=(Const(1),),
+                result_type=Type.INT,
+            )
+        )
+        sources.append(dest)
+
+    # ------------------------------------------------------------------
+    # Compute levels.
+    # ------------------------------------------------------------------
+    total_compute = profile.compute_ops
+    ops_bag = [Opcode.MUL] * profile.mul_ops + [
+        _ALU_MIX[i % len(_ALU_MIX)] for i in range(profile.alu_ops)
+    ]
+    rng.shuffle(ops_bag)
+
+    depth = max(1, round(total_compute / profile.width))
+    # Distribute ops over levels as evenly as possible.
+    base, extra = divmod(total_compute, depth)
+    level_sizes = [base + (1 if i < extra else 0) for i in range(depth)]
+    level_sizes = [size for size in level_sizes if size > 0]
+
+    previous_level: list[Temp] = list(sources)
+    all_values: list[Temp] = list(sources)
+    op_index = 0
+    for size in level_sizes:
+        current_level: list[Temp] = []
+        for position in range(size):
+            opcode = ops_bag[op_index]
+            op_index += 1
+            # First operand from the previous level pins the ASAP level.
+            first = previous_level[position % len(previous_level)]
+            # Second operand from anywhere earlier adds graph diversity.
+            second = all_values[rng.randrange(len(all_values))]
+            shift_safe = opcode in (Opcode.SHL, Opcode.SHR)
+            operands = (
+                (first, Const(1 + (position % 7)))
+                if shift_safe
+                else (first, second)
+            )
+            dest = fresh()
+            block.append(
+                Instruction(
+                    opcode,
+                    dest=dest,
+                    operands=operands,
+                    result_type=Type.INT,
+                )
+            )
+            current_level.append(dest)
+        all_values.extend(current_level)
+        previous_level = current_level
+
+    # ------------------------------------------------------------------
+    # Stores consume the final level (round-robin) and close the block.
+    # ------------------------------------------------------------------
+    for index in range(profile.store_ops):
+        value = previous_level[index % len(previous_level)]
+        array = ArrayBase(
+            _OUTPUT_ARRAYS[index % len(_OUTPUT_ARRAYS)], Type.INT
+        )
+        block.append(
+            Instruction(
+                Opcode.STORE,
+                operands=(array, Const(index), value),
+            )
+        )
+    block.append(Instruction(Opcode.RET))
+    return block
+
+
+def _generate_serial_memory_block(profile: SyntheticBlockProfile) -> BasicBlock:
+    """Phase-structured read-modify-write block over one buffer array.
+
+    ``store_ops`` phases, each: load(s) from ``buf`` → a short compute
+    chain → one store back to ``buf``.  Because every phase reads and
+    writes the same array, memory-ordering edges serialize the phases —
+    the DFG shape of bit-buffer emission or in-place scan kernels.
+    """
+    if profile.store_ops < 1:
+        raise ValueError("serial_memory blocks need at least one store")
+    block = BasicBlock(label=f"synth{profile.bb_id}", bb_id=profile.bb_id)
+    next_temp = 0
+
+    def fresh() -> Temp:
+        nonlocal next_temp
+        temp = Temp(next_temp, Type.INT)
+        next_temp += 1
+        return temp
+
+    # The RMW buffer is a kernel-local scratch (bit buffer, scan window):
+    # it lives in FPGA BRAM / the CGC register bank, not shared memory.
+    buf = ArrayBase("buf", Type.INT, local=True)
+    phases = profile.store_ops
+    total_compute = profile.compute_ops
+    ops_bag = [Opcode.MUL] * profile.mul_ops + [
+        _ALU_MIX[i % len(_ALU_MIX)] for i in range(profile.alu_ops)
+    ]
+    # Distribute loads and compute ops across phases as evenly as possible.
+    base_l, extra_l = divmod(profile.load_ops, phases)
+    base_c, extra_c = divmod(total_compute, phases)
+    op_index = 0
+    previous_value: Temp | None = None
+    for phase in range(phases):
+        loads_here = base_l + (1 if phase < extra_l else 0)
+        compute_here = base_c + (1 if phase < extra_c else 0)
+        loaded: list[Temp] = []
+        for i in range(loads_here):
+            dest = fresh()
+            block.append(
+                Instruction(
+                    Opcode.LOAD,
+                    dest=dest,
+                    operands=(buf, Const(phase * 8 + i)),
+                    result_type=Type.INT,
+                )
+            )
+            loaded.append(dest)
+        value: Temp | None = loaded[0] if loaded else previous_value
+        if value is None:
+            value = fresh()
+            block.append(
+                Instruction(
+                    Opcode.COPY,
+                    dest=value,
+                    operands=(Const(phase + 1),),
+                    result_type=Type.INT,
+                )
+            )
+        # Serial compute chain within the phase.
+        for i in range(compute_here):
+            opcode = ops_bag[op_index]
+            op_index += 1
+            other = loaded[i % len(loaded)] if loaded else Const(phase + 3)
+            operands = (
+                (value, Const(1 + (i % 7)))
+                if opcode in (Opcode.SHL, Opcode.SHR)
+                else (value, other)
+            )
+            dest = fresh()
+            block.append(
+                Instruction(
+                    opcode, dest=dest, operands=operands, result_type=Type.INT
+                )
+            )
+            value = dest
+        block.append(
+            Instruction(Opcode.STORE, operands=(buf, Const(phase * 8), value))
+        )
+        previous_value = value
+    block.append(Instruction(Opcode.RET))
+    return block
+
+
+def generate_dfg(profile: SyntheticBlockProfile) -> DataFlowGraph:
+    """Generate the block and wrap it in a DFG."""
+    return DataFlowGraph(generate_block(profile))
+
+
+def verify_profile_realization(profile: SyntheticBlockProfile) -> None:
+    """Check the generated block matches its profile exactly.
+
+    Raises ``AssertionError`` on any mismatch (used by tests and by the
+    workload definitions as a self-check).
+    """
+    from ..analysis.weights import WeightModel
+    from ..ir.operations import OpClass
+
+    dfg = generate_dfg(profile)
+    histogram = dfg.op_class_histogram()
+    mul = histogram.get(OpClass.MUL, 0)
+    alu = histogram.get(OpClass.ALU, 0)
+    mem = histogram.get(OpClass.MEM, 0)
+    if mul != profile.mul_ops:
+        raise AssertionError(
+            f"BB {profile.bb_id}: generated {mul} MULs, wanted "
+            f"{profile.mul_ops}"
+        )
+    if alu != profile.alu_ops:
+        raise AssertionError(
+            f"BB {profile.bb_id}: generated {alu} ALU ops, wanted "
+            f"{profile.alu_ops}"
+        )
+    if mem != profile.load_ops + profile.store_ops:
+        raise AssertionError(
+            f"BB {profile.bb_id}: generated {mem} memory ops, wanted "
+            f"{profile.load_ops + profile.store_ops}"
+        )
+    weight = WeightModel().dfg_weight(dfg)
+    if weight != profile.weight:
+        raise AssertionError(
+            f"BB {profile.bb_id}: weight {weight} != profile "
+            f"{profile.weight}"
+        )

@@ -1,0 +1,164 @@
+"""Analysis stage tests: weights, static/dynamic analysis, kernels."""
+
+import pytest
+
+from repro.analysis import (
+    DynamicProfile,
+    PAPER_WEIGHT_MODEL,
+    TraceProfile,
+    WeightModel,
+    analyze_cdfg,
+    extract_kernels,
+    kernels_from_records,
+    profile_cdfg,
+    profile_cdfg_many,
+    total_weight,
+)
+from repro.ir import OpClass, cdfg_from_source
+
+HOT_LOOP = """
+int f(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        acc += i * i + 3;
+    }
+    int extra = acc * 2;
+    return extra;
+}
+"""
+
+
+class TestWeightModel:
+    def test_paper_weights(self):
+        model = PAPER_WEIGHT_MODEL
+        assert model.weight_of_class(OpClass.ALU) == 1
+        assert model.weight_of_class(OpClass.MUL) == 2
+        assert model.weight_of_class(OpClass.MOVE) == 0
+
+    def test_eq1(self):
+        assert total_weight(336, 115) == 38640
+
+    def test_eq1_rejects_negative_freq(self):
+        with pytest.raises(ValueError):
+            total_weight(-1, 5)
+
+    def test_block_weight_counts_ops(self):
+        cdfg = cdfg_from_source("int f(int a, int b) { return a * b + a; }")
+        model = WeightModel()
+        block = cdfg.cfg("f").entry
+        # one MUL (2) + one ADD (1) = 3
+        assert model.block_weight(block) == 3
+
+    def test_dfg_weight_matches_block_weight(self, sample_cdfg):
+        model = WeightModel()
+        for key in sample_cdfg.all_block_keys():
+            assert model.block_weight(sample_cdfg.block(key)) == model.dfg_weight(
+                sample_cdfg.dfg(key)
+            )
+
+    def test_custom_weights(self):
+        model = WeightModel(
+            class_weights={c: 1 for c in OpClass}
+        )
+        cdfg = cdfg_from_source("int f(int a) { return a * a; }")
+        assert model.block_weight(cdfg.cfg("f").entry) >= 1
+
+    def test_negative_weight_rejected(self):
+        weights = {c: 1 for c in OpClass}
+        weights[OpClass.ALU] = -1
+        with pytest.raises(ValueError):
+            WeightModel(class_weights=weights)
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(ValueError):
+            WeightModel(class_weights={OpClass.ALU: 1})
+
+
+class TestStaticAnalysis:
+    def test_every_block_analyzed(self, sample_cdfg):
+        result = analyze_cdfg(sample_cdfg)
+        assert set(result.blocks) == {
+            b.bb_id for b in sample_cdfg.all_blocks()
+        }
+
+    def test_operator_distribution_sums(self, sample_cdfg):
+        result = analyze_cdfg(sample_cdfg)
+        dist = result.operator_distribution()
+        assert dist["mul"] >= 1 and dist["mem"] >= 1
+
+    def test_heaviest_sorted(self, sample_cdfg):
+        result = analyze_cdfg(sample_cdfg)
+        heaviest = result.heaviest_blocks(5)
+        weights = [b.bb_weight for b in heaviest]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestDynamicAnalysis:
+    def test_profile_cdfg(self):
+        cdfg = cdfg_from_source(HOT_LOOP)
+        profile = profile_cdfg(cdfg, "f", 25)
+        assert profile.runs == 1
+        assert max(profile.frequencies.values()) >= 25
+
+    def test_profile_many_accumulates(self):
+        cdfg = cdfg_from_source(HOT_LOOP)
+        combined = profile_cdfg_many(cdfg, "f", [(10,), (20,)])
+        a = profile_cdfg(cdfg, "f", 10)
+        b = profile_cdfg(cdfg, "f", 20)
+        for bb_id in combined.frequencies:
+            assert combined.frequencies[bb_id] == a.exec_freq(bb_id) + b.exec_freq(bb_id)
+        assert combined.runs == 2
+
+    def test_hottest_ordering(self):
+        profile = DynamicProfile(frequencies={1: 5, 2: 50, 3: 20})
+        assert [b for b, _ in profile.hottest(2)] == [2, 3]
+
+    def test_trace_profile(self):
+        trace = TraceProfile({7: 100})
+        assert trace.as_profile().exec_freq(7) == 100
+        assert trace.as_profile().exec_freq(8) == 0
+
+
+class TestKernelExtraction:
+    def test_kernels_inside_loops_only(self):
+        cdfg = cdfg_from_source(HOT_LOOP)
+        profile = profile_cdfg(cdfg, "f", 50)
+        result = extract_kernels(cdfg, profile)
+        loop_labels = set()
+        from repro.ir import LoopForest
+
+        forest = LoopForest(cdfg.cfg("f"))
+        for kernel in result.kernels:
+            label = cdfg.key_for_id(kernel.bb_id).label
+            assert forest.loop_depth(label) > 0
+
+    def test_ordering_descending(self):
+        cdfg = cdfg_from_source(HOT_LOOP)
+        result = extract_kernels(cdfg, profile_cdfg(cdfg, "f", 50))
+        totals = [k.total_weight for k in result.kernels]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_require_loop_false_includes_all(self):
+        cdfg = cdfg_from_source(HOT_LOOP)
+        profile = profile_cdfg(cdfg, "f", 50)
+        loose = extract_kernels(cdfg, profile, require_loop=False)
+        strict = extract_kernels(cdfg, profile)
+        assert len(loose.kernels) > len(strict.kernels)
+
+    def test_kernel_lookup(self):
+        result = kernels_from_records([(1, 10, 5), (2, 3, 100)])
+        assert result.kernel(2).total_weight == 300
+        with pytest.raises(KeyError):
+            result.kernel(99)
+
+    def test_records_ordering(self):
+        result = kernels_from_records([(1, 10, 5), (2, 3, 100), (3, 1, 1)])
+        assert result.kernel_order() == [2, 1, 3]
+
+    def test_table_row_shape(self):
+        result = kernels_from_records([(22, 336, 115)])
+        assert result.kernels[0].table_row() == (22, 336, 115, 38640)
+
+    def test_tie_broken_by_bb_id(self):
+        result = kernels_from_records([(5, 10, 10), (3, 10, 10)])
+        assert result.kernel_order() == [3, 5]

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import cdfg_from_source
+from repro.platform import paper_platform
+from repro.workloads import jpeg_workload, ofdm_workload
+
+#: A small program exercising most language constructs; used across layers.
+SAMPLE_SOURCE = """
+const int COEF[4] = {1, 2, 3, 4};
+
+int dot(int a[4], int b[4]) {
+    int acc = 0;
+    for (int i = 0; i < 4; i++) {
+        acc += a[i] * b[i];
+    }
+    return acc;
+}
+
+int main(int x) {
+    int v[4];
+    for (int i = 0; i < 4; i++) {
+        v[i] = COEF[i] * x;
+    }
+    int s = dot(v, COEF);
+    if (s > 10) { s = s - 10; } else { s = s + 1; }
+    while (s % 7 != 0) { s = s + 1; }
+    return s;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def sample_cdfg():
+    return cdfg_from_source(SAMPLE_SOURCE, "sample.c")
+
+
+@pytest.fixture(scope="session")
+def ofdm():
+    return ofdm_workload()
+
+
+@pytest.fixture(scope="session")
+def jpeg():
+    return jpeg_workload()
+
+
+@pytest.fixture(scope="session")
+def small_platform():
+    return paper_platform(1500, 2)
+
+
+@pytest.fixture(scope="session")
+def large_platform():
+    return paper_platform(5000, 3)

@@ -1,0 +1,219 @@
+"""Fine-grain mapping tests: device, ASAP utilities, Figure 3, timing."""
+
+import pytest
+
+from repro.finegrain import (
+    FPGADevice,
+    TemporalPartitioningError,
+    block_fpga_timing,
+    dfg_total_area,
+    generate_bitstreams,
+    nodes_in_level_order,
+    partition_dfg,
+    partition_execution_cycles,
+    summarize_levels,
+    total_configuration_bytes,
+    unique_streams,
+    widest_node_area,
+)
+from repro.platform import default_characterization
+from repro.workloads import SyntheticBlockProfile, generate_dfg
+
+CHAR = default_characterization()
+
+
+def profile_dfg(alu=10, mul=4, loads=6, stores=2, width=2.0, bb_id=900):
+    return generate_dfg(
+        SyntheticBlockProfile(
+            bb_id=bb_id,
+            exec_freq=1,
+            alu_ops=alu,
+            mul_ops=mul,
+            load_ops=loads,
+            store_ops=stores,
+            width=width,
+        )
+    )
+
+
+class TestDevice:
+    def test_usable_area_fraction(self):
+        device = FPGADevice(total_area=1000, usable_fraction=0.7)
+        assert device.usable_area == 700
+
+    def test_from_usable_area_exact(self):
+        for target in (1500, 5000, 777):
+            device = FPGADevice.from_usable_area(target)
+            assert device.usable_area == target
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            FPGADevice(total_area=100, usable_fraction=1.5)
+
+    def test_invalid_area(self):
+        with pytest.raises(ValueError):
+            FPGADevice(total_area=0)
+
+    def test_negative_reconfig(self):
+        with pytest.raises(ValueError):
+            FPGADevice(total_area=100, reconfig_cycles=-1)
+
+
+class TestASAPUtilities:
+    def test_level_order_monotone(self):
+        dfg = profile_dfg()
+        asap = dfg.asap_levels()
+        ordered = nodes_in_level_order(dfg)
+        levels = [asap[n.node_id] for n in ordered]
+        assert levels == sorted(levels)
+
+    def test_summaries_cover_all_nodes(self):
+        dfg = profile_dfg()
+        summaries = summarize_levels(dfg, CHAR)
+        assert sum(s.node_count for s in summaries) == len(dfg)
+
+    def test_total_area_positive(self):
+        dfg = profile_dfg()
+        assert dfg_total_area(dfg, CHAR) > 0
+
+    def test_widest_node(self):
+        dfg = profile_dfg(mul=2)
+        # MUL is the largest op class present
+        assert widest_node_area(dfg, CHAR) == CHAR.fpga_area(
+            next(n for n in dfg.nodes if n.op_class.value == "mul").opcode
+        )
+
+
+class TestTemporalPartitioning:
+    def test_fits_in_one_partition_when_large(self):
+        dfg = profile_dfg()
+        result = partition_dfg(dfg, 10**6, CHAR)
+        assert result.partition_count == 1
+
+    def test_splits_when_small(self):
+        dfg = profile_dfg(alu=40, mul=10)
+        area = dfg_total_area(dfg, CHAR)
+        result = partition_dfg(dfg, area // 3, CHAR)
+        assert result.partition_count >= 3
+
+    def test_invariants_validate(self):
+        dfg = profile_dfg(alu=30, mul=8, loads=12, stores=4)
+        for budget_divisor in (1, 2, 5):
+            area = max(
+                widest_node_area(dfg, CHAR),
+                dfg_total_area(dfg, CHAR) // budget_divisor,
+            )
+            result = partition_dfg(dfg, area, CHAR)
+            result.validate(CHAR)
+
+    def test_every_node_assigned_once(self):
+        dfg = profile_dfg()
+        result = partition_dfg(dfg, 600, CHAR)
+        assigned = [n for p in result.partitions for n in p.node_ids]
+        assert sorted(assigned) == sorted(n.node_id for n in dfg.nodes)
+
+    def test_node_larger_than_budget_rejected(self):
+        dfg = profile_dfg(mul=1)
+        with pytest.raises(TemporalPartitioningError):
+            partition_dfg(dfg, 10, CHAR)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(TemporalPartitioningError):
+            partition_dfg(profile_dfg(), 0, CHAR)
+
+    def test_empty_dfg(self):
+        from repro.ir import BasicBlock, DataFlowGraph, Instruction, Opcode
+
+        block = BasicBlock("empty")
+        block.append(Instruction(Opcode.RET))
+        result = partition_dfg(DataFlowGraph(block), 100, CHAR)
+        assert result.partition_count == 0
+
+    def test_partition_count_decreases_with_area(self):
+        dfg = profile_dfg(alu=60, mul=20, loads=20, stores=6)
+        counts = [
+            partition_dfg(dfg, budget, CHAR).partition_count
+            for budget in (400, 1500, 5000, 10**6)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestTiming:
+    def test_level_cost_uses_max_delay(self):
+        dfg = profile_dfg(alu=4, mul=4, loads=0, stores=1, width=8.0)
+        result = partition_dfg(dfg, 10**6, CHAR)
+        cycles = partition_execution_cycles(result, CHAR)
+        # one compute level with a MUL present => delay 2 (+ store level 1)
+        assert cycles[0] >= 2
+
+    def test_single_partition_reconfig_cached(self):
+        dfg = profile_dfg()
+        device = FPGADevice.from_usable_area(10**6, reconfig_cycles=50)
+        timing = block_fpga_timing(dfg, device, CHAR)
+        assert timing.partition_count == 1
+        assert timing.reconfig_cycles == 0
+
+    def test_single_partition_reconfig_charged_when_forced(self):
+        dfg = profile_dfg()
+        device = FPGADevice.from_usable_area(10**6, reconfig_cycles=50)
+        timing = block_fpga_timing(dfg, device, CHAR, charge_single_partition=True)
+        assert timing.reconfig_cycles == 50
+
+    def test_multi_partition_reconfig_charged(self):
+        dfg = profile_dfg(alu=60, mul=20)
+        device = FPGADevice.from_usable_area(800, reconfig_cycles=50)
+        timing = block_fpga_timing(dfg, device, CHAR)
+        assert timing.partition_count > 1
+        assert timing.reconfig_cycles == 50 * timing.partition_count
+
+    def test_more_area_never_slower(self):
+        dfg = profile_dfg(alu=50, mul=15, loads=20, stores=5, width=3.0)
+        cycles = []
+        for budget in (700, 1500, 5000, 20000):
+            device = FPGADevice.from_usable_area(budget)
+            cycles.append(block_fpga_timing(dfg, device, CHAR).total_cycles)
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_application_aggregation(self):
+        from repro.finegrain import application_fpga_cycles
+
+        dfg = profile_dfg()
+        device = FPGADevice.from_usable_area(1500)
+        timing = block_fpga_timing(dfg, device, CHAR)
+        total = application_fpga_cycles({1: timing}, {1: 10})
+        assert total == timing.total_cycles * 10
+
+
+class TestBitstreams:
+    def test_one_stream_per_partition(self):
+        dfg = profile_dfg(alu=40, mul=10)
+        result = partition_dfg(dfg, 600, CHAR)
+        streams = generate_bitstreams(result, CHAR)
+        assert len(streams) == result.partition_count
+
+    def test_payload_proportional_to_area(self):
+        dfg = profile_dfg()
+        result = partition_dfg(dfg, 10**6, CHAR)
+        streams = generate_bitstreams(result, CHAR)
+        assert streams[0].payload_bytes == result.partitions[0].area_used * 16
+
+    def test_deterministic_checksums(self):
+        dfg = profile_dfg()
+        result = partition_dfg(dfg, 10**6, CHAR)
+        a = generate_bitstreams(result, CHAR)
+        b = generate_bitstreams(result, CHAR)
+        assert [s.checksum for s in a] == [s.checksum for s in b]
+
+    def test_total_bytes_include_headers(self):
+        dfg = profile_dfg()
+        result = partition_dfg(dfg, 10**6, CHAR)
+        streams = generate_bitstreams(result, CHAR)
+        assert total_configuration_bytes(streams) == sum(
+            s.payload_bytes + 64 for s in streams
+        )
+
+    def test_unique_streams_counts_distinct(self):
+        dfg = profile_dfg(alu=40, mul=10)
+        result = partition_dfg(dfg, 600, CHAR)
+        streams = generate_bitstreams(result, CHAR)
+        assert 1 <= unique_streams(streams) <= len(streams)

@@ -1,0 +1,104 @@
+"""Property-based tests of the Figure 3 temporal partitioning algorithm."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.finegrain import (
+    block_fpga_timing,
+    dfg_total_area,
+    partition_dfg,
+    widest_node_area,
+)
+from repro.finegrain.device import FPGADevice
+from repro.platform import default_characterization
+from repro.workloads import SyntheticBlockProfile, generate_dfg
+
+CHAR = default_characterization()
+
+profiles = st.builds(
+    SyntheticBlockProfile,
+    bb_id=st.integers(1, 500),
+    exec_freq=st.just(1),
+    alu_ops=st.integers(1, 40),
+    mul_ops=st.integers(0, 15),
+    load_ops=st.integers(0, 20),
+    store_ops=st.integers(0, 6),
+    width=st.floats(1.0, 6.0),
+    serial_memory=st.just(False),
+)
+
+serial_profiles = st.builds(
+    SyntheticBlockProfile,
+    bb_id=st.integers(1, 500),
+    exec_freq=st.just(1),
+    alu_ops=st.integers(1, 20),
+    mul_ops=st.integers(0, 8),
+    load_ops=st.integers(0, 16),
+    store_ops=st.integers(1, 6),
+    width=st.just(1.0),
+    serial_memory=st.just(True),
+)
+
+budgets = st.integers(200, 8000)
+
+
+@settings(max_examples=40, deadline=None)
+@given(profile=profiles, budget=budgets)
+def test_partitioning_invariants(profile, budget):
+    """Every feasible run satisfies all Figure 3 invariants."""
+    dfg = generate_dfg(profile)
+    budget = max(budget, widest_node_area(dfg, CHAR))
+    result = partition_dfg(dfg, budget, CHAR)
+    result.validate(CHAR)
+
+
+@settings(max_examples=40, deadline=None)
+@given(profile=serial_profiles, budget=budgets)
+def test_partitioning_invariants_serial_blocks(profile, budget):
+    dfg = generate_dfg(profile)
+    budget = max(budget, widest_node_area(dfg, CHAR))
+    result = partition_dfg(dfg, budget, CHAR)
+    result.validate(CHAR)
+
+
+@settings(max_examples=30, deadline=None)
+@given(profile=profiles)
+def test_huge_budget_means_single_partition(profile):
+    dfg = generate_dfg(profile)
+    result = partition_dfg(dfg, dfg_total_area(dfg, CHAR) + 1, CHAR)
+    assert result.partition_count <= 1 or len(dfg) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(profile=profiles, budget=budgets)
+def test_partition_count_lower_bound(profile, budget):
+    """Partition count can never beat the area lower bound ceil(total/A)."""
+    dfg = generate_dfg(profile)
+    budget = max(budget, widest_node_area(dfg, CHAR))
+    result = partition_dfg(dfg, budget, CHAR)
+    total = dfg_total_area(dfg, CHAR)
+    assert result.partition_count >= -(-total // budget)
+
+
+@settings(max_examples=30, deadline=None)
+@given(profile=profiles, budget=budgets)
+def test_single_partition_is_lower_bound(profile, budget):
+    """A device that fits the whole DFG is never slower than any split.
+
+    (Strict per-budget monotonicity does NOT hold for the Figure 3 greedy:
+    a slightly larger budget can move a partition boundary into the middle
+    of an ASAP level, re-executing that level's max delay in two
+    partitions.  The global bound below is the property the algorithm
+    actually guarantees.)
+    """
+    dfg = generate_dfg(profile)
+    floor = widest_node_area(dfg, CHAR)
+    budget = max(budget, floor)
+    split = block_fpga_timing(dfg, FPGADevice.from_usable_area(budget), CHAR)
+    whole = block_fpga_timing(
+        dfg,
+        FPGADevice.from_usable_area(max(dfg_total_area(dfg, CHAR), 1)),
+        CHAR,
+    )
+    assert whole.partition_count <= 1
+    assert whole.total_cycles <= split.total_cycles

@@ -1,0 +1,66 @@
+"""AST utility tests: walkers, types, locations."""
+
+import pytest
+
+from repro.frontend import (
+    ArrayType,
+    BinaryExpr,
+    CallExpr,
+    SourceLocation,
+    Type,
+    parse_program,
+    walk_expr,
+    walk_stmt,
+)
+from repro.frontend.ast_nodes import unify_numeric
+
+
+class TestTypes:
+    def test_numeric_classification(self):
+        assert Type.INT.is_numeric() and Type.FLOAT.is_numeric()
+        assert not Type.VOID.is_numeric()
+
+    def test_unify(self):
+        assert unify_numeric(Type.INT, Type.INT) is Type.INT
+        assert unify_numeric(Type.INT, Type.FLOAT) is Type.FLOAT
+        assert unify_numeric(Type.FLOAT, Type.INT) is Type.FLOAT
+
+    def test_array_type_size(self):
+        assert ArrayType(Type.INT, (8,)).size == 8
+        assert ArrayType(Type.FLOAT, (4, 8)).size == 32
+
+    def test_array_type_validation(self):
+        with pytest.raises(ValueError):
+            ArrayType(Type.INT, ())
+        with pytest.raises(ValueError):
+            ArrayType(Type.INT, (0,))
+
+    def test_array_type_str(self):
+        assert str(ArrayType(Type.INT, (2, 3))) == "int[2][3]"
+
+
+class TestWalkers:
+    def test_walk_expr_visits_all(self):
+        program = parse_program(
+            "int f(int a, int b) { return a * (b + 1) - g(a, b); } "
+            "int g(int a, int b) { return a; }"
+        )
+        ret = program.function("f").body.body[0]
+        nodes = list(walk_expr(ret.value))
+        assert sum(1 for n in nodes if isinstance(n, BinaryExpr)) == 3
+        assert sum(1 for n in nodes if isinstance(n, CallExpr)) == 1
+
+    def test_walk_stmt_visits_nested(self):
+        program = parse_program(
+            "void f(int n) { for (int i = 0; i < n; i++) { "
+            "if (i) { do { n--; } while (n); } } }"
+        )
+        stmts = list(walk_stmt(program.function("f").body))
+        kinds = {type(s).__name__ for s in stmts}
+        assert {"ForStmt", "IfStmt", "DoWhileStmt"} <= kinds
+
+    def test_locations_ordered(self):
+        location_a = SourceLocation(1, 5, "x.c")
+        location_b = SourceLocation(2, 1, "x.c")
+        assert location_a < location_b
+        assert str(location_a) == "x.c:1:5"

@@ -1,0 +1,172 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.frontend import Lexer, LexerError, tokenize
+from repro.frontend.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestLiterals:
+    def test_decimal_int(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INT_LITERAL
+        assert token.value == 42
+
+    def test_zero(self):
+        assert tokenize("0")[0].value == 0
+
+    def test_hex_literal(self):
+        token = tokenize("0x1F")[0]
+        assert token.kind is TokenKind.INT_LITERAL
+        assert token.value == 31
+
+    def test_hex_uppercase_prefix(self):
+        assert tokenize("0XFF")[0].value == 255
+
+    def test_malformed_hex_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("0x")
+
+    def test_float_literal(self):
+        token = tokenize("3.5")[0]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+        assert token.value == 3.5
+
+    def test_float_with_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+
+    def test_float_with_signed_exponent(self):
+        assert tokenize("2.5e-2")[0].value == 0.025
+
+    def test_float_f_suffix(self):
+        token = tokenize("1.5f")[0]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+        assert token.value == 1.5
+
+    def test_leading_dot_float(self):
+        token = tokenize(".5")[0]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+        assert token.value == 0.5
+
+    def test_int_then_member_like_dot_is_error(self):
+        with pytest.raises(LexerError):
+            tokenize("a . b".replace(" ", ""))
+
+
+class TestIdentifiersAndKeywords:
+    def test_identifier(self):
+        token = tokenize("counter_1")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "counter_1"
+
+    def test_underscore_start(self):
+        assert tokenize("_tmp")[0].value == "_tmp"
+
+    @pytest.mark.parametrize(
+        "keyword,kind",
+        [
+            ("int", TokenKind.KW_INT),
+            ("float", TokenKind.KW_FLOAT),
+            ("void", TokenKind.KW_VOID),
+            ("if", TokenKind.KW_IF),
+            ("else", TokenKind.KW_ELSE),
+            ("for", TokenKind.KW_FOR),
+            ("while", TokenKind.KW_WHILE),
+            ("do", TokenKind.KW_DO),
+            ("return", TokenKind.KW_RETURN),
+            ("break", TokenKind.KW_BREAK),
+            ("continue", TokenKind.KW_CONTINUE),
+            ("const", TokenKind.KW_CONST),
+        ],
+    )
+    def test_keywords(self, keyword, kind):
+        assert tokenize(keyword)[0].kind is kind
+
+    def test_keyword_prefix_is_identifier(self):
+        assert tokenize("interval")[0].kind is TokenKind.IDENT
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("<<", TokenKind.SHL),
+            (">>", TokenKind.SHR),
+            ("<=", TokenKind.LE),
+            (">=", TokenKind.GE),
+            ("==", TokenKind.EQ),
+            ("!=", TokenKind.NE),
+            ("&&", TokenKind.ANDAND),
+            ("||", TokenKind.OROR),
+            ("+=", TokenKind.PLUS_ASSIGN),
+            ("<<=", TokenKind.SHL_ASSIGN),
+            ("++", TokenKind.PLUSPLUS),
+            ("--", TokenKind.MINUSMINUS),
+        ],
+    )
+    def test_multichar(self, text, kind):
+        assert tokenize(text)[0].kind is kind
+
+    def test_maximal_munch(self):
+        # ">>=" must lex as one token, not ">>" "=".
+        assert kinds("a >>= 1") == [
+            TokenKind.IDENT,
+            TokenKind.SHR_ASSIGN,
+            TokenKind.INT_LITERAL,
+        ]
+
+    def test_adjacent_lt(self):
+        assert kinds("a<b") == [
+            TokenKind.IDENT,
+            TokenKind.LT,
+            TokenKind.IDENT,
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexerError):
+            tokenize("a $ b")
+
+
+class TestTriviaAndPositions:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\n b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* x\ny */ b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("/* never closed")
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_filename_recorded(self):
+        token = tokenize("x", filename="app.c")[0]
+        assert token.location.filename == "app.c"
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+        assert tokenize("a b c")[-1].kind is TokenKind.EOF
+
+    def test_streaming_interface(self):
+        lexer = Lexer("x + 1")
+        seen = []
+        while True:
+            token = lexer.next_token()
+            seen.append(token.kind)
+            if token.kind is TokenKind.EOF:
+                break
+        assert seen == [
+            TokenKind.IDENT,
+            TokenKind.PLUS,
+            TokenKind.INT_LITERAL,
+            TokenKind.EOF,
+        ]

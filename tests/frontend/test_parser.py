@@ -1,0 +1,265 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.frontend import (
+    ArrayRef,
+    ArrayType,
+    AssignStmt,
+    BinaryExpr,
+    BinaryOp,
+    BlockStmt,
+    CallExpr,
+    ConditionalExpr,
+    DeclStmt,
+    DoWhileStmt,
+    ExprStmt,
+    ForStmt,
+    IfStmt,
+    IntLiteral,
+    NameRef,
+    ParserError,
+    ReturnStmt,
+    Type,
+    UnaryExpr,
+    UnaryOp,
+    WhileStmt,
+    parse_program,
+)
+
+
+def parse_stmt(body: str):
+    program = parse_program(f"void f() {{ {body} }}")
+    return program.function("f").body.body
+
+
+def parse_expr(expr: str):
+    stmts = parse_stmt(f"return_sink({expr});")
+    # a call wrapper keeps any expression a valid statement
+    call = stmts[0].expr
+    return call.args[0]
+
+
+# Wrap expressions in a declared call target to keep the parser happy.
+def parse_expr_via_assign(expr: str):
+    stmts = parse_stmt(f"int x_ = {expr};")
+    return stmts[0].init
+
+
+class TestTopLevel:
+    def test_empty_program(self):
+        program = parse_program("")
+        assert program.functions == [] and program.globals == []
+
+    def test_function_names(self):
+        program = parse_program("void a() {} int b(int x) { return x; }")
+        assert program.function_names == ["a", "b"]
+
+    def test_void_param_list(self):
+        program = parse_program("int f(void) { return 1; }")
+        assert program.function("f").params == []
+
+    def test_array_params(self):
+        program = parse_program("void f(int a[8], float b[2][3]) {}")
+        params = program.function("f").params
+        assert params[0].param_type == ArrayType(Type.INT, (8,))
+        assert params[1].param_type == ArrayType(Type.FLOAT, (2, 3))
+
+    def test_unsized_array_param(self):
+        program = parse_program("void f(int a[]) {}")
+        assert isinstance(program.function("f").params[0].param_type, ArrayType)
+
+    def test_global_scalar_with_init(self):
+        program = parse_program("int g = 5;")
+        decl = program.globals[0]
+        assert decl.init_values == [5] and not decl.is_const
+
+    def test_const_global_array(self):
+        program = parse_program("const int T[3] = {1, -2, 3};")
+        decl = program.globals[0]
+        assert decl.is_const and decl.init_values == [1, -2, 3]
+
+    def test_global_float_coerces_init(self):
+        program = parse_program("const float F[2] = {1, 2.5};")
+        assert program.globals[0].init_values == [1.0, 2.5]
+
+    def test_trailing_comma_in_initializer(self):
+        program = parse_program("const int T[2] = {1, 2,};")
+        assert program.globals[0].init_values == [1, 2]
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParserError):
+            parse_program("int g = 5")
+
+    def test_garbage_top_level_raises(self):
+        with pytest.raises(ParserError):
+            parse_program("banana;")
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        stmt = parse_stmt("int a = 3;")[0]
+        assert isinstance(stmt, DeclStmt)
+        assert stmt.decl_type is Type.INT
+        assert isinstance(stmt.init, IntLiteral)
+
+    def test_local_array_declaration(self):
+        stmt = parse_stmt("float buf[16];")[0]
+        assert stmt.decl_type == ArrayType(Type.FLOAT, (16,))
+
+    def test_local_array_initializer_rejected(self):
+        with pytest.raises(ParserError):
+            parse_stmt("int a[2] = 3;")
+
+    def test_assignment(self):
+        stmt = parse_stmt("int a = 0; a = 5;")[1]
+        assert isinstance(stmt, AssignStmt)
+        assert isinstance(stmt.target, NameRef)
+
+    def test_compound_assignment_desugars(self):
+        stmt = parse_stmt("int a = 0; a += 2;")[1]
+        assert isinstance(stmt.value, BinaryExpr)
+        assert stmt.value.op is BinaryOp.ADD
+
+    def test_increment_desugars(self):
+        stmt = parse_stmt("int a = 0; a++;")[1]
+        assert isinstance(stmt, AssignStmt)
+        assert stmt.value.op is BinaryOp.ADD
+        assert stmt.value.right.value == 1
+
+    def test_decrement_desugars(self):
+        stmt = parse_stmt("int a = 0; a--;")[1]
+        assert stmt.value.op is BinaryOp.SUB
+
+    def test_array_store(self):
+        stmt = parse_stmt("int a[4]; a[1] = 2;")[1]
+        assert isinstance(stmt.target, ArrayRef)
+
+    def test_two_dim_index(self):
+        stmt = parse_stmt("int a[2][2]; a[1][0] = 3;")[1]
+        assert len(stmt.target.indices) == 2
+
+    def test_if_else(self):
+        stmt = parse_stmt("if (1) { } else { }")[0]
+        assert isinstance(stmt, IfStmt) and stmt.otherwise is not None
+
+    def test_if_without_else(self):
+        stmt = parse_stmt("if (1) { }")[0]
+        assert stmt.otherwise is None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = parse_stmt("if (1) if (2) { } else { }")[0]
+        assert stmt.otherwise is None
+        assert isinstance(stmt.then, IfStmt)
+        assert stmt.then.otherwise is not None
+
+    def test_while(self):
+        stmt = parse_stmt("while (1) { }")[0]
+        assert isinstance(stmt, WhileStmt)
+
+    def test_do_while(self):
+        stmt = parse_stmt("do { } while (0);")[0]
+        assert isinstance(stmt, DoWhileStmt)
+
+    def test_for_full_header(self):
+        stmt = parse_stmt("for (int i = 0; i < 4; i++) { }")[0]
+        assert isinstance(stmt, ForStmt)
+        assert stmt.init is not None and stmt.cond is not None
+        assert stmt.step is not None
+
+    def test_for_empty_header(self):
+        stmt = parse_stmt("for (;;) { break; }")[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_return_value(self):
+        program = parse_program("int f() { return 3; }")
+        stmt = program.function("f").body.body[0]
+        assert isinstance(stmt, ReturnStmt) and stmt.value is not None
+
+    def test_bare_return(self):
+        stmt = parse_stmt("return;")[0]
+        assert stmt.value is None
+
+    def test_nested_blocks(self):
+        stmt = parse_stmt("{ { int x = 1; } }")[0]
+        assert isinstance(stmt, BlockStmt)
+
+    def test_assignment_to_literal_rejected(self):
+        with pytest.raises(ParserError):
+            parse_stmt("3 = 4;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr_via_assign("1 + 2 * 3")
+        assert expr.op is BinaryOp.ADD
+        assert expr.right.op is BinaryOp.MUL
+
+    def test_precedence_shift_below_add(self):
+        expr = parse_expr_via_assign("1 << 2 + 3")
+        assert expr.op is BinaryOp.SHL
+
+    def test_left_associativity(self):
+        expr = parse_expr_via_assign("10 - 4 - 3")
+        assert expr.op is BinaryOp.SUB
+        assert expr.left.op is BinaryOp.SUB
+
+    def test_parentheses_override(self):
+        expr = parse_expr_via_assign("(1 + 2) * 3")
+        assert expr.op is BinaryOp.MUL
+
+    def test_comparison_chain_structure(self):
+        expr = parse_expr_via_assign("a < b == c")
+        assert expr.op is BinaryOp.EQ
+
+    def test_logical_precedence(self):
+        expr = parse_expr_via_assign("a && b || c")
+        assert expr.op is BinaryOp.LOR
+
+    def test_bitwise_precedence(self):
+        expr = parse_expr_via_assign("a | b ^ c & d")
+        assert expr.op is BinaryOp.OR
+        assert expr.right.op is BinaryOp.XOR
+        assert expr.right.right.op is BinaryOp.AND
+
+    def test_unary_negation(self):
+        expr = parse_expr_via_assign("-x")
+        assert isinstance(expr, UnaryExpr) and expr.op is UnaryOp.NEG
+
+    def test_double_negation(self):
+        expr = parse_expr_via_assign("--x" .replace("--", "- -"))
+        assert expr.op is UnaryOp.NEG and expr.operand.op is UnaryOp.NEG
+
+    def test_ternary(self):
+        expr = parse_expr_via_assign("a ? 1 : 2")
+        assert isinstance(expr, ConditionalExpr)
+
+    def test_ternary_right_associative(self):
+        expr = parse_expr_via_assign("a ? 1 : b ? 2 : 3")
+        assert isinstance(expr.otherwise, ConditionalExpr)
+
+    def test_call_no_args(self):
+        expr = parse_expr_via_assign("f()")
+        assert isinstance(expr, CallExpr) and expr.args == []
+
+    def test_call_args(self):
+        expr = parse_expr_via_assign("f(1, x, g(2))")
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[2], CallExpr)
+
+    def test_cast_int(self):
+        expr = parse_expr_via_assign("(int) 2.5")
+        assert isinstance(expr, CallExpr) and expr.callee == "__cast_int"
+
+    def test_cast_float(self):
+        expr = parse_expr_via_assign("(float) 3")
+        assert expr.callee == "__cast_float"
+
+    def test_array_read(self):
+        expr = parse_expr_via_assign("t[i + 1]")
+        assert isinstance(expr, ArrayRef)
+        assert isinstance(expr.indices[0], BinaryExpr)
+
+    def test_unclosed_paren_raises(self):
+        with pytest.raises(ParserError):
+            parse_expr_via_assign("(1 + 2")

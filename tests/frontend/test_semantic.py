@@ -1,0 +1,171 @@
+"""Semantic analysis tests."""
+
+import pytest
+
+from repro.frontend import SemanticError, analyze_program, parse_program
+
+
+def check(source):
+    return analyze_program(parse_program(source))
+
+
+def check_fails(source, fragment):
+    with pytest.raises(SemanticError) as excinfo:
+        check(source)
+    assert fragment in str(excinfo.value)
+
+
+class TestDeclarations:
+    def test_valid_program_passes(self):
+        bag = check("int f(int x) { int y = x + 1; return y; }")
+        assert not bag.has_errors()
+
+    def test_undeclared_name(self):
+        check_fails("int f() { return missing; }", "undeclared")
+
+    def test_duplicate_local(self):
+        check_fails("void f() { int a = 1; int a = 2; }", "duplicate")
+
+    def test_duplicate_function(self):
+        check_fails("void f() {} void f() {}", "duplicate function")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        bag = check("void f() { int a = 1; { int a = 2; } }")
+        assert not bag.has_errors()
+
+    def test_declaration_scoped_to_block(self):
+        check_fails("void f() { { int a = 1; } a = 2; }", "undeclared")
+
+    def test_for_scope(self):
+        check_fails(
+            "void f() { for (int i = 0; i < 2; i++) { } i = 3; }",
+            "undeclared",
+        )
+
+    def test_intrinsic_shadowing_rejected(self):
+        check_fails("int abs(int x) { return x; }", "shadows an intrinsic")
+
+    def test_global_visible_in_function(self):
+        bag = check("int g = 4; int f() { return g; }")
+        assert not bag.has_errors()
+
+    def test_global_array_initializer_too_long(self):
+        with pytest.raises(SemanticError):
+            check("const int T[2] = {1, 2, 3};")
+
+
+class TestAssignments:
+    def test_const_assignment_rejected(self):
+        check_fails(
+            "const int G = 1; void f() { G = 2; }", "const"
+        )
+
+    def test_whole_array_assignment_rejected(self):
+        check_fails("void f() { int a[4]; a = 3; }", "whole array")
+
+    def test_array_element_assignment_ok(self):
+        bag = check("void f() { int a[4]; a[0] = 3; }")
+        assert not bag.has_errors()
+
+
+class TestArrays:
+    def test_index_count_mismatch(self):
+        check_fails(
+            "void f() { int a[2][2]; a[0] = 1; }", "expects 2 indices"
+        )
+
+    def test_scalar_indexed(self):
+        check_fails("void f() { int a = 1; int b = a[0]; }", "scalar")
+
+    def test_float_index_rejected(self):
+        check_fails(
+            "void f() { int a[4]; a[1.5] = 0; }", "integer"
+        )
+
+
+class TestCalls:
+    def test_unknown_function(self):
+        check_fails("void f() { g(); }", "undeclared function")
+
+    def test_wrong_arity(self):
+        check_fails(
+            "int g(int a) { return a; } void f() { g(1, 2); }",
+            "expects 1 argument",
+        )
+
+    def test_intrinsic_arity(self):
+        check_fails("void f() { int a = abs(1, 2); }", "expects 1")
+
+    def test_array_argument_ok(self):
+        bag = check(
+            "int g(int a[4]) { return a[0]; } "
+            "void f() { int v[4]; g(v); }"
+        )
+        assert not bag.has_errors()
+
+    def test_scalar_passed_as_array(self):
+        check_fails(
+            "int g(int a[4]) { return a[0]; } "
+            "void f() { int x = 0; g(x); }",
+            "array",
+        )
+
+    def test_expression_passed_as_array(self):
+        check_fails(
+            "int g(int a[4]) { return a[0]; } void f() { g(1 + 2); }",
+            "whole arrays",
+        )
+
+
+class TestControlFlow:
+    def test_break_outside_loop(self):
+        check_fails("void f() { break; }", "outside")
+
+    def test_continue_outside_loop(self):
+        check_fails("void f() { continue; }", "outside")
+
+    def test_break_inside_loop_ok(self):
+        bag = check("void f() { while (1) { break; } }")
+        assert not bag.has_errors()
+
+    def test_continue_in_for_ok(self):
+        bag = check("void f() { for (;;) { continue; } }")
+        assert not bag.has_errors()
+
+
+class TestReturns:
+    def test_void_returning_value(self):
+        check_fails("void f() { return 1; }", "void function")
+
+    def test_nonvoid_bare_return(self):
+        check_fails("int f() { return; }", "without a value")
+
+    def test_missing_return_warns(self):
+        bag = check("int f(int x) { if (x) { return 1; } }")
+        assert bag.warnings
+        assert "all paths" in str(bag.warnings[0])
+
+    def test_both_branches_return_no_warning(self):
+        bag = check(
+            "int f(int x) { if (x) { return 1; } else { return 2; } }"
+        )
+        assert not bag.warnings
+
+
+class TestTypes:
+    def test_float_mod_rejected(self):
+        check_fails("void f(float x) { float y = x % 2.0; }", "integer")
+
+    def test_float_shift_rejected(self):
+        check_fails("void f(float x) { float y = x << 1; }", "integer")
+
+    def test_bitwise_not_on_float_rejected(self):
+        check_fails("void f(float x) { int y = ~x; }", "integer")
+
+    def test_mixed_arithmetic_promotes(self):
+        bag = check("void f(int a, float b) { float c = a + b; }")
+        assert not bag.has_errors()
+
+    def test_comparison_yields_int(self):
+        bag = check("void f(float a) { int c = a < 2.0; }")
+        assert not bag.has_errors()

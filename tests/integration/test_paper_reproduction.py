@@ -1,0 +1,105 @@
+"""Integration tests: the paper's tables and headline claims reproduce.
+
+These are the repository's acceptance tests — the quantities the paper
+reports must come out with the same *shape*: identical Table 1 rows,
+identical kernel selections in Tables 2/3, constraints satisfied, and the
+published trends.
+"""
+
+import pytest
+
+from repro.reporting import (
+    reproduce_headline_claims,
+    reproduce_table2,
+    reproduce_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return reproduce_table2()
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return reproduce_table3()
+
+
+class TestTable2OFDM:
+    def test_kernel_sets_match_paper(self, table2):
+        assert table2.all_sets_match
+
+    def test_constraints_met(self, table2):
+        assert table2.all_constraints_met
+
+    def test_reductions_close_to_paper(self, table2):
+        for row in table2.rows:
+            assert abs(row.reduction_error) < 12.0
+
+    def test_small_area_reduces_more(self, table2):
+        by_area = {}
+        for row in table2.rows:
+            by_area.setdefault(row.paper.afpga, []).append(
+                row.result.reduction_percent
+            )
+        assert min(by_area[1500]) > max(by_area[5000])
+
+    def test_initial_cycles_area_ratio(self, table2):
+        initial = {
+            row.paper.afpga: row.result.initial_cycles for row in table2.rows
+        }
+        ratio = initial[1500] / initial[5000]
+        assert 1.6 < ratio < 2.7  # paper: 2.12
+
+    def test_three_cgcs_need_fewer_kernels(self, table2):
+        moved = {
+            (row.paper.afpga, row.paper.cgc_count): row.result.kernels_moved
+            for row in table2.rows
+        }
+        for afpga in (1500, 5000):
+            assert moved[(afpga, 3)] < moved[(afpga, 2)]
+
+    def test_cgc_cycles_drop_with_more_cgcs(self, table2):
+        cgc = {
+            (row.paper.afpga, row.paper.cgc_count): row.result.cycles_in_cgc
+            for row in table2.rows
+        }
+        for afpga in (1500, 5000):
+            assert cgc[(afpga, 3)] < cgc[(afpga, 2)]
+
+
+class TestTable3JPEG:
+    def test_kernel_sets_match_paper(self, table3):
+        assert table3.all_sets_match
+
+    def test_always_moves_6_2_1(self, table3):
+        for row in table3.rows:
+            assert row.result.moved_bb_ids == [6, 2, 1]
+
+    def test_constraints_met(self, table3):
+        assert table3.all_constraints_met
+
+    def test_reductions_at_small_area_close(self, table3):
+        for row in table3.rows:
+            if row.paper.afpga == 1500:
+                assert abs(row.reduction_error) < 6.0
+
+    def test_small_area_reduces_more(self, table3):
+        by_area = {}
+        for row in table3.rows:
+            by_area.setdefault(row.paper.afpga, []).append(
+                row.result.reduction_percent
+            )
+        assert min(by_area[1500]) > max(by_area[5000])
+
+
+class TestHeadlineClaims:
+    def test_claims(self, table2, table3):
+        claims = reproduce_headline_claims(table2, table3)
+        # "a maximum clock cycles decrease of 82% relative to ... all
+        # fine-grain mapping" (we accept the same order of magnitude)
+        assert 70.0 < claims.ofdm_max_reduction < 90.0
+        # "the corresponding performance improvement for the JPEG is 43%"
+        assert 35.0 < claims.jpeg_max_reduction < 55.0
+        assert claims.ofdm_area_trend_holds
+        assert claims.jpeg_area_trend_holds

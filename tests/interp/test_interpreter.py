@@ -1,0 +1,246 @@
+"""Interpreter behaviour tests: language semantics end to end."""
+
+import pytest
+
+from repro.frontend.ast_nodes import ArrayType, Type
+from repro.interp import (
+    ArrayStorage,
+    ExecutionLimitExceeded,
+    Interpreter,
+    run_function,
+)
+from repro.ir import cdfg_from_source
+
+
+def run(source, fn, *args, **kwargs):
+    return run_function(cdfg_from_source(source), fn, *args, **kwargs).return_value
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 + 2) * 3", 9),
+            ("7 / 2", 3),
+            ("-7 / 2", -3),
+            ("7 % 3", 1),
+            ("-7 % 3", -1),
+            ("1 << 5", 32),
+            ("-16 >> 2", -4),
+            ("12 & 10", 8),
+            ("12 | 10", 14),
+            ("12 ^ 10", 6),
+            ("~0", -1),
+            ("!5", 0),
+            ("!0", 1),
+            ("3 < 4", 1),
+            ("4 <= 4", 1),
+            ("5 == 5", 1),
+            ("5 != 5", 0),
+            ("1 && 0", 0),
+            ("1 || 0", 1),
+            ("1 ? 10 : 20", 10),
+            ("0 ? 10 : 20", 20),
+            ("abs(0 - 9)", 9),
+            ("min(4, 2)", 2),
+            ("max(4, 2)", 4),
+            ("(int) 3.99", 3),
+        ],
+    )
+    def test_constant_expressions(self, expr, expected):
+        assert run(f"int f() {{ return {expr}; }}", "f") == expected
+
+    def test_float_arithmetic(self):
+        value = run("float f() { return 1.5 + 2.25; }", "f")
+        assert value == pytest.approx(3.75)
+
+    def test_float_truncation_on_int_assign(self):
+        assert run("int f() { int a = 0; a = 7 / 2; return a; }", "f") == 3
+
+    def test_sqrt_intrinsic(self):
+        assert run("float f() { return sqrt(16.0); }", "f") == pytest.approx(4.0)
+
+    def test_round_intrinsic(self):
+        assert run("int f() { return round(2.5); }", "f") == 3
+
+
+class TestControlFlow:
+    def test_if_taken(self):
+        src = "int f(int x) { if (x > 0) { return 1; } return 0; }"
+        assert run(src, "f", 5) == 1
+        assert run(src, "f", -5) == 0
+
+    def test_nested_if_else(self):
+        src = """
+        int sign(int x) {
+            if (x > 0) { return 1; }
+            else { if (x < 0) { return -1; } else { return 0; } }
+        }
+        """
+        assert [run(src, "sign", v) for v in (9, -9, 0)] == [1, -1, 0]
+
+    def test_while_loop(self):
+        src = "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }"
+        assert run(src, "f", 5) == 15
+
+    def test_do_while_runs_once(self):
+        src = "int f() { int c = 0; do { c++; } while (0); return c; }"
+        assert run(src, "f") == 1
+
+    def test_for_loop_sum(self):
+        src = "int f(int n) { int s = 0; for (int i = 1; i <= n; i++) { s += i; } return s; }"
+        assert run(src, "f", 100) == 5050
+
+    def test_break(self):
+        src = """
+        int f() {
+            int i = 0;
+            while (1) { if (i >= 7) { break; } i++; }
+            return i;
+        }
+        """
+        assert run(src, "f") == 7
+
+    def test_continue(self):
+        src = """
+        int evens(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                if (i % 2 == 1) { continue; }
+                s += i;
+            }
+            return s;
+        }
+        """
+        assert run(src, "evens", 10) == 20
+
+    def test_nested_loops(self):
+        src = """
+        int f(int n) {
+            int c = 0;
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j <= i; j++) { c++; }
+            }
+            return c;
+        }
+        """
+        assert run(src, "f", 4) == 10
+
+    def test_step_budget_enforced(self):
+        cdfg = cdfg_from_source("void f() { while (1) { } }")
+        with pytest.raises(ExecutionLimitExceeded):
+            run_function(cdfg, "f", max_steps=10_000)
+
+
+class TestFunctionsAndArrays:
+    def test_recursion(self):
+        src = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        """
+        assert run(src, "fib", 10) == 55
+
+    def test_array_param_by_reference(self):
+        src = """
+        void fill(int a[4], int v) {
+            for (int i = 0; i < 4; i++) { a[i] = v * i; }
+        }
+        """
+        cdfg = cdfg_from_source(src)
+        storage = ArrayStorage.allocate("a", ArrayType(Type.INT, (4,)))
+        Interpreter(cdfg).run("fill", storage, 3)
+        assert storage.snapshot() == [0, 3, 6, 9]
+
+    def test_list_arguments_copied_in(self):
+        src = "int first(int a[3]) { return a[0]; }"
+        assert run(src, "first", [7, 8, 9]) == 7
+
+    def test_2d_array_linearization(self):
+        src = """
+        int f() {
+            int m[2][3];
+            for (int i = 0; i < 2; i++) {
+                for (int j = 0; j < 3; j++) { m[i][j] = 10 * i + j; }
+            }
+            return m[1][2];
+        }
+        """
+        assert run(src, "f") == 12
+
+    def test_global_const_table(self):
+        src = """
+        const int T[4] = {5, 10, 15, 20};
+        int pick(int i) { return T[i]; }
+        """
+        assert run(src, "pick", 2) == 15
+
+    def test_global_scalar_mutation(self):
+        src = """
+        int counter = 0;
+        void bump() { counter = counter + 1; }
+        int f() { bump(); bump(); bump(); return counter; }
+        """
+        assert run(src, "f") == 3
+
+    def test_out_of_bounds_raises(self):
+        src = "int f() { int a[2]; return a[5]; }"
+        with pytest.raises(IndexError):
+            run(src, "f")
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(TypeError):
+            run("int f(int a) { return a; }", "f")
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            run("int f() { return 1; }", "g")
+
+    def test_scalar_where_array_expected(self):
+        src = "int first(int a[3]) { return a[0]; }"
+        with pytest.raises(TypeError):
+            run(src, "first", 3)
+
+
+class TestAlgorithms:
+    def test_gcd(self):
+        src = """
+        int gcd(int a, int b) {
+            while (b != 0) { int t = b; b = a % b; a = t; }
+            return a;
+        }
+        """
+        assert run(src, "gcd", 48, 36) == 12
+
+    def test_bubble_sort(self):
+        src = """
+        void sort(int a[6]) {
+            for (int i = 0; i < 6; i++) {
+                for (int j = 0; j < 5 - i; j++) {
+                    if (a[j] > a[j + 1]) {
+                        int t = a[j];
+                        a[j] = a[j + 1];
+                        a[j + 1] = t;
+                    }
+                }
+            }
+        }
+        """
+        cdfg = cdfg_from_source(src)
+        storage = ArrayStorage.allocate("a", ArrayType(Type.INT, (6,)))
+        for index, value in enumerate([5, 2, 9, 1, 7, 3]):
+            storage.store(index, value)
+        Interpreter(cdfg).run("sort", storage)
+        assert storage.snapshot() == [1, 2, 3, 5, 7, 9]
+
+    def test_fixed_point_mac(self):
+        src = """
+        int mac(int a[4], int b[4]) {
+            int acc = 0;
+            for (int i = 0; i < 4; i++) { acc += (a[i] * b[i]) >> 4; }
+            return acc;
+        }
+        """
+        assert run(src, "mac", [16, 32, 48, 64], [16, 16, 16, 16]) == 160

@@ -1,0 +1,125 @@
+"""Profiler and runtime-value tests."""
+
+import pytest
+
+from repro.frontend.ast_nodes import ArrayType, Type
+from repro.interp import ArrayStorage, BlockProfiler, coerce, profile_run
+from repro.ir import cdfg_from_source
+
+LOOP_SRC = """
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += i; }
+    return s;
+}
+"""
+
+
+class TestProfiler:
+    def test_loop_body_frequency(self):
+        cdfg = cdfg_from_source(LOOP_SRC)
+        profiler = profile_run(cdfg, "f", 10)
+        freqs = profiler.frequencies()
+        body_id = next(
+            b.bb_id
+            for b in cdfg.all_blocks()
+            if "for_body" in b.label
+        )
+        assert freqs[body_id] == 10
+
+    def test_header_executes_n_plus_one(self):
+        cdfg = cdfg_from_source(LOOP_SRC)
+        profiler = profile_run(cdfg, "f", 10)
+        header_id = next(
+            b.bb_id for b in cdfg.all_blocks() if "for_header" in b.label
+        )
+        assert profiler.exec_freq(header_id) == 11
+
+    def test_entry_executes_once(self):
+        cdfg = cdfg_from_source(LOOP_SRC)
+        profiler = profile_run(cdfg, "f", 10)
+        entry_id = cdfg.cfg("f").entry.bb_id
+        assert profiler.exec_freq(entry_id) == 1
+
+    def test_unexecuted_block_zero(self):
+        src = "int f(int x) { if (x) { return 1; } return 0; }"
+        cdfg = cdfg_from_source(src)
+        profiler = profile_run(cdfg, "f", 0)
+        then_id = next(
+            b.bb_id for b in cdfg.all_blocks() if "then" in b.label
+        )
+        assert profiler.exec_freq(then_id) == 0
+
+    def test_memory_access_counting(self):
+        src = "int f(int a[4]) { int s = 0; for (int i = 0; i < 4; i++) { s += a[i]; } return s; }"
+        cdfg = cdfg_from_source(src)
+        profiler = profile_run(cdfg, "f", [1, 2, 3, 4])
+        total_mem = sum(
+            p.dynamic_memory_accesses for p in profiler.profiles.values()
+        )
+        assert total_mem == 4
+
+    def test_reset(self):
+        cdfg = cdfg_from_source(LOOP_SRC)
+        profiler = profile_run(cdfg, "f", 5)
+        profiler.reset()
+        assert profiler.frequencies() == {}
+
+    def test_total_blocks_matches_result(self):
+        cdfg = cdfg_from_source(LOOP_SRC)
+        from repro.interp import Interpreter
+
+        profiler = BlockProfiler()
+        result = Interpreter(cdfg, profiler).run("f", 4)
+        assert profiler.total_blocks_executed() == result.blocks_executed
+
+
+class TestValues:
+    def test_coerce_int(self):
+        assert coerce(3.9, Type.INT) == 3
+        assert coerce(-3.9, Type.INT) == -3
+
+    def test_coerce_float(self):
+        assert coerce(3, Type.FLOAT) == 3.0
+        assert isinstance(coerce(3, Type.FLOAT), float)
+
+    def test_coerce_void_rejected(self):
+        with pytest.raises(TypeError):
+            coerce(1, Type.VOID)
+
+    def test_array_allocate_zeroed(self):
+        storage = ArrayStorage.allocate("a", ArrayType(Type.INT, (3,)))
+        assert storage.snapshot() == [0, 0, 0]
+
+    def test_array_float_zeroed(self):
+        storage = ArrayStorage.allocate("a", ArrayType(Type.FLOAT, (2,)))
+        assert storage.snapshot() == [0.0, 0.0]
+
+    def test_from_values_coerces(self):
+        storage = ArrayStorage.from_values(
+            "a", ArrayType(Type.INT, (3,)), [1.5, 2.9, 3]
+        )
+        assert storage.snapshot() == [1, 2, 3]
+
+    def test_from_values_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayStorage.from_values("a", ArrayType(Type.INT, (2,)), [1, 2, 3])
+
+    def test_store_coerces(self):
+        storage = ArrayStorage.allocate("a", ArrayType(Type.INT, (2,)))
+        storage.store(0, 9.7)
+        assert storage.load(0) == 9
+
+    def test_negative_index_rejected(self):
+        storage = ArrayStorage.allocate("a", ArrayType(Type.INT, (2,)))
+        with pytest.raises(IndexError):
+            storage.load(-1)
+
+    def test_non_integer_index_rejected(self):
+        storage = ArrayStorage.allocate("a", ArrayType(Type.INT, (2,)))
+        with pytest.raises(TypeError):
+            storage.load(0.5)
+
+    def test_2d_size(self):
+        storage = ArrayStorage.allocate("a", ArrayType(Type.INT, (4, 8)))
+        assert len(storage) == 32

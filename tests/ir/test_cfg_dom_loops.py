@@ -1,0 +1,162 @@
+"""CFG structure, dominators, natural loops and CDFG numbering tests."""
+
+import pytest
+
+from repro.ir import (
+    DominatorTree,
+    LoopForest,
+    cdfg_from_source,
+)
+
+LOOPY = """
+void f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            s = s + i * j;
+        }
+        if (s > 100) {
+            s = s - 100;
+        }
+    }
+    while (s > 0) {
+        s = s - 3;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def loopy_cfg():
+    return cdfg_from_source(LOOPY).cfg("f")
+
+
+class TestCFG:
+    def test_entry_is_first(self, loopy_cfg):
+        assert loopy_cfg.entry_label == loopy_cfg.reverse_post_order()[0]
+
+    def test_rpo_covers_reachable(self, loopy_cfg):
+        assert set(loopy_cfg.reverse_post_order()) == loopy_cfg.reachable_labels()
+
+    def test_predecessors_inverse_of_successors(self, loopy_cfg):
+        for label in loopy_cfg.blocks:
+            for succ in loopy_cfg.successors(label):
+                assert label in loopy_cfg.predecessors(succ)
+
+    def test_exit_labels_are_ret(self, loopy_cfg):
+        exits = loopy_cfg.exit_labels()
+        assert exits
+        from repro.ir import Opcode
+
+        for label in exits:
+            assert loopy_cfg.block(label).terminator.opcode is Opcode.RET
+
+    def test_networkx_roundtrip(self, loopy_cfg):
+        graph = loopy_cfg.to_networkx()
+        assert graph.number_of_nodes() == len(loopy_cfg)
+
+    def test_verify_passes(self, loopy_cfg):
+        loopy_cfg.verify()
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self, loopy_cfg):
+        dom = DominatorTree(loopy_cfg)
+        for label in loopy_cfg.reachable_labels():
+            assert dom.dominates(loopy_cfg.entry_label, label)
+
+    def test_self_domination(self, loopy_cfg):
+        dom = DominatorTree(loopy_cfg)
+        for label in loopy_cfg.reachable_labels():
+            assert dom.dominates(label, label)
+
+    def test_entry_has_no_idom(self, loopy_cfg):
+        dom = DominatorTree(loopy_cfg)
+        assert dom.immediate_dominator(loopy_cfg.entry_label) is None
+
+    def test_idom_dominates(self, loopy_cfg):
+        dom = DominatorTree(loopy_cfg)
+        for label in loopy_cfg.reachable_labels():
+            idom = dom.immediate_dominator(label)
+            if idom is not None:
+                assert dom.dominates(idom, label)
+
+    def test_dominator_chain_ends_at_entry(self, loopy_cfg):
+        dom = DominatorTree(loopy_cfg)
+        for label in loopy_cfg.reachable_labels():
+            chain = dom.dominators_of(label)
+            assert chain[-1] == loopy_cfg.entry_label
+
+    def test_loop_header_dominates_body(self, loopy_cfg):
+        dom = DominatorTree(loopy_cfg)
+        forest = LoopForest(loopy_cfg, dom)
+        for loop in forest.loops:
+            for label in loop.body:
+                assert dom.dominates(loop.header, label)
+
+
+class TestLoops:
+    def test_loop_count(self, loopy_cfg):
+        forest = LoopForest(loopy_cfg)
+        assert forest.loop_count == 3  # two nested fors + one while
+
+    def test_nesting_depth(self, loopy_cfg):
+        forest = LoopForest(loopy_cfg)
+        depths = {
+            label: forest.loop_depth(label) for label in loopy_cfg.blocks
+        }
+        assert max(depths.values()) == 2  # inner for body
+
+    def test_innermost_loop_smallest(self, loopy_cfg):
+        forest = LoopForest(loopy_cfg)
+        inner_body = next(
+            l for l, d in (
+                (label, forest.loop_depth(label)) for label in loopy_cfg.blocks
+            ) if d == 2
+        )
+        loop = forest.innermost_loop(inner_body)
+        assert loop is not None
+        sizes = [l.size for l in forest.loops if l.contains(inner_body)]
+        assert loop.size == min(sizes)
+
+    def test_entry_not_in_loop(self, loopy_cfg):
+        forest = LoopForest(loopy_cfg)
+        assert forest.loop_depth(loopy_cfg.entry_label) == 0
+
+    def test_back_edges_recorded(self, loopy_cfg):
+        forest = LoopForest(loopy_cfg)
+        for loop in forest.loops:
+            assert loop.back_edges
+            for tail, head in loop.back_edges:
+                assert head == loop.header
+                assert loop.contains(tail)
+
+    def test_no_loops_in_straightline(self):
+        cfg = cdfg_from_source("int f(int x) { return x + 1; }").cfg("f")
+        assert LoopForest(cfg).loop_count == 0
+
+
+class TestCDFGNumbering:
+    def test_ids_dense_from_one(self, sample_cdfg):
+        ids = [b.bb_id for b in sample_cdfg.all_blocks()]
+        assert ids == list(range(1, sample_cdfg.block_count + 1))
+
+    def test_id_lookup_roundtrip(self, sample_cdfg):
+        for bb_id in range(1, sample_cdfg.block_count + 1):
+            assert sample_cdfg.block_by_id(bb_id).bb_id == bb_id
+
+    def test_numbering_deterministic(self):
+        from tests.conftest import SAMPLE_SOURCE
+
+        a = cdfg_from_source(SAMPLE_SOURCE)
+        b = cdfg_from_source(SAMPLE_SOURCE)
+        assert [str(k) for k in a.all_block_keys()] == [
+            str(k) for k in b.all_block_keys()
+        ]
+
+    def test_statistics_cover_all_blocks(self, sample_cdfg):
+        stats = sample_cdfg.statistics()
+        assert set(stats) == set(range(1, sample_cdfg.block_count + 1))
+
+    def test_verify(self, sample_cdfg):
+        sample_cdfg.verify()

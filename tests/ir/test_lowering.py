@@ -1,0 +1,189 @@
+"""AST -> CFG lowering tests."""
+
+import pytest
+
+from repro.frontend import parse_program, analyze_program
+from repro.ir import (
+    ArrayBase,
+    Const,
+    Opcode,
+    VarRef,
+    lower_program,
+)
+
+
+def lower(source):
+    program = parse_program(source)
+    analyze_program(program)
+    return lower_program(program)
+
+
+def opcodes_in(cfg):
+    return [ins.opcode for block in cfg for ins in block.instructions]
+
+
+class TestStructure:
+    def test_straightline_single_block(self):
+        cfg = lower("int f(int x) { int y = x + 1; return y; }")["f"]
+        assert len(cfg) == 1
+        assert cfg.entry.terminator.opcode is Opcode.RET
+
+    def test_if_produces_diamond(self):
+        cfg = lower(
+            "int f(int x) { int y = 0; if (x) { y = 1; } else { y = 2; } "
+            "return y; }"
+        )["f"]
+        assert len(cfg) == 4  # entry, then, else, join
+
+    def test_if_without_else_three_blocks(self):
+        cfg = lower(
+            "int f(int x) { int y = 0; if (x) { y = 1; } return y; }"
+        )["f"]
+        assert len(cfg) == 3
+
+    def test_while_structure(self):
+        cfg = lower("void f(int n) { while (n) { n = n - 1; } }")["f"]
+        labels = set(cfg.blocks)
+        assert any("while_header" in l for l in labels)
+        assert any("while_body" in l for l in labels)
+        assert any("while_exit" in l for l in labels)
+
+    def test_for_structure(self):
+        cfg = lower("void f() { for (int i = 0; i < 3; i++) { } }")["f"]
+        labels = set(cfg.blocks)
+        assert any("for_step" in l for l in labels)
+
+    def test_do_while_executes_body_first(self):
+        cfg = lower("void f(int n) { do { n = n - 1; } while (n); }")["f"]
+        entry_succ = cfg.successors(cfg.entry_label)
+        assert len(entry_succ) == 1
+        assert "do_body" in entry_succ[0]
+
+    def test_break_branches_to_exit(self):
+        cfg = lower("void f() { while (1) { break; } }")["f"]
+        body = next(l for l in cfg.blocks if "while_body" in l)
+        (target,) = cfg.successors(body)
+        assert "while_exit" in target
+
+    def test_continue_branches_to_header(self):
+        cfg = lower(
+            "void f(int n) { while (n) { continue; } }"
+        )["f"]
+        body = next(l for l in cfg.blocks if "while_body" in l)
+        (target,) = cfg.successors(body)
+        assert "while_header" in target
+
+    def test_unreachable_code_removed(self):
+        cfg = lower("int f() { return 1; int x = 2; return x; }")["f"]
+        assert len(cfg) == 1
+
+    def test_implicit_void_return(self):
+        cfg = lower("void f() { int x = 1; }")["f"]
+        assert cfg.entry.terminator.opcode is Opcode.RET
+
+    def test_cfg_verifies(self):
+        for cfg in lower(
+            "void f(int n) { for (int i = 0; i < n; i++) { if (i % 2) "
+            "{ continue; } } }"
+        ).values():
+            cfg.verify()
+
+
+class TestOperations:
+    def test_arithmetic_opcode_selection(self):
+        cfg = lower("int f(int a, int b) { return a * b + (a % b); }")["f"]
+        ops = opcodes_in(cfg)
+        assert Opcode.MUL in ops and Opcode.MOD in ops and Opcode.ADD in ops
+
+    def test_array_load_store(self):
+        cfg = lower("void f(int a[4]) { a[1] = a[0] + 1; }")["f"]
+        ops = opcodes_in(cfg)
+        assert ops.count(Opcode.LOAD) == 1 and ops.count(Opcode.STORE) == 1
+
+    def test_2d_index_linearized(self):
+        cfg = lower("void f(int a[3][4], int i, int j) { a[i][j] = 0; }")["f"]
+        muls = [
+            ins
+            for block in cfg
+            for ins in block.instructions
+            if ins.opcode is Opcode.MUL
+        ]
+        assert any(Const(4) in ins.operands for ins in muls)
+
+    def test_local_array_marked_local(self):
+        cfg = lower("void f() { int a[4]; a[0] = 1; }")["f"]
+        stores = [
+            ins
+            for block in cfg
+            for ins in block.instructions
+            if ins.opcode is Opcode.STORE
+        ]
+        base = stores[0].operands[0]
+        assert isinstance(base, ArrayBase) and base.local
+
+    def test_param_array_marked_shared(self):
+        cfg = lower("void f(int a[4]) { a[0] = 1; }")["f"]
+        stores = [
+            ins
+            for block in cfg
+            for ins in block.instructions
+            if ins.opcode is Opcode.STORE
+        ]
+        assert not stores[0].operands[0].local
+
+    def test_global_array_marked_shared(self):
+        cfg = lower("int G[4]; void f() { G[0] = 1; }")["f"]
+        stores = [
+            ins
+            for block in cfg
+            for ins in block.instructions
+            if ins.opcode is Opcode.STORE
+        ]
+        assert not stores[0].operands[0].local
+
+    def test_ternary_becomes_select(self):
+        cfg = lower("int f(int a) { return a ? 1 : 2; }")["f"]
+        assert Opcode.SELECT in opcodes_in(cfg)
+
+    def test_logical_and_non_short_circuit(self):
+        cfg = lower("int f(int a, int b) { return a && b; }")["f"]
+        ops = opcodes_in(cfg)
+        assert Opcode.AND in ops and ops.count(Opcode.NE) == 2
+
+    def test_intrinsic_lowered_to_opcode(self):
+        cfg = lower("int f(int a) { return abs(a) + max(a, 2); }")["f"]
+        ops = opcodes_in(cfg)
+        assert Opcode.ABS in ops and Opcode.MAX in ops
+
+    def test_cast_lowered(self):
+        cfg = lower("int f(float a) { return (int) a; }")["f"]
+        assert Opcode.F2I in opcodes_in(cfg)
+
+    def test_call_lowered_with_array_base(self):
+        cfg = lower(
+            "int g(int a[2]) { return a[0]; } "
+            "int f() { int v[2]; return g(v); }"
+        )["f"]
+        calls = [
+            ins
+            for block in cfg
+            for ins in block.instructions
+            if ins.opcode is Opcode.CALL
+        ]
+        assert calls[0].callee == "g"
+        assert isinstance(calls[0].operands[0], ArrayBase)
+
+    def test_scalar_copy_on_assignment(self):
+        cfg = lower("void f() { int a = 1; int b = a; }")["f"]
+        copies = [
+            ins
+            for block in cfg
+            for ins in block.instructions
+            if ins.opcode is Opcode.COPY and isinstance(ins.dest, VarRef)
+        ]
+        assert {c.dest.name for c in copies} == {"a", "b"}
+
+    def test_unary_ops(self):
+        cfg = lower("int f(int a) { return -a + ~a + !a; }")["f"]
+        ops = opcodes_in(cfg)
+        assert Opcode.NEG in ops and Opcode.BNOT in ops and Opcode.LNOT in ops

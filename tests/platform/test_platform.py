@@ -1,0 +1,122 @@
+"""Platform model tests: characterization, memory, interconnect, SoC."""
+
+import pytest
+
+from repro.ir import OpClass, Opcode
+from repro.platform import (
+    HardwareCharacterization,
+    HybridPlatform,
+    Interconnect,
+    OperationHardware,
+    SharedMemory,
+    default_characterization,
+    paper_platform,
+)
+from repro.coarsegrain import standard_datapath
+from repro.finegrain import FPGADevice
+
+
+class TestCharacterization:
+    def test_default_has_all_classes(self):
+        char = default_characterization()
+        for op_class in OpClass:
+            assert op_class in char.class_hardware
+
+    def test_mul_bigger_and_slower_than_alu(self):
+        char = default_characterization()
+        assert char.fpga_area(Opcode.MUL) > char.fpga_area(Opcode.ADD)
+        assert char.fpga_delay(Opcode.MUL) > char.fpga_delay(Opcode.ADD)
+
+    def test_moves_free(self):
+        char = default_characterization()
+        assert char.fpga_area(Opcode.COPY) == 0
+        assert char.fpga_delay(Opcode.COPY) == 0
+
+    def test_div_not_cgc_executable(self):
+        assert not default_characterization().cgc_executable(Opcode.DIV)
+
+    def test_opcode_override(self):
+        char = default_characterization()
+        char.opcode_overrides[Opcode.SHL] = OperationHardware(5, 1, True)
+        assert char.fpga_area(Opcode.SHL) == 5
+        assert char.fpga_area(Opcode.ADD) != 5
+
+    def test_tick_conversion_roundtrip(self):
+        char = default_characterization(clock_ratio=3)
+        assert char.fpga_cycles_to_cgc_ticks(10) == 30
+        assert char.cgc_ticks_to_fpga_cycles(30) == 10.0
+
+    def test_invalid_clock_ratio(self):
+        with pytest.raises(ValueError):
+            default_characterization(clock_ratio=0)
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareCharacterization(class_hardware={})
+
+
+class TestSharedMemory:
+    def test_read_cycles_ceil_by_ports(self):
+        memory = SharedMemory(ports=2, read_latency=1)
+        assert memory.read_cycles(1) == 1
+        assert memory.read_cycles(2) == 1
+        assert memory.read_cycles(3) == 2
+
+    def test_write_latency_scales(self):
+        memory = SharedMemory(ports=1, write_latency=2)
+        assert memory.write_cycles(3) == 6
+
+    def test_zero_words_free(self):
+        memory = SharedMemory()
+        assert memory.transfer_cycles(0, 0) == 0
+
+    def test_transfer_is_read_plus_write(self):
+        memory = SharedMemory(ports=2)
+        assert memory.transfer_cycles(3, 2) == memory.read_cycles(
+            3
+        ) + memory.write_cycles(2)
+
+    def test_invalid_ports(self):
+        with pytest.raises(ValueError):
+            SharedMemory(ports=0)
+
+
+class TestInterconnect:
+    def test_overhead(self):
+        net = Interconnect(setup_cycles=2, cycles_per_word=1)
+        assert net.transfer_overhead(3) == 5
+
+    def test_zero_words_free(self):
+        assert Interconnect(setup_cycles=9).transfer_overhead(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Interconnect(setup_cycles=-1)
+
+
+class TestHybridPlatform:
+    def test_paper_platform_area(self):
+        assert paper_platform(1500, 2).area_budget == 1500
+        assert paper_platform(5000, 3).area_budget == 5000
+
+    def test_paper_platform_ports_scale_with_cgcs(self):
+        assert paper_platform(1500, 2).datapath.memory_ports == 2
+        assert paper_platform(1500, 3).datapath.memory_ports == 3
+
+    def test_memory_ports_override(self):
+        platform = paper_platform(1500, 3, memory_ports=1)
+        assert platform.datapath.memory_ports == 1
+
+    def test_clock_ratio_default(self):
+        assert paper_platform(1500, 2).clock_ratio == 3
+
+    def test_reconfig_coherence(self):
+        platform = HybridPlatform(
+            fpga=FPGADevice.from_usable_area(1000, reconfig_cycles=33),
+            datapath=standard_datapath(2),
+        )
+        assert platform.characterization.reconfig_cycles == 33
+
+    def test_describe_mentions_config(self):
+        text = paper_platform(1500, 2).describe()
+        assert "A_FPGA=1500" in text and "two 2x2" in text

@@ -1,0 +1,60 @@
+"""Reporting layer tests: experiment runners and table rendering."""
+
+import pytest
+
+from repro.reporting import (
+    format_grid,
+    render_partition_table,
+    render_table1,
+    reproduce_table1_jpeg,
+    reproduce_table1_ofdm,
+    scaled_constraint,
+)
+from repro.workloads import (
+    OFDM_TIMING_CONSTRAINT,
+    PAPER_TABLE2_OFDM,
+)
+
+
+class TestTable1Runners:
+    def test_ofdm_rows_match(self):
+        comparisons = reproduce_table1_ofdm()
+        assert len(comparisons) == 8
+        assert all(c.matches for c in comparisons)
+
+    def test_jpeg_rows_match(self):
+        comparisons = reproduce_table1_jpeg()
+        assert len(comparisons) == 8
+        assert all(c.matches for c in comparisons)
+
+    def test_render_table1(self):
+        text = render_table1(reproduce_table1_ofdm(), "Table 1 (OFDM)")
+        assert "BB no." in text and "38640" in text
+
+
+class TestScaledConstraint:
+    def test_scale_relative_slack(self, ofdm):
+        constraint, scale = scaled_constraint(
+            ofdm, PAPER_TABLE2_OFDM, OFDM_TIMING_CONSTRAINT
+        )
+        assert constraint == pytest.approx(
+            OFDM_TIMING_CONSTRAINT * scale, abs=1
+        )
+        assert 0 < scale < 2
+
+
+class TestFormatting:
+    def test_grid_alignment(self):
+        text = format_grid(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_partition_table_renders(self):
+        from repro.reporting import reproduce_table2
+
+        table = reproduce_table2()
+        text = render_partition_table(table)
+        assert "A_FPGA" in text
+        assert "scale factor" in text
+        assert "22,12,3" in text

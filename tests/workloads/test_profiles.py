@@ -1,0 +1,106 @@
+"""Calibrated workload model tests: Table 1 fidelity and structure."""
+
+import pytest
+
+from repro.analysis import WeightModel
+from repro.workloads import (
+    JPEG_TABLE1,
+    JPEG_TOTAL_BLOCKS,
+    OFDM_TABLE1,
+    OFDM_TOTAL_BLOCKS,
+    PAPER_TABLE2_OFDM,
+    PAPER_TABLE3_JPEG,
+    PaperKernelRow,
+    jpeg_profiles,
+    ofdm_profiles,
+    verify_profile_realization,
+)
+
+
+class TestTable1Data:
+    def test_row_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            PaperKernelRow(1, 10, 10, 99)
+
+    def test_ofdm_rows_descending(self):
+        totals = [r.total_weight for r in OFDM_TABLE1]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_jpeg_rows_descending(self):
+        totals = [r.total_weight for r in JPEG_TABLE1]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_ofdm_headline_row(self):
+        top = OFDM_TABLE1[0]
+        assert (top.bb_id, top.exec_freq, top.ops_weight) == (22, 336, 115)
+
+    def test_jpeg_headline_row(self):
+        top = JPEG_TABLE1[0]
+        assert (top.bb_id, top.exec_freq, top.ops_weight) == (6, 355024, 3)
+
+
+class TestProfiles:
+    def test_ofdm_block_count(self):
+        assert len(ofdm_profiles()) == OFDM_TOTAL_BLOCKS == 18
+
+    def test_jpeg_block_count(self):
+        assert len(jpeg_profiles()) == JPEG_TOTAL_BLOCKS == 22
+
+    def test_all_profiles_realize(self):
+        for profile in ofdm_profiles() + jpeg_profiles():
+            verify_profile_realization(profile)
+
+    def test_ofdm_table_rows_exact(self):
+        by_id = {p.bb_id: p for p in ofdm_profiles()}
+        for row in OFDM_TABLE1:
+            assert by_id[row.bb_id].weight == row.ops_weight
+            assert by_id[row.bb_id].exec_freq == row.exec_freq
+
+    def test_jpeg_table_rows_exact(self):
+        by_id = {p.bb_id: p for p in jpeg_profiles()}
+        for row in JPEG_TABLE1:
+            assert by_id[row.bb_id].weight == row.ops_weight
+            assert by_id[row.bb_id].exec_freq == row.exec_freq
+
+    def test_fillers_below_cutoff(self):
+        ofdm_cut = OFDM_TABLE1[-1].total_weight
+        jpeg_cut = JPEG_TABLE1[-1].total_weight
+        ofdm_ids = {r.bb_id for r in OFDM_TABLE1}
+        jpeg_ids = {r.bb_id for r in JPEG_TABLE1}
+        for profile in ofdm_profiles():
+            if profile.bb_id not in ofdm_ids:
+                assert profile.total_weight < ofdm_cut
+        for profile in jpeg_profiles():
+            if profile.bb_id not in jpeg_ids:
+                assert profile.total_weight < jpeg_cut
+
+    def test_unique_ids(self):
+        for profiles in (ofdm_profiles(), jpeg_profiles()):
+            ids = [p.bb_id for p in profiles]
+            assert len(ids) == len(set(ids))
+
+
+class TestWorkloadAnalysis:
+    def test_ofdm_top8_matches_table1(self, ofdm):
+        rows = ofdm.analysis_rows(WeightModel(), 8)
+        expected = [
+            (r.bb_id, r.exec_freq, r.ops_weight, r.total_weight)
+            for r in OFDM_TABLE1
+        ]
+        assert rows == expected
+
+    def test_jpeg_top8_matches_table1(self, jpeg):
+        rows = jpeg.analysis_rows(WeightModel(), 8)
+        expected = [
+            (r.bb_id, r.exec_freq, r.ops_weight, r.total_weight)
+            for r in JPEG_TABLE1
+        ]
+        assert rows == expected
+
+    def test_paper_table_rows_present(self):
+        assert len(PAPER_TABLE2_OFDM) == 4
+        assert len(PAPER_TABLE3_JPEG) == 4
+
+    def test_paper_table_reductions_recorded(self):
+        assert PAPER_TABLE2_OFDM[1].reduction_percent == 81.8
+        assert PAPER_TABLE3_JPEG[0].reduction_percent == 42.7

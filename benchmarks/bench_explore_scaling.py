@@ -1,0 +1,119 @@
+"""Scaling bench: the incremental engine vs the seed's full-rescan loop.
+
+The seed engine rescanned every block's cost after every kernel move and
+restarted the greedy loop from scratch for every constraint of a sweep.
+The incremental engine applies an O(1) delta per move and warm-starts
+each constraint from the cached trajectory, so a (constraints × moves)
+sweep touches each block's cost O(1) times instead of O(moves) times.
+
+This bench runs both modes over a 120-block synthetic workload, checks
+they produce identical results, and asserts the headline claim: >= 5x
+fewer block-cost evaluations (measured: >100x).  The slow (opt-in) bench
+additionally fans a full design-space grid out across worker processes.
+"""
+
+import pytest
+
+from repro.explore import DesignSpace, WorkloadSpec, explore
+from repro.partition import EngineConfig, PartitioningEngine
+from repro.platform import paper_platform
+from repro.reporting import render_exploration
+from repro.workloads import synthetic_application
+
+CONSTRAINT_FRACTIONS = (0.95, 0.9, 0.8, 0.7, 0.6, 0.5)
+
+
+@pytest.fixture(scope="module")
+def big_synthetic():
+    return synthetic_application(120, seed=7, comm_intensity=0.6)
+
+
+def _sweep(workload, incremental):
+    engine = PartitioningEngine(
+        workload,
+        paper_platform(3000, 2),
+        config=EngineConfig(incremental=incremental),
+    )
+    initial = engine.initial_cycles()
+    constraints = [max(1, round(initial * f)) for f in CONSTRAINT_FRACTIONS]
+    results = engine.sweep(constraints)
+    return results, engine.stats
+
+
+def test_incremental_sweep_speed(benchmark, big_synthetic):
+    """Wall-clock of a warm 6-constraint sweep on 120 blocks."""
+    engine = PartitioningEngine(big_synthetic, paper_platform(3000, 2))
+    initial = engine.initial_cycles()
+    constraints = [max(1, round(initial * f)) for f in CONSTRAINT_FRACTIONS]
+    engine.run(1)  # build trajectory once; bench measures warm replays
+
+    results = benchmark(engine.sweep, constraints)
+    assert len(results) == len(constraints)
+
+
+def test_block_cost_evaluation_scaling(big_synthetic, capsys):
+    """The acceptance claim: >= 5x fewer block-cost evaluations than the
+    seed's full-rescan aggregation on a 100+-block synthetic sweep, with
+    bit-identical results."""
+    incremental_results, incremental_stats = _sweep(big_synthetic, True)
+    rescan_results, rescan_stats = _sweep(big_synthetic, False)
+
+    assert incremental_results == rescan_results
+    ratio = (
+        rescan_stats.block_cost_evaluations
+        / incremental_stats.block_cost_evaluations
+    )
+    with capsys.disabled():
+        print(
+            f"\n  120-block sweep x {len(CONSTRAINT_FRACTIONS)} constraints: "
+            f"full-rescan {rescan_stats.block_cost_evaluations} evaluations, "
+            f"incremental {incremental_stats.block_cost_evaluations} "
+            f"({ratio:.1f}x fewer)"
+        )
+    assert ratio >= 5.0
+
+
+def test_warm_start_adds_no_evaluations(big_synthetic):
+    """Extra constraints after the first sweep are free replays."""
+    engine = PartitioningEngine(big_synthetic, paper_platform(3000, 2))
+    initial = engine.initial_cycles()
+    engine.run(1)
+    evaluations = engine.stats.block_cost_evaluations
+    engine.sweep([max(1, round(initial * f)) for f in CONSTRAINT_FRACTIONS])
+    assert engine.stats.block_cost_evaluations == evaluations
+
+
+@pytest.mark.slow
+def test_parallel_grid_exploration(capsys):
+    """Fan a (3 workloads x 6 platforms x 4 constraints) grid across
+    worker processes and compare against the serial run."""
+    import time
+
+    workloads = [
+        WorkloadSpec.synthetic(100, seed=s, comm_intensity=0.5)
+        for s in (1, 2, 3)
+    ]
+    space = DesignSpace.grid(
+        workloads,
+        afpga_values=(1500, 3000, 5000),
+        cgc_counts=(2, 3),
+        constraint_fractions=(0.9, 0.75, 0.6, 0.5),
+    )
+
+    # Parallel first: forked workers must build their own workloads, so
+    # neither run benefits from the other's per-process cache.
+    started = time.perf_counter()
+    parallel = explore(space, max_workers=4)
+    parallel_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    serial = explore(space, max_workers=1)
+    serial_seconds = time.perf_counter() - started
+
+    assert parallel.results == serial.results
+    with capsys.disabled():
+        print(f"\n{render_exploration(parallel)}")
+        print(
+            f"  serial {serial_seconds:.2f}s vs "
+            f"{parallel.workers_used} workers {parallel_seconds:.2f}s"
+        )

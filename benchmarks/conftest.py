@@ -1,8 +1,39 @@
-"""Shared fixtures for the benchmark harness."""
+"""Shared fixtures and the opt-in `slow` marker for the bench harness.
+
+Benches marked ``@pytest.mark.slow`` (large exploration grids, wall-clock
+parallel-speedup measurements) are skipped unless the run passes
+``--run-slow``::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_*.py --run-slow
+"""
 
 import pytest
 
 from repro.workloads import jpeg_workload, ofdm_workload
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="also run benches marked slow (large exploration grids)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: opt-in long-running bench (needs --run-slow)"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow bench: pass --run-slow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture(scope="session")

@@ -1,100 +1,71 @@
-"""Design-space exploration: sweep the platform around the paper's points.
+"""Design-space exploration: parallel grid sweeps around the paper's points.
 
 The methodology is "parameterized with respect to the reconfigurable
-hardware" (§1), so any (A_FPGA, CGC count, reconfiguration cost, clock
-ratio) point defines a platform.  This example sweeps the OFDM workload
-across a grid and prints where the timing constraint becomes satisfiable
-and how many kernels each point needs to move.
+hardware" (§1), so any (A_FPGA, CGC count, clock ratio) point defines a
+platform.  This example declares a (workload × platform × constraint)
+grid with :class:`repro.explore.DesignSpace`, fans it out across worker
+processes with :func:`repro.explore.explore`, and then asks the classic
+DSE questions: which points meet the deadline, and what is the smallest
+platform that does?
 
-Run:  python examples/design_space_exploration.py
+The grid mixes the paper's OFDM transmitter with a 60-block synthetic
+application (see :func:`repro.workloads.synthetic_application`) to show
+the same sweep scaling beyond the paper's 22-block ceiling.  Results are
+also exported as CSV and JSON via :mod:`repro.reporting`.
+
+Run:  PYTHONPATH=src python examples/design_space_exploration.py
 """
 
-from repro import PartitioningEngine, paper_platform
-from repro.reporting import scaled_constraint
-from repro.reporting.tables import format_grid
-from repro.workloads import (
-    OFDM_TIMING_CONSTRAINT,
-    PAPER_TABLE2_OFDM,
-    ofdm_workload,
+import tempfile
+from pathlib import Path
+
+from repro.explore import DesignSpace, WorkloadSpec, explore
+from repro.reporting import (
+    render_exploration,
+    write_exploration_csv,
+    write_exploration_json,
 )
 
-
-def sweep_area_and_cgcs(workload, constraint) -> None:
-    print("A_FPGA x CGC-count sweep (OFDM, fixed relative constraint)")
-    headers = ["A_FPGA", "CGCs", "initial", "final", "moved", "red %", "met"]
-    rows = []
-    for afpga in (800, 1500, 3000, 5000, 8000):
-        for cgc_count in (1, 2, 3, 4):
-            engine = PartitioningEngine(
-                workload, paper_platform(afpga, cgc_count)
-            )
-            result = engine.run(constraint)
-            rows.append(
-                [
-                    str(afpga),
-                    str(cgc_count),
-                    str(result.initial_cycles),
-                    str(result.final_cycles),
-                    str(result.kernels_moved),
-                    f"{result.reduction_percent:.1f}",
-                    "yes" if result.constraint_met else "no",
-                ]
-            )
-    print(format_grid(headers, rows))
-    print()
-
-
-def sweep_reconfiguration_cost(workload, constraint) -> None:
-    print("Reconfiguration-cost sensitivity (A_FPGA=1500, two 2x2 CGCs)")
-    headers = ["reconfig cycles", "initial", "final", "red %"]
-    rows = []
-    for reconfig in (0, 10, 20, 40, 80, 160):
-        platform = paper_platform(1500, 2, reconfig_cycles=reconfig)
-        engine = PartitioningEngine(workload, platform)
-        result = engine.run(constraint)
-        rows.append(
-            [
-                str(reconfig),
-                str(result.initial_cycles),
-                str(result.final_cycles),
-                f"{result.reduction_percent:.1f}",
-            ]
-        )
-    print(format_grid(headers, rows))
-    print()
-
-
-def sweep_clock_ratio(workload, constraint) -> None:
-    print("T_FPGA / T_CGC ratio sensitivity (A_FPGA=1500, two 2x2 CGCs)")
-    headers = ["clock ratio", "final", "cycles in CGC", "red %"]
-    rows = []
-    for ratio in (1, 2, 3, 4, 6):
-        platform = paper_platform(1500, 2, clock_ratio=ratio)
-        engine = PartitioningEngine(workload, platform)
-        result = engine.run(constraint)
-        rows.append(
-            [
-                str(ratio),
-                str(result.final_cycles),
-                str(result.cycles_in_cgc),
-                f"{result.reduction_percent:.1f}",
-            ]
-        )
-    print(format_grid(headers, rows))
+CONSTRAINT_FRACTIONS = (0.9, 0.75, 0.5)
 
 
 def main() -> None:
-    workload = ofdm_workload()
-    constraint, scale = scaled_constraint(
-        workload, PAPER_TABLE2_OFDM, OFDM_TIMING_CONSTRAINT
+    space = DesignSpace.grid(
+        [
+            WorkloadSpec.ofdm(),
+            WorkloadSpec.synthetic(60, seed=11, comm_intensity=0.5),
+        ],
+        afpga_values=(800, 1500, 3000, 5000),
+        cgc_counts=(1, 2, 3),
+        constraint_fractions=CONSTRAINT_FRACTIONS,
     )
     print(
-        f"constraint: {constraint} cycles "
-        f"(paper's {OFDM_TIMING_CONSTRAINT} scaled by {scale:.3f})\n"
+        f"exploring {space.size} grid points "
+        f"({len(space.workloads)} workloads x {len(space.platforms)} "
+        f"platforms x {len(space.constraint_fractions)} constraints)\n"
     )
-    sweep_area_and_cgcs(workload, constraint)
-    sweep_reconfiguration_cost(workload, constraint)
-    sweep_clock_ratio(workload, constraint)
+
+    report = explore(space, max_workers=4)
+    print(render_exploration(report))
+
+    print("\nSmallest platform meeting each deadline:")
+    for workload in report.workload_names():
+        for fraction in CONSTRAINT_FRACTIONS:
+            cheapest = report.cheapest_meeting(workload, fraction)
+            if cheapest is None:
+                print(f"  {workload} @ {fraction:.2f}: no point meets it")
+            else:
+                print(
+                    f"  {workload} @ {fraction:.2f}: A_FPGA="
+                    f"{cheapest.afpga}, {cheapest.cgc_count} CGCs "
+                    f"({cheapest.kernels_moved} kernels moved, "
+                    f"{cheapest.reduction_percent:.1f}% reduction)"
+                )
+
+    out_dir = Path(tempfile.mkdtemp(prefix="explore-"))
+    csv_path = write_exploration_csv(report.results, out_dir / "grid.csv")
+    json_path = write_exploration_json(report, out_dir / "grid.json")
+    print(f"\nwrote {csv_path} and {json_path}")
 
 
 if __name__ == "__main__":

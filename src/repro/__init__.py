@@ -20,8 +20,13 @@ every substrate it depends on:
 * :mod:`repro.partition` — the partitioning engine loop (step 4, Eq. 2);
 * :mod:`repro.platform` — the generic hybrid platform of Figure 1;
 * :mod:`repro.workloads` — the OFDM transmitter and JPEG encoder
-  (mini-C implementations + Table 1-calibrated synthetic models);
-* :mod:`repro.reporting` — experiment runners regenerating Tables 1-3.
+  (mini-C implementations + Table 1-calibrated synthetic models) plus a
+  parameterized synthetic application generator for scale studies;
+* :mod:`repro.reporting` — experiment runners regenerating Tables 1-3
+  and CSV/JSON export of exploration reports;
+* :mod:`repro.explore` — parallel design-space exploration: declarative
+  (workload × platform × constraint) grids fanned out across worker
+  processes on top of the incremental engine.
 
 Quickstart::
 
@@ -44,6 +49,15 @@ from .analysis import (
     profile_cdfg,
 )
 from .coarsegrain import CGCDatapath, block_cgc_timing, schedule_dfg, standard_datapath
+# NOTE: the explore() runner itself is not re-exported here — that would
+# shadow the repro.explore submodule; use `from repro.explore import explore`.
+from .explore import (
+    DesignSpace,
+    ExplorationReport,
+    ExplorationResult,
+    PlatformSpec,
+    WorkloadSpec,
+)
 from .finegrain import FPGADevice, block_fpga_timing, partition_dfg
 from .frontend import parse_program
 from .interp import Interpreter, run_function
@@ -52,6 +66,7 @@ from .partition import (
     ApplicationWorkload,
     BlockWorkload,
     EngineConfig,
+    EngineStats,
     PartitioningEngine,
     PartitionResult,
     partition_application,
@@ -74,15 +89,21 @@ __all__ = [
     "BlockWorkload",
     "CDFG",
     "CGCDatapath",
+    "DesignSpace",
     "DynamicProfile",
     "EngineConfig",
+    "EngineStats",
+    "ExplorationReport",
+    "ExplorationResult",
     "FPGADevice",
     "HybridPlatform",
     "Interpreter",
     "KernelInfo",
     "PartitionResult",
     "PartitioningEngine",
+    "PlatformSpec",
     "WeightModel",
+    "WorkloadSpec",
     "block_cgc_timing",
     "block_fpga_timing",
     "build_cdfg",

@@ -1,0 +1,157 @@
+"""Structured records produced by a design-space exploration run."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..partition.result import PartitionResult
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Outcome of one (workload × platform × constraint) grid point."""
+
+    workload: str
+    platform: str
+    afpga: int
+    cgc_count: int
+    clock_ratio: int
+    reconfig_cycles: int
+    constraint_fraction: float
+    timing_constraint: int
+    initial_cycles: int
+    final_cycles: int
+    reduction_percent: float
+    kernels_moved: int
+    moved_bb_ids: tuple[int, ...]
+    reverted_bb_ids: tuple[int, ...]
+    skipped_bb_ids: tuple[int, ...]
+    constraint_met: bool
+
+    @classmethod
+    def from_partition_result(
+        cls,
+        result: PartitionResult,
+        *,
+        afpga: int,
+        cgc_count: int,
+        clock_ratio: int,
+        reconfig_cycles: int,
+        constraint_fraction: float,
+    ) -> "ExplorationResult":
+        return cls(
+            workload=result.workload_name,
+            platform=result.platform_name,
+            afpga=afpga,
+            cgc_count=cgc_count,
+            clock_ratio=clock_ratio,
+            reconfig_cycles=reconfig_cycles,
+            constraint_fraction=constraint_fraction,
+            timing_constraint=result.timing_constraint,
+            initial_cycles=result.initial_cycles,
+            final_cycles=result.final_cycles,
+            reduction_percent=result.reduction_percent,
+            kernels_moved=result.kernels_moved,
+            moved_bb_ids=tuple(result.moved_bb_ids),
+            reverted_bb_ids=tuple(result.reverted_bb_ids),
+            skipped_bb_ids=tuple(result.skipped_bb_ids),
+            constraint_met=result.constraint_met,
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """A flat, JSON/CSV-friendly view of this record."""
+        return {
+            "workload": self.workload,
+            "platform": self.platform,
+            "afpga": self.afpga,
+            "cgc_count": self.cgc_count,
+            "clock_ratio": self.clock_ratio,
+            "reconfig_cycles": self.reconfig_cycles,
+            "constraint_fraction": self.constraint_fraction,
+            "timing_constraint": self.timing_constraint,
+            "initial_cycles": self.initial_cycles,
+            "final_cycles": self.final_cycles,
+            "reduction_percent": round(self.reduction_percent, 3),
+            "kernels_moved": self.kernels_moved,
+            "moved_bb_ids": list(self.moved_bb_ids),
+            "reverted_bb_ids": list(self.reverted_bb_ids),
+            "skipped_bb_ids": list(self.skipped_bb_ids),
+            "constraint_met": self.constraint_met,
+        }
+
+
+@dataclass
+class ExplorationReport:
+    """Everything one :func:`repro.explore.explore` call produced."""
+
+    results: list[ExplorationResult] = field(default_factory=list)
+    workers_used: int = 1
+    tasks_run: int = 0
+    elapsed_seconds: float = 0.0
+    #: Aggregated engine work counters across every worker.
+    block_cost_evaluations: int = 0
+    blocks_mapped: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.results)
+
+    def met(self) -> list[ExplorationResult]:
+        return [r for r in self.results if r.constraint_met]
+
+    def workload_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for result in self.results:
+            seen.setdefault(result.workload)
+        return list(seen)
+
+    def for_workload(self, workload: str) -> list[ExplorationResult]:
+        return [r for r in self.results if r.workload == workload]
+
+    def cheapest_meeting(
+        self, workload: str, constraint_fraction: float
+    ) -> ExplorationResult | None:
+        """Smallest platform that meets the constraint at the given
+        relative deadline — the classic DSE query.  "Smallest" is ordered
+        by (A_FPGA, CGC count, clock ratio, reconfiguration cost), so the
+        pick is deterministic on grids that cross the extra axes too.
+
+        Fractions are matched with a tolerance so arithmetically derived
+        values (``7 * 0.1``) still hit the grid point they name.
+        """
+        candidates = [
+            r
+            for r in self.for_workload(workload)
+            if r.constraint_met
+            and math.isclose(
+                r.constraint_fraction, constraint_fraction, rel_tol=1e-9
+            )
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda r: (
+                r.afpga,
+                r.cgc_count,
+                r.clock_ratio,
+                r.reconfig_cycles,
+            ),
+        )
+
+    def best_reduction(self, workload: str) -> ExplorationResult | None:
+        rows = self.for_workload(workload)
+        if not rows:
+            return None
+        return max(rows, key=lambda r: r.reduction_percent)
+
+    def summary(self) -> str:
+        met = len(self.met())
+        return (
+            f"explored {self.size} points over {self.tasks_run} tasks "
+            f"({self.workers_used} workers) in {self.elapsed_seconds:.2f}s; "
+            f"{met}/{self.size} constraints met; "
+            f"{self.block_cost_evaluations} block-cost evaluations, "
+            f"{self.blocks_mapped} blocks mapped"
+        )

@@ -1,0 +1,155 @@
+"""Parallel grid-sweep runner.
+
+Work is split at (workload, platform) granularity: one task runs the
+whole constraint sweep for a pair on a single incremental engine, so the
+per-block cost cache and the constraint-independent move trajectory are
+shared across every constraint of that pair.  Within a worker process,
+built workloads are additionally cached by spec, so every platform the
+worker prices against the same workload reuses its DFGs.
+
+Tasks fan out over ``concurrent.futures.ProcessPoolExecutor``; with
+``max_workers=1`` (or a single task) everything runs in-process, which is
+also the automatic fallback where process pools are unavailable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..partition.engine import EngineConfig, PartitioningEngine
+from ..partition.workload import ApplicationWorkload
+from .results import ExplorationReport, ExplorationResult
+from .space import DesignSpace, ExplorationTask, WorkloadSpec
+
+#: Per-process cache of built workloads (DFG generation is the expensive
+#: part of a spec); worker processes each grow their own copy.
+_WORKLOAD_CACHE: dict[WorkloadSpec, ApplicationWorkload] = {}
+
+
+def _cached_workload(
+    spec: WorkloadSpec,
+    cache: dict[WorkloadSpec, ApplicationWorkload] | None = None,
+) -> ApplicationWorkload:
+    if cache is None:
+        cache = _WORKLOAD_CACHE
+    workload = cache.get(spec)
+    if workload is None:
+        workload = spec.build()
+        cache[spec] = workload
+    return workload
+
+
+@dataclass
+class _TaskOutcome:
+    """What one task ships back to the coordinating process."""
+
+    results: list[ExplorationResult] = field(default_factory=list)
+    block_cost_evaluations: int = 0
+    blocks_mapped: int = 0
+
+
+def _run_task(
+    task: ExplorationTask,
+    workload_cache: dict[WorkloadSpec, ApplicationWorkload] | None = None,
+) -> _TaskOutcome:
+    """Execute one (workload, platform) constraint sweep."""
+    workload = _cached_workload(task.workload, workload_cache)
+    platform = task.platform.build()
+    config = task.engine_config or EngineConfig()
+    engine = PartitioningEngine(workload, platform, config=config)
+    initial = engine.initial_cycles()
+    outcome = _TaskOutcome()
+    for fraction in task.constraint_fractions:
+        constraint = max(1, round(initial * fraction))
+        result = engine.run(constraint)
+        outcome.results.append(
+            ExplorationResult.from_partition_result(
+                result,
+                afpga=task.platform.afpga,
+                cgc_count=task.platform.cgc_count,
+                clock_ratio=task.platform.clock_ratio,
+                reconfig_cycles=task.platform.reconfig_cycles,
+                constraint_fraction=fraction,
+            )
+        )
+    outcome.block_cost_evaluations = engine.stats.block_cost_evaluations
+    outcome.blocks_mapped = engine.stats.blocks_mapped
+    return outcome
+
+
+def explore(
+    space: DesignSpace,
+    *,
+    max_workers: int | None = None,
+    engine_config: EngineConfig | None = None,
+) -> ExplorationReport:
+    """Sweep the whole design space, fanning tasks out across processes.
+
+    ``max_workers=None`` sizes the pool to ``min(tasks, cpu_count)``;
+    ``max_workers=1`` forces a serial in-process run.  Results come back
+    in grid order (workloads × platforms × constraint fractions)
+    regardless of worker scheduling.
+    """
+    tasks = space.tasks(engine_config)
+    started = time.perf_counter()
+    workers = max_workers
+    if workers is None:
+        workers = min(len(tasks), os.cpu_count() or 1)
+    workers = max(1, workers)
+
+    def run_serially() -> list[_TaskOutcome]:
+        # Cache scoped to this call: the coordinating process is long
+        # lived and must not accumulate every workload ever explored.
+        cache: dict[WorkloadSpec, ApplicationWorkload] = {}
+        return [_run_task(task, cache) for task in tasks]
+
+    outcomes: list[_TaskOutcome]
+    if workers == 1 or len(tasks) == 1:
+        workers = 1
+        outcomes = run_serially()
+    else:
+        # An unusable pool (no fork, no sem_open — surfaced either at
+        # construction or by the warm-up probe, since workers spawn
+        # lazily) and a worker dying mid-grid (BrokenExecutor) fall back
+        # to a serial run.  Genuine task errors only occur after the
+        # probe succeeded and propagate as themselves, so the fallback
+        # never re-runs a grid that would fail anyway.
+        pool_ready = False
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                pool.submit(os.getpid).result()  # force a worker to spawn
+                pool_ready = True
+                outcomes = list(pool.map(_run_task, tasks))
+        except (OSError, ImportError, NotImplementedError) as error:
+            if pool_ready:  # the error is the tasks' own: surface it
+                raise
+            warnings.warn(
+                f"process pool unavailable ({error}); exploring serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
+            outcomes = run_serially()
+        except BrokenExecutor as error:
+            warnings.warn(
+                f"worker pool broke mid-run ({error}); exploring serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
+            outcomes = run_serially()
+
+    report = ExplorationReport(
+        workers_used=workers,
+        tasks_run=len(tasks),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+    for outcome in outcomes:
+        report.results.extend(outcome.results)
+        report.block_cost_evaluations += outcome.block_cost_evaluations
+        report.blocks_mapped += outcome.blocks_mapped
+    return report

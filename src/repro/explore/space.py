@@ -1,0 +1,202 @@
+"""Declarative description of a design space to explore.
+
+Specs rather than objects: a :class:`WorkloadSpec` / :class:`PlatformSpec`
+names how to *build* a workload or platform instead of holding the built
+object, so a grid is tiny, hashable, and cheap to ship to worker
+processes; each worker materializes (and caches) the heavy DFGs locally.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..partition.engine import EngineConfig
+from ..partition.workload import ApplicationWorkload
+from ..platform.soc import HybridPlatform, paper_platform
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A buildable workload: one of the paper apps or a synthetic one."""
+
+    kind: str  # "ofdm" | "jpeg" | "synthetic"
+    params: tuple[tuple[str, object], ...] = ()
+
+    _KINDS = ("ofdm", "jpeg", "synthetic")
+    #: Names the paper-app factories give their workloads; labels must
+    #: match them because ExplorationResult.workload is the built name.
+    _APP_NAMES = {"ofdm": "ofdm-transmitter", "jpeg": "jpeg-encoder"}
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; expected one of "
+                f"{self._KINDS}"
+            )
+        if self.kind == "synthetic" and "block_count" not in dict(self.params):
+            raise ValueError(
+                "synthetic workload specs need a block_count parameter "
+                "(use WorkloadSpec.synthetic(block_count, ...))"
+            )
+
+    @classmethod
+    def ofdm(cls) -> "WorkloadSpec":
+        return cls(kind="ofdm")
+
+    @classmethod
+    def jpeg(cls) -> "WorkloadSpec":
+        return cls(kind="jpeg")
+
+    @classmethod
+    def synthetic(cls, block_count: int, **params: object) -> "WorkloadSpec":
+        merged: dict[str, object] = {"block_count": block_count, **params}
+        return cls(kind="synthetic", params=tuple(sorted(merged.items())))
+
+    @property
+    def label(self) -> str:
+        """Predicts the built workload's name (the report query key)."""
+        if self.kind != "synthetic":
+            return self._APP_NAMES[self.kind]
+        from ..workloads.synthetic import synthetic_workload_name
+
+        params = dict(self.params)
+        custom_name = params.pop("name", None)
+        if custom_name:
+            return str(custom_name)
+        return synthetic_workload_name(
+            params.pop("block_count"), params.pop("seed", 0), **params
+        )
+
+    def build(self) -> ApplicationWorkload:
+        # Imported here so a spec stays importable without dragging the
+        # whole workload layer into every module that names one.
+        from ..workloads.profiles import jpeg_workload, ofdm_workload
+        from ..workloads.synthetic import synthetic_application
+
+        if self.kind == "ofdm":
+            return ofdm_workload()
+        if self.kind == "jpeg":
+            return jpeg_workload()
+        return synthetic_application(**dict(self.params))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A buildable :func:`paper_platform` configuration."""
+
+    afpga: int = 1500
+    cgc_count: int = 2
+    clock_ratio: int = 3
+    reconfig_cycles: int = 20
+    rows: int = 2
+    cols: int = 2
+
+    def __post_init__(self) -> None:
+        if self.afpga < 1 or self.cgc_count < 1:
+            raise ValueError("afpga and cgc_count must be >= 1")
+        if self.clock_ratio < 1:
+            raise ValueError("clock_ratio must be >= 1")
+
+    @property
+    def label(self) -> str:
+        return (
+            f"A{self.afpga}-{self.cgc_count}x({self.rows}x{self.cols})"
+            f"-r{self.clock_ratio}"
+        )
+
+    def build(self) -> HybridPlatform:
+        return paper_platform(
+            self.afpga,
+            self.cgc_count,
+            reconfig_cycles=self.reconfig_cycles,
+            clock_ratio=self.clock_ratio,
+            rows=self.rows,
+            cols=self.cols,
+        )
+
+
+@dataclass(frozen=True)
+class ExplorationTask:
+    """One worker unit: a full constraint sweep of one (workload,
+    platform) pair, so the engine's cost cache and move trajectory are
+    shared across every constraint of the pair."""
+
+    workload: WorkloadSpec
+    platform: PlatformSpec
+    constraint_fractions: tuple[float, ...]
+    engine_config: EngineConfig | None = None
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A (workload × platform × constraint) grid.
+
+    Constraints are *relative*: each fraction is multiplied by the
+    workload's all-FPGA cycle count on that platform, so one grid spans
+    workloads whose absolute timescales differ by orders of magnitude.
+    """
+
+    workloads: tuple[WorkloadSpec, ...]
+    platforms: tuple[PlatformSpec, ...]
+    constraint_fractions: tuple[float, ...] = (0.9, 0.75, 0.5)
+
+    def __post_init__(self) -> None:
+        if not self.workloads or not self.platforms:
+            raise ValueError("a design space needs >= 1 workload and platform")
+        if not self.constraint_fractions:
+            raise ValueError("a design space needs >= 1 constraint fraction")
+        for fraction in self.constraint_fractions:
+            if fraction <= 0.0:
+                raise ValueError("constraint fractions must be positive")
+
+    @property
+    def size(self) -> int:
+        return (
+            len(self.workloads)
+            * len(self.platforms)
+            * len(self.constraint_fractions)
+        )
+
+    def tasks(
+        self, engine_config: EngineConfig | None = None
+    ) -> list[ExplorationTask]:
+        return [
+            ExplorationTask(
+                workload=workload,
+                platform=platform,
+                constraint_fractions=self.constraint_fractions,
+                engine_config=engine_config,
+            )
+            for workload, platform in itertools.product(
+                self.workloads, self.platforms
+            )
+        ]
+
+    @classmethod
+    def grid(
+        cls,
+        workloads,
+        *,
+        afpga_values=(1500, 5000),
+        cgc_counts=(2, 3),
+        clock_ratios=(3,),
+        reconfig_cycles_values=(20,),
+        constraint_fractions=(0.9, 0.75, 0.5),
+    ) -> "DesignSpace":
+        """Cross the given axes into a full grid (the §4 neighbourhood by
+        default: A_FPGA ∈ {1500, 5000} × {2, 3} CGCs at ratio 3, 20-cycle
+        reconfiguration)."""
+        platforms = tuple(
+            PlatformSpec(
+                afpga=a, cgc_count=c, clock_ratio=r, reconfig_cycles=g
+            )
+            for a, c, r, g in itertools.product(
+                afpga_values, cgc_counts, clock_ratios, reconfig_cycles_values
+            )
+        )
+        return cls(
+            workloads=tuple(workloads),
+            platforms=platforms,
+            constraint_fractions=tuple(constraint_fractions),
+        )

@@ -7,6 +7,7 @@ from .comm import (
 )
 from .engine import (
     EngineConfig,
+    EngineStats,
     PartitioningEngine,
     partition_application,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "BlockWorkload",
     "CommunicationCost",
     "EngineConfig",
+    "EngineStats",
     "PartitionResult",
     "PartitionStep",
     "PartitioningEngine",

@@ -12,14 +12,27 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class PartitionStep:
-    """State after moving one kernel to the coarse-grain hardware."""
+    """State after moving one kernel to the coarse-grain hardware.
+
+    The three component cycle counts are apportioned from one rounding of
+    the summed tick total, so ``fpga + cgc + comm == total`` always holds
+    (enforced here).
+    """
 
     moved_bb_id: int
     fpga_cycles: int      # t_FPGA of the blocks still on the FPGA
-    cgc_fpga_cycles: int  # t_coarse expressed in FPGA cycles (rounded up)
+    cgc_fpga_cycles: int  # t_coarse expressed in FPGA cycles
     comm_cycles: int      # t_comm in FPGA cycles
     total_cycles: int     # Eq. 2 total
     constraint_met: bool
+
+    def __post_init__(self) -> None:
+        components = self.fpga_cycles + self.cgc_fpga_cycles + self.comm_cycles
+        if components != self.total_cycles:
+            raise ValueError(
+                f"step for BB {self.moved_bb_id} inconsistent: components "
+                f"sum to {components}, total is {self.total_cycles}"
+            )
 
 
 @dataclass
@@ -38,6 +51,9 @@ class PartitionResult:
     steps: list[PartitionStep] = field(default_factory=list)
     constraint_met: bool = False
     skipped_bb_ids: list[int] = field(default_factory=list)
+    #: Kernels whose move strictly worsened Eq. 2 and was undone (empty
+    #: when ``EngineConfig.allow_regressing_moves`` is set).
+    reverted_bb_ids: list[int] = field(default_factory=list)
 
     @property
     def reduction_percent(self) -> float:
@@ -49,6 +65,24 @@ class PartitionResult:
     @property
     def kernels_moved(self) -> int:
         return len(self.moved_bb_ids)
+
+    def validate(self) -> None:
+        """Check the Eq. 2 bookkeeping invariants; raises ``ValueError``.
+
+        Every step's components must sum to its total (already enforced
+        per step), the result-level components must sum to
+        ``final_cycles``, and the moved-BB list must mirror the steps.
+        """
+        components = self.fpga_cycles + self.cycles_in_cgc + self.comm_cycles
+        if components != self.final_cycles:
+            raise ValueError(
+                f"result inconsistent: components sum to {components}, "
+                f"final_cycles is {self.final_cycles}"
+            )
+        if [step.moved_bb_id for step in self.steps] != self.moved_bb_ids:
+            raise ValueError("steps and moved_bb_ids disagree")
+        if set(self.reverted_bb_ids) & set(self.moved_bb_ids):
+            raise ValueError("a BB cannot be both moved and reverted")
 
     def table_row(self) -> dict[str, object]:
         """The Table 2/3 column set for this configuration."""

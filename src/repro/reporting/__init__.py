@@ -14,6 +14,11 @@ from .experiments import (
     reproduce_table3,
     scaled_constraint,
 )
+from .exploration import (
+    render_exploration,
+    write_exploration_csv,
+    write_exploration_json,
+)
 from .tables import format_grid, render_partition_table, render_table1
 
 __all__ = [
@@ -22,6 +27,7 @@ __all__ = [
     "Table1Comparison",
     "TableReproduction",
     "format_grid",
+    "render_exploration",
     "render_partition_table",
     "render_table1",
     "reproduce_headline_claims",
@@ -32,4 +38,6 @@ __all__ = [
     "reproduce_table2",
     "reproduce_table3",
     "scaled_constraint",
+    "write_exploration_csv",
+    "write_exploration_json",
 ]

@@ -1,0 +1,119 @@
+"""Rendering and export of design-space exploration reports.
+
+The :mod:`repro.explore` runner produces structured
+:class:`~repro.explore.results.ExplorationResult` records; this module
+turns them into the ASCII grid the benchmarks print and into CSV/JSON
+files downstream tooling can ingest.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..explore.results import ExplorationReport, ExplorationResult
+from .tables import format_grid
+
+#: Column order of the CSV export (a superset of the printed table).
+CSV_FIELDS = (
+    "workload",
+    "platform",
+    "afpga",
+    "cgc_count",
+    "clock_ratio",
+    "reconfig_cycles",
+    "constraint_fraction",
+    "timing_constraint",
+    "initial_cycles",
+    "final_cycles",
+    "reduction_percent",
+    "kernels_moved",
+    "moved_bb_ids",
+    "reverted_bb_ids",
+    "skipped_bb_ids",
+    "constraint_met",
+)
+
+
+def exploration_rows(
+    results: Iterable[ExplorationResult],
+) -> list[list[str]]:
+    rows = []
+    for result in results:
+        moved = ",".join(str(b) for b in result.moved_bb_ids) or "-"
+        rows.append(
+            [
+                result.workload,
+                str(result.afpga),
+                f"{result.cgc_count}x CGC",
+                str(result.clock_ratio),
+                str(result.reconfig_cycles),
+                f"{result.constraint_fraction:.2f}",
+                str(result.initial_cycles),
+                str(result.final_cycles),
+                f"{result.reduction_percent:.1f}",
+                moved,
+                str(len(result.reverted_bb_ids)),
+                "yes" if result.constraint_met else "no",
+            ]
+        )
+    return rows
+
+
+def render_exploration(report: ExplorationReport) -> str:
+    """The exploration grid as an ASCII table plus the run summary."""
+    headers = [
+        "workload",
+        "A_FPGA",
+        "CGCs",
+        "T-ratio",
+        "rcfg",
+        "C/initial",
+        "initial",
+        "final",
+        "red %",
+        "BBs moved",
+        "reverted",
+        "met",
+    ]
+    table = format_grid(headers, exploration_rows(report.results))
+    return f"{table}\n{report.summary()}"
+
+
+def write_exploration_csv(
+    results: Iterable[ExplorationResult], path: str | Path
+) -> Path:
+    """One row per grid point; BB id lists are ';'-joined."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for result in results:
+            row = result.to_dict()
+            for key in ("moved_bb_ids", "reverted_bb_ids", "skipped_bb_ids"):
+                row[key] = ";".join(str(b) for b in row[key])
+            writer.writerow(row)
+    return path
+
+
+def write_exploration_json(
+    report: ExplorationReport, path: str | Path
+) -> Path:
+    """The full report (run metadata + every record) as one JSON object."""
+    path = Path(path)
+    payload = {
+        "summary": {
+            "points": report.size,
+            "tasks_run": report.tasks_run,
+            "workers_used": report.workers_used,
+            "elapsed_seconds": round(report.elapsed_seconds, 6),
+            "block_cost_evaluations": report.block_cost_evaluations,
+            "blocks_mapped": report.blocks_mapped,
+            "constraints_met": len(report.met()),
+        },
+        "results": [result.to_dict() for result in report.results],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

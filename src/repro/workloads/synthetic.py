@@ -14,6 +14,7 @@ same block, keyed by the block id.
 
 from __future__ import annotations
 
+import inspect
 import random
 from dataclasses import dataclass
 
@@ -296,6 +297,134 @@ def _generate_serial_memory_block(profile: SyntheticBlockProfile) -> BasicBlock:
 def generate_dfg(profile: SyntheticBlockProfile) -> DataFlowGraph:
     """Generate the block and wrap it in a DFG."""
     return DataFlowGraph(generate_block(profile))
+
+
+def synthetic_workload_name(
+    block_count: int,
+    seed: int = 0,
+    **shape_params: object,
+) -> str:
+    """The canonical default name for a synthetic parameter set.
+
+    Only parameters deviating from :func:`synthetic_application`'s
+    defaults appear in the name, so two different parameterizations can
+    never share a default name (``_SYNTHETIC_DEFAULTS`` below is derived
+    from the signature and cannot drift from it).
+    """
+    name = f"synthetic-{block_count}b-s{seed}"
+    for key, default in _SYNTHETIC_DEFAULTS.items():
+        value = shape_params.get(key, default)
+        if value != default:
+            name += f"-{key[0]}{key.split('_')[1][0]}{value:g}"
+    return name
+
+
+def synthetic_application(
+    block_count: int,
+    *,
+    seed: int = 0,
+    kernel_fraction: float = 0.4,
+    weight_skew: float = 2.0,
+    max_weight: int = 100,
+    max_exec_freq: int = 1500,
+    comm_intensity: float = 0.3,
+    name: str | None = None,
+):
+    """A whole synthetic application for scale and exploration studies.
+
+    The paper's applications top out at 22 basic blocks; this generator
+    produces arbitrarily large workloads with the same statistical shape
+    so the engine and the :mod:`repro.explore` grid sweeps have inputs of
+    any size.  Fully deterministic for a given parameter set.
+
+    ``weight_skew`` shapes the weight/frequency distributions: draws are
+    ``max · u^skew`` with ``u`` uniform, so ``skew > 1`` yields the
+    Table 1 profile of a few heavy kernels over many light blocks.
+    ``kernel_fraction`` is the share of blocks inside loops (kernel
+    candidates); ``comm_intensity`` scales the live-in/live-out words a
+    move must transfer, so high values make some kernels regress on the
+    CGC (communication dominates) and exercise the engine's revert path.
+    """
+    from ..partition.workload import ApplicationWorkload, BlockWorkload
+
+    if block_count < 1:
+        raise ValueError("block_count must be >= 1")
+    if not 0.0 <= kernel_fraction <= 1.0:
+        raise ValueError("kernel_fraction must be in [0, 1]")
+    if weight_skew <= 0.0 or comm_intensity < 0.0:
+        raise ValueError("weight_skew must be > 0 and comm_intensity >= 0")
+    if max_weight < 1 or max_exec_freq < 1:
+        raise ValueError("max_weight and max_exec_freq must be >= 1")
+
+    rng = random.Random(0x5EED ^ (seed * 0x9E3779B1) ^ (block_count << 20))
+    # kernel_fraction=0.0 is honoured literally (a no-kernel workload for
+    # edge-case studies); any positive fraction yields at least one.
+    kernel_count = (
+        max(1, round(block_count * kernel_fraction))
+        if kernel_fraction > 0.0
+        else 0
+    )
+    kernel_ids = set(rng.sample(range(1, block_count + 1), kernel_count))
+
+    blocks = []
+    for bb_id in range(1, block_count + 1):
+        weight = max(1, round(max_weight * rng.random() ** weight_skew))
+        exec_freq = max(1, round(max_exec_freq * rng.random() ** weight_skew))
+        mul = min(weight // 2, round(weight * rng.uniform(0.0, 0.6) / 2.0))
+        alu = weight - 2 * mul
+        compute = alu + mul
+        mem_total = round(compute * rng.uniform(0.1, 0.6))
+        stores = max(1, mem_total // 4) if mem_total else 0
+        loads = max(0, mem_total - stores)
+        scale = comm_intensity * rng.uniform(0.5, 1.5)
+        profile = SyntheticBlockProfile(
+            bb_id=bb_id,
+            exec_freq=exec_freq,
+            alu_ops=alu,
+            mul_ops=mul,
+            load_ops=loads,
+            store_ops=stores,
+            width=1.0 + rng.random() * 3.0,
+            live_in_words=max(1, round(scale * (2 + weight / 8.0))),
+            live_out_words=max(1, round(scale * (1 + weight / 12.0))),
+            name=f"synth_bb{bb_id}",
+        )
+        blocks.append(
+            BlockWorkload(
+                bb_id=bb_id,
+                exec_freq=exec_freq,
+                dfg=generate_dfg(profile),
+                is_kernel_candidate=bb_id in kernel_ids,
+                comm_words_in=profile.live_in_words,
+                comm_words_out=profile.live_out_words,
+                name=profile.name,
+            )
+        )
+    return ApplicationWorkload(
+        name=name
+        or synthetic_workload_name(
+            block_count,
+            seed,
+            kernel_fraction=kernel_fraction,
+            weight_skew=weight_skew,
+            max_weight=max_weight,
+            max_exec_freq=max_exec_freq,
+            comm_intensity=comm_intensity,
+        ),
+        blocks=blocks,
+    )
+
+
+#: Shape-parameter defaults consulted by :func:`synthetic_workload_name`,
+#: extracted from :func:`synthetic_application`'s own signature so the
+#: naming scheme cannot drift when a default changes.
+_SYNTHETIC_DEFAULTS = {
+    parameter.name: parameter.default
+    for parameter in inspect.signature(synthetic_application).parameters.values()
+    if parameter.name
+    in ("kernel_fraction", "weight_skew", "max_weight", "max_exec_freq",
+        "comm_intensity")
+}
 
 
 def verify_profile_realization(profile: SyntheticBlockProfile) -> None:

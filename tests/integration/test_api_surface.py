@@ -20,6 +20,7 @@ class TestPackageExports:
     def test_subpackage_exports_resolve(self):
         import repro.analysis
         import repro.coarsegrain
+        import repro.explore
         import repro.finegrain
         import repro.frontend
         import repro.interp
@@ -30,9 +31,10 @@ class TestPackageExports:
         import repro.workloads
 
         for module in (
-            repro.analysis, repro.coarsegrain, repro.finegrain,
-            repro.frontend, repro.interp, repro.ir, repro.partition,
-            repro.platform, repro.reporting, repro.workloads,
+            repro.analysis, repro.coarsegrain, repro.explore,
+            repro.finegrain, repro.frontend, repro.interp, repro.ir,
+            repro.partition, repro.platform, repro.reporting,
+            repro.workloads,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,80 @@
+"""Tests for the scaled-up synthetic application generator."""
+
+import pytest
+
+from repro.analysis import WeightModel
+from repro.workloads import synthetic_application
+
+
+class TestSyntheticApplication:
+    def test_block_count_and_ids(self):
+        workload = synthetic_application(40, seed=1)
+        assert workload.block_count == 40
+        assert sorted(b.bb_id for b in workload.blocks) == list(range(1, 41))
+
+    def test_deterministic(self):
+        model = WeightModel()
+
+        def signature(workload):
+            return [
+                (b.bb_id, b.exec_freq, b.bb_weight(model), b.is_kernel_candidate)
+                for b in workload.blocks
+            ]
+
+        a = synthetic_application(30, seed=5, comm_intensity=0.7)
+        b = synthetic_application(30, seed=5, comm_intensity=0.7)
+        assert signature(a) == signature(b)
+
+    def test_seeds_differ(self):
+        model = WeightModel()
+        a = synthetic_application(30, seed=1)
+        b = synthetic_application(30, seed=2)
+        assert [x.bb_weight(model) for x in a.blocks] != [
+            x.bb_weight(model) for x in b.blocks
+        ]
+
+    def test_kernel_fraction_respected(self):
+        workload = synthetic_application(100, seed=3, kernel_fraction=0.25)
+        kernels = sum(1 for b in workload.blocks if b.is_kernel_candidate)
+        assert kernels == 25
+
+    def test_small_positive_fraction_keeps_one_kernel(self):
+        workload = synthetic_application(10, seed=0, kernel_fraction=0.001)
+        assert sum(b.is_kernel_candidate for b in workload.blocks) == 1
+
+    def test_zero_fraction_yields_no_kernels(self):
+        workload = synthetic_application(10, seed=0, kernel_fraction=0.0)
+        assert not any(b.is_kernel_candidate for b in workload.blocks)
+
+    def test_skew_concentrates_weight(self):
+        """High skew: the top decile carries most of the total weight."""
+        model = WeightModel()
+        workload = synthetic_application(100, seed=9, weight_skew=3.0)
+        weights = sorted(
+            (b.total_weight(model) for b in workload.blocks), reverse=True
+        )
+        assert sum(weights[:10]) > sum(weights[10:])
+
+    def test_comm_words_positive(self):
+        workload = synthetic_application(20, seed=4, comm_intensity=0.0)
+        for block in workload.blocks:
+            assert block.comm_words_in >= 1
+            assert block.comm_words_out >= 1
+
+    def test_custom_name(self):
+        assert synthetic_application(5, name="demo").name == "demo"
+        assert synthetic_application(5, seed=2).name == "synthetic-5b-s2"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(block_count=0),
+            dict(block_count=5, kernel_fraction=1.5),
+            dict(block_count=5, weight_skew=0.0),
+            dict(block_count=5, comm_intensity=-0.1),
+            dict(block_count=5, max_weight=0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            synthetic_application(**kwargs)

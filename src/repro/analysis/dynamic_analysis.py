@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..interp.cache import ProfileCache
 from ..interp.interpreter import Interpreter
 from ..interp.profiler import BlockProfiler
 from ..ir.cdfg import CDFG
@@ -42,20 +43,56 @@ class DynamicProfile:
         return ordered[:count]
 
 
-def profile_cdfg(cdfg: CDFG, entry: str, *args) -> DynamicProfile:
-    """Run ``entry`` on one representative input under profiling."""
+def profile_cdfg(
+    cdfg: CDFG,
+    entry: str,
+    *args,
+    cache: ProfileCache | None = None,
+    mode: str = "auto",
+) -> DynamicProfile:
+    """Run ``entry`` on one representative input under profiling.
+
+    ``mode`` selects the interpreter engine (``"auto"`` uses the
+    block-compiled counter-only fast path).  Passing a
+    :class:`~repro.interp.cache.ProfileCache` memoizes the run
+    content-keyed on (CDFG fingerprint, entry, args); cached execution
+    is always counter-only compiled, so combining a cache with
+    ``mode="walker"`` is rejected rather than silently ignored.
+    """
+    if cache is not None:
+        if mode not in ("auto", "compiled"):
+            raise ValueError(
+                "a ProfileCache always executes in compiled mode; "
+                f"mode={mode!r} cannot be honored — drop the cache to "
+                "profile under the walker"
+            )
+        return cache.profile(cdfg, entry, *args)
     profiler = BlockProfiler()
-    Interpreter(cdfg, profiler).run(entry, *args)
+    Interpreter(cdfg, profiler, mode=mode).run(entry, *args)
     return DynamicProfile(frequencies=profiler.frequencies(), runs=1)
 
 
 def profile_cdfg_many(
-    cdfg: CDFG, entry: str, input_sets: list[tuple]
+    cdfg: CDFG,
+    entry: str,
+    input_sets: list[tuple],
+    *,
+    cache: ProfileCache | None = None,
+    mode: str = "auto",
 ) -> DynamicProfile:
     """Accumulate frequencies across several representative inputs."""
+    if cache is not None:
+        if mode not in ("auto", "compiled"):
+            raise ValueError(
+                "a ProfileCache always executes in compiled mode; "
+                f"mode={mode!r} cannot be honored — drop the cache to "
+                "profile under the walker"
+            )
+        # One CDFG fingerprint for the whole batch.
+        return cache.profile_many(cdfg, entry, input_sets)
     combined = DynamicProfile()
     for args in input_sets:
-        combined.merge(profile_cdfg(cdfg, entry, *args))
+        combined.merge(profile_cdfg(cdfg, entry, *args, mode=mode))
     return combined
 
 

@@ -8,7 +8,13 @@ reported as a structured :class:`ExplorationResult`.
 Three layers:
 
 * :mod:`repro.explore.space` — :class:`WorkloadSpec` / :class:`PlatformSpec`
-  (buildable, picklable descriptions) and :class:`DesignSpace`, the grid;
+  (buildable, picklable descriptions) and :class:`DesignSpace`, the grid.
+  ``WorkloadSpec.ofdm_measured()`` / ``WorkloadSpec.jpeg_measured()``
+  profile the real mini-C applications under the block-compiled
+  interpreter instead of using the calibrated Table 1 statistics; pass
+  ``explore(..., profile_cache_dir=...)`` to share those profiling runs
+  across worker processes and repeat invocations via the content-keyed
+  on-disk cache (:mod:`repro.interp.cache`);
 * :mod:`repro.explore.runner` — :func:`explore`, which fans the grid out
   across worker processes; each task sweeps every constraint of one
   (workload, platform) pair on a single incremental engine so cost caches

@@ -20,6 +20,7 @@ import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from ..interp.cache import ProfileCache
 from ..partition.engine import EngineConfig, PartitioningEngine
 from ..partition.workload import ApplicationWorkload
 from .results import ExplorationReport, ExplorationResult
@@ -29,16 +30,34 @@ from .space import DesignSpace, ExplorationTask, WorkloadSpec
 #: part of a spec); worker processes each grow their own copy.
 _WORKLOAD_CACHE: dict[WorkloadSpec, ApplicationWorkload] = {}
 
+#: Per-process profile caches keyed by on-disk directory (None = memory
+#: only).  Measured workload specs profile real programs; the
+#: content-keyed cache means each distinct (program, input) pair is
+#: interpreted at most once per process — or once per *fleet* when a
+#: shared directory is configured.
+_PROFILE_CACHES: dict[str | None, ProfileCache] = {}
+
+
+def _profile_cache(directory: str | None) -> ProfileCache:
+    cache = _PROFILE_CACHES.get(directory)
+    if cache is None:
+        cache = ProfileCache(directory=directory)
+        _PROFILE_CACHES[directory] = cache
+    return cache
+
 
 def _cached_workload(
     spec: WorkloadSpec,
     cache: dict[WorkloadSpec, ApplicationWorkload] | None = None,
+    profile_cache_dir: str | None = None,
 ) -> ApplicationWorkload:
     if cache is None:
         cache = _WORKLOAD_CACHE
     workload = cache.get(spec)
     if workload is None:
-        workload = spec.build()
+        workload = spec.build(
+            profile_cache=_profile_cache(profile_cache_dir)
+        )
         cache[spec] = workload
     return workload
 
@@ -57,7 +76,9 @@ def _run_task(
     workload_cache: dict[WorkloadSpec, ApplicationWorkload] | None = None,
 ) -> _TaskOutcome:
     """Execute one (workload, platform) constraint sweep."""
-    workload = _cached_workload(task.workload, workload_cache)
+    workload = _cached_workload(
+        task.workload, workload_cache, task.profile_cache_dir
+    )
     platform = task.platform.build()
     config = task.engine_config or EngineConfig()
     engine = PartitioningEngine(workload, platform, config=config)
@@ -86,15 +107,19 @@ def explore(
     *,
     max_workers: int | None = None,
     engine_config: EngineConfig | None = None,
+    profile_cache_dir: str | None = None,
 ) -> ExplorationReport:
     """Sweep the whole design space, fanning tasks out across processes.
 
     ``max_workers=None`` sizes the pool to ``min(tasks, cpu_count)``;
     ``max_workers=1`` forces a serial in-process run.  Results come back
     in grid order (workloads × platforms × constraint fractions)
-    regardless of worker scheduling.
+    regardless of worker scheduling.  ``profile_cache_dir`` enables the
+    shared on-disk profile cache for measured workload specs, so worker
+    processes (and repeat invocations) never re-profile an identical
+    program.
     """
-    tasks = space.tasks(engine_config)
+    tasks = space.tasks(engine_config, profile_cache_dir)
     started = time.perf_counter()
     workers = max_workers
     if workers is None:

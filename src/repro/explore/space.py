@@ -18,15 +18,22 @@ from ..platform.soc import HybridPlatform, paper_platform
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """A buildable workload: one of the paper apps or a synthetic one."""
+    """A buildable workload: a paper app (calibrated Table 1 statistics or
+    measured by actually profiling the mini-C implementation) or a
+    synthetic one."""
 
-    kind: str  # "ofdm" | "jpeg" | "synthetic"
+    kind: str  # "ofdm" | "jpeg" | "synthetic" | "ofdm-measured" | "jpeg-measured"
     params: tuple[tuple[str, object], ...] = ()
 
-    _KINDS = ("ofdm", "jpeg", "synthetic")
+    _KINDS = ("ofdm", "jpeg", "synthetic", "ofdm-measured", "jpeg-measured")
     #: Names the paper-app factories give their workloads; labels must
     #: match them because ExplorationResult.workload is the built name.
-    _APP_NAMES = {"ofdm": "ofdm-transmitter", "jpeg": "jpeg-encoder"}
+    _APP_NAMES = {
+        "ofdm": "ofdm-transmitter",
+        "jpeg": "jpeg-encoder",
+        "ofdm-measured": "ofdm-transmitter-measured",
+        "jpeg-measured": "jpeg-encoder-measured",
+    }
 
     def __post_init__(self) -> None:
         if self.kind not in self._KINDS:
@@ -53,9 +60,29 @@ class WorkloadSpec:
         merged: dict[str, object] = {"block_count": block_count, **params}
         return cls(kind="synthetic", params=tuple(sorted(merged.items())))
 
+    @classmethod
+    def ofdm_measured(cls, symbols: int = 6) -> "WorkloadSpec":
+        """OFDM with frequencies measured by interpreting the mini-C
+        transmitter on ``symbols`` deterministic payload symbols."""
+        return cls(kind="ofdm-measured", params=(("symbols", symbols),))
+
+    @classmethod
+    def jpeg_measured(cls, image_seed: int = 1994) -> "WorkloadSpec":
+        """JPEG with frequencies measured by interpreting the mini-C
+        encoder on the deterministic test frame for ``image_seed``."""
+        return cls(kind="jpeg-measured", params=(("image_seed", image_seed),))
+
     @property
     def label(self) -> str:
         """Predicts the built workload's name (the report query key)."""
+        if self.kind in ("ofdm-measured", "jpeg-measured"):
+            # Params are part of the label: two measured specs with
+            # different inputs must not collide into one report key.
+            base = self._APP_NAMES[self.kind]
+            params = dict(self.params)
+            if self.kind == "ofdm-measured":
+                return f"{base}-s{params.get('symbols', 6)}"
+            return f"{base}-i{params.get('image_seed', 1994)}"
         if self.kind != "synthetic":
             return self._APP_NAMES[self.kind]
         from ..workloads.synthetic import synthetic_workload_name
@@ -68,7 +95,7 @@ class WorkloadSpec:
             params.pop("block_count"), params.pop("seed", 0), **params
         )
 
-    def build(self) -> ApplicationWorkload:
+    def build(self, profile_cache=None) -> ApplicationWorkload:
         # Imported here so a spec stays importable without dragging the
         # whole workload layer into every module that names one.
         from ..workloads.profiles import jpeg_workload, ofdm_workload
@@ -78,7 +105,38 @@ class WorkloadSpec:
             return ofdm_workload()
         if self.kind == "jpeg":
             return jpeg_workload()
+        if self.kind in ("ofdm-measured", "jpeg-measured"):
+            return self._build_measured(profile_cache)
         return synthetic_application(**dict(self.params))  # type: ignore[arg-type]
+
+    def _build_measured(self, profile_cache) -> ApplicationWorkload:
+        """Profile the real mini-C application through the (optionally
+        shared, on-disk) content-keyed profile cache."""
+        from ..partition.workload import workload_from_cdfg
+
+        params = dict(self.params)
+        if self.kind == "ofdm-measured":
+            from ..workloads.ofdm import (
+                BITS_PER_SYMBOL,
+                OFDMTransmitterApp,
+                random_bits,
+            )
+
+            app = OFDMTransmitterApp(profile_cache=profile_cache)
+            symbols = int(params.get("symbols", 6))  # type: ignore[arg-type]
+            profile = app.profile_symbols(
+                [
+                    random_bits(BITS_PER_SYMBOL, seed=2004 + index)
+                    for index in range(symbols)
+                ]
+            )
+        else:
+            from ..workloads.jpeg import JPEGEncoderApp, test_image
+
+            app = JPEGEncoderApp(profile_cache=profile_cache)
+            image_seed = int(params.get("image_seed", 1994))  # type: ignore[arg-type]
+            profile = app.profile_image(test_image(seed=image_seed))
+        return workload_from_cdfg(app.cdfg, profile, name=self.label)
 
 
 @dataclass(frozen=True)
@@ -120,12 +178,18 @@ class PlatformSpec:
 class ExplorationTask:
     """One worker unit: a full constraint sweep of one (workload,
     platform) pair, so the engine's cost cache and move trajectory are
-    shared across every constraint of the pair."""
+    shared across every constraint of the pair.
+
+    ``profile_cache_dir`` points measured workload specs at a shared
+    on-disk profile cache so parallel workers (and later runs) profile
+    each distinct program at most once.
+    """
 
     workload: WorkloadSpec
     platform: PlatformSpec
     constraint_fractions: tuple[float, ...]
     engine_config: EngineConfig | None = None
+    profile_cache_dir: str | None = None
 
 
 @dataclass(frozen=True)
@@ -159,7 +223,9 @@ class DesignSpace:
         )
 
     def tasks(
-        self, engine_config: EngineConfig | None = None
+        self,
+        engine_config: EngineConfig | None = None,
+        profile_cache_dir: str | None = None,
     ) -> list[ExplorationTask]:
         return [
             ExplorationTask(
@@ -167,6 +233,7 @@ class DesignSpace:
                 platform=platform,
                 constraint_fractions=self.constraint_fractions,
                 engine_config=engine_config,
+                profile_cache_dir=profile_cache_dir,
             )
             for workload, platform in itertools.product(
                 self.workloads, self.platforms

@@ -1,27 +1,48 @@
 """Execution substrate: a CFG interpreter with profiling hooks.
 
 Replaces the paper's Lex-instrumented native execution for dynamic analysis
-(§3.1) with exact interpreted per-basic-block counters.
+(§3.1) with exact interpreted per-basic-block counters.  Two engines share
+one front door: the tree-walking reference interpreter and the
+block-compiled fast path (:mod:`repro.interp.compiler`), selected by
+``Interpreter(mode=...)``.  Profiling runs are memoized content-keyed by
+:class:`ProfileCache` (:mod:`repro.interp.cache`).
 """
 
+from .cache import CachedProfile, CacheStats, ProfileCache, args_digest, profile_key
+from .compiler import CompiledProgram, CompileError, cdfg_fingerprint, compile_cdfg
 from .interpreter import (
     ExecutionLimitExceeded,
     ExecutionResult,
     Interpreter,
     run_function,
 )
-from .profiler import BlockProfile, BlockProfiler, profile_run
+from .profiler import (
+    BlockProfile,
+    BlockProfiler,
+    profile_run,
+    profiles_from_frequencies,
+)
 from .values import ArrayStorage, Frame, coerce
 
 __all__ = [
     "ArrayStorage",
     "BlockProfile",
     "BlockProfiler",
+    "CachedProfile",
+    "CacheStats",
+    "CompileError",
+    "CompiledProgram",
     "ExecutionLimitExceeded",
     "ExecutionResult",
     "Frame",
     "Interpreter",
+    "ProfileCache",
+    "args_digest",
+    "cdfg_fingerprint",
     "coerce",
+    "compile_cdfg",
+    "profile_key",
     "profile_run",
+    "profiles_from_frequencies",
     "run_function",
 ]

@@ -1,0 +1,298 @@
+"""Content-keyed profile/workload cache for dynamic analysis.
+
+Profiling a program on a representative input is deterministic: the same
+CDFG, entry point and arguments always produce the same per-block
+execution frequencies.  This module keys that computation by content —
+
+    sha256(CDFG fingerprint ‖ entry ‖ argument digest)
+
+— so ``repro.explore`` workers, repeated bench runs and CI stop
+re-profiling identical programs.  Frequencies are the only dynamic fact
+stored; full :class:`~repro.interp.profiler.BlockProfile` records are
+derived statically on the way out
+(:func:`~repro.interp.profiler.profiles_from_frequencies`).
+
+Two layers:
+
+* an in-memory dict (always on);
+* an opt-in on-disk layer (``ProfileCache(directory=...)``): one small
+  JSON file per key, written atomically, shared between processes.  A
+  corrupt or unreadable file is treated as a miss.
+
+Because the key includes the CDFG fingerprint, any semantic mutation of
+the program (changed constant, added instruction, retargeted branch)
+invalidates every cached profile for it automatically.
+
+The cache intentionally does **not** store return values or array
+mutations: a cache hit skips execution entirely, so callers that need
+outputs (not statistics) should run the interpreter directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..ir.cdfg import CDFG
+from .compiler import cdfg_fingerprint
+from .values import ArrayStorage
+
+#: Bump when the stored record layout changes; mismatched files are misses.
+_DISK_FORMAT_VERSION = 1
+
+
+def args_digest(args: tuple) -> str:
+    """A stable content hash of a profiling argument tuple.
+
+    Supports the argument kinds the interpreter accepts — numbers, lists
+    (nested), and :class:`ArrayStorage` — plus a ``repr`` fallback for
+    anything else deterministic.
+    """
+    digest = hashlib.sha256()
+
+    def feed(value) -> None:
+        if isinstance(value, bool):  # bool is an int subclass; disambiguate
+            digest.update(f"b:{value}".encode())
+        elif isinstance(value, int):
+            digest.update(f"i:{value}".encode())
+        elif isinstance(value, float):
+            digest.update(f"f:{value!r}".encode())
+        elif isinstance(value, (list, tuple)):
+            digest.update(f"l:{len(value)}[".encode())
+            for item in value:
+                feed(item)
+            digest.update(b"]")
+        elif isinstance(value, ArrayStorage):
+            digest.update(
+                f"a:{value.element_type.name}:{len(value)}[".encode()
+            )
+            for item in value.data:
+                feed(item)
+            digest.update(b"]")
+        else:
+            digest.update(f"r:{value!r}".encode())
+        digest.update(b"\x00")
+
+    for arg in args:
+        feed(arg)
+    return digest.hexdigest()
+
+
+def profile_key(
+    cdfg: CDFG, entry: str, args: tuple, fingerprint: str | None = None
+) -> str:
+    """The full content key of one profiling run.
+
+    ``fingerprint`` lets batch callers hash the CDFG once and reuse it
+    across many (entry, args) keys.
+    """
+    if fingerprint is None:
+        fingerprint = cdfg_fingerprint(cdfg)
+    payload = f"{fingerprint}:{entry}:{args_digest(args)}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class CachedProfile:
+    """One stored profiling outcome (frequencies + execution metadata)."""
+
+    frequencies: dict[int, int]
+    steps: int
+    blocks_executed: int
+
+    def to_json(self) -> dict:
+        return {
+            "version": _DISK_FORMAT_VERSION,
+            "frequencies": {str(k): v for k, v in self.frequencies.items()},
+            "steps": self.steps,
+            "blocks_executed": self.blocks_executed,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CachedProfile | None":
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != _DISK_FORMAT_VERSION:
+            return None
+        try:
+            frequencies = {
+                int(k): int(v) for k, v in payload["frequencies"].items()
+            }
+            return cls(
+                frequencies=frequencies,
+                steps=int(payload["steps"]),
+                blocks_executed=int(payload["blocks_executed"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by layer."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+@dataclass
+class ProfileCache:
+    """Content-keyed cache of profiling runs (memory + optional disk).
+
+    ``directory=None`` keeps the cache purely in-memory; passing a path
+    enables the shared on-disk layer (created on first write).
+    """
+
+    directory: str | Path | None = None
+    max_steps: int = 200_000_000
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._memory: dict[str, CachedProfile] = {}
+        if self.directory is not None:
+            self.directory = Path(self.directory)
+
+    # ------------------------------------------------------------------
+    # Core lookup
+    # ------------------------------------------------------------------
+    def get_or_run(
+        self,
+        cdfg: CDFG,
+        entry: str,
+        *args,
+        fingerprint: str | None = None,
+    ) -> CachedProfile:
+        """Return the cached profile for (cdfg, entry, args), executing
+        the program under the counter-only compiled profiler on a miss.
+
+        ``fingerprint`` (optional) skips re-hashing the CDFG when the
+        caller already computed it for this batch.
+        """
+        if fingerprint is None:
+            fingerprint = cdfg_fingerprint(cdfg)
+        key = profile_key(cdfg, entry, args, fingerprint)
+        record = self._memory.get(key)
+        if record is not None:
+            self.stats.memory_hits += 1
+            return record
+        record = self._load_disk(key)
+        if record is not None:
+            self.stats.disk_hits += 1
+            self._memory[key] = record
+            return record
+        self.stats.misses += 1
+        record = self._execute(cdfg, entry, args, fingerprint)
+        self._memory[key] = record
+        self._store_disk(key, record)
+        return record
+
+    def _execute(
+        self, cdfg: CDFG, entry: str, args: tuple, fingerprint: str
+    ) -> CachedProfile:
+        from .compiler import compile_cdfg
+        from .interpreter import Interpreter
+        from .profiler import BlockProfiler
+
+        # The key's fingerprint is trusted, so compilation (or cached-
+        # program revalidation) skips a redundant re-hash.
+        program = compile_cdfg(cdfg, fingerprint=fingerprint)
+        profiler = BlockProfiler()
+        result = Interpreter(
+            cdfg,
+            profiler,
+            max_steps=self.max_steps,
+            mode="compiled",
+            compiled_program=program,
+        ).run(entry, *args)
+        return CachedProfile(
+            frequencies=profiler.frequencies(),
+            steps=result.steps,
+            blocks_executed=result.blocks_executed,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def profile(
+        self,
+        cdfg: CDFG,
+        entry: str,
+        *args,
+        fingerprint: str | None = None,
+    ):
+        """A :class:`~repro.analysis.dynamic_analysis.DynamicProfile` for
+        one representative input (cached)."""
+        from ..analysis.dynamic_analysis import DynamicProfile
+
+        record = self.get_or_run(cdfg, entry, *args, fingerprint=fingerprint)
+        return DynamicProfile(frequencies=dict(record.frequencies), runs=1)
+
+    def profile_many(self, cdfg: CDFG, entry: str, input_sets: list[tuple]):
+        """Accumulate cached profiles across several representative
+        inputs (each input set is cached independently; the CDFG is
+        fingerprinted once for the whole batch)."""
+        from ..analysis.dynamic_analysis import DynamicProfile
+
+        fingerprint = cdfg_fingerprint(cdfg)
+        combined = DynamicProfile()
+        for args in input_sets:
+            combined.merge(
+                self.profile(cdfg, entry, *args, fingerprint=fingerprint)
+            )
+        return combined
+
+    def block_profiles(self, cdfg: CDFG, entry: str, *args):
+        """Full derived ``{bb_id: BlockProfile}`` statistics (cached)."""
+        from .profiler import profiles_from_frequencies
+
+        record = self.get_or_run(cdfg, entry, *args)
+        return profiles_from_frequencies(cdfg, record.frequencies)
+
+    # ------------------------------------------------------------------
+    # Disk layer
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Path | None:
+        if self.directory is None:
+            return None
+        return Path(self.directory) / f"{key}.json"
+
+    def _load_disk(self, key: str) -> CachedProfile | None:
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return CachedProfile.from_json(payload)
+
+    def _store_disk(self, key: str, record: CachedProfile) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(record.to_json()))
+            os.replace(tmp, path)
+        except OSError:
+            # The disk layer is best-effort; a read-only or full volume
+            # degrades to memory-only caching.
+            pass
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)

@@ -4,12 +4,29 @@ Executes lowered programs directly on their CDFG, which is exactly what the
 dynamic-analysis step needs: every basic-block entry fires a hook, giving
 per-block execution counts identical to the Lex counter instrumentation the
 paper describes (§3.1), but exact instead of relying on modified sources.
+
+Two execution engines share this front door:
+
+* ``mode="walker"`` — the original tree-walking dispatcher below: an
+  ``if/elif`` opcode chain with ``isinstance`` operand resolution and two
+  hook calls per instruction.  It supports arbitrary
+  :class:`InterpreterHook` observers and serves as the differential
+  reference implementation.
+* ``mode="compiled"`` — the block-compiled fast path
+  (:mod:`repro.interp.compiler`): each basic block is translated once into
+  a single specialized Python function, and profiling is counter-only
+  (block-entry counts; per-instruction statistics derived statically).
+  Bit-identical results, ≫5x the throughput.
+* ``mode="auto"`` (default) — compiled when the hook is passive (the null
+  hook or a plain :class:`~repro.interp.profiler.BlockProfiler`, whose
+  statistics the compiled engine reconstructs exactly from block counts),
+  walker for any custom hook that needs per-instruction callbacks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Protocol
 
 from ..frontend.ast_nodes import ArrayType, Type
 from ..ir.basicblock import BasicBlock
@@ -24,11 +41,25 @@ from ..ir.operations import (
     VarRef,
 )
 from ..ir.opsemantics import evaluate_opcode
-from .values import ArrayStorage, Frame, Number, coerce
+from .compiler import CompiledProgram, compile_cdfg
+from .values import (
+    ArrayStorage,
+    ExecutionLimitExceeded,
+    Frame,
+    Number,
+    coerce,
+)
 
+__all__ = [
+    "ExecutionLimitExceeded",
+    "ExecutionResult",
+    "Interpreter",
+    "InterpreterHook",
+    "run_function",
+]
 
-class ExecutionLimitExceeded(RuntimeError):
-    """Raised when a program exceeds the configured step budget."""
+#: Execution engine selectors accepted by :class:`Interpreter`.
+MODES = ("auto", "walker", "compiled")
 
 
 class InterpreterHook(Protocol):
@@ -57,19 +88,48 @@ class _NullHook:
         pass
 
 
+def _is_passive_hook(hook: object) -> bool:
+    """Hooks whose observations the compiled engine can reconstruct
+    exactly from block-entry counts (no per-instruction side effects)."""
+    from .profiler import BlockProfiler
+
+    return type(hook) in (_NullHook, BlockProfiler)
+
+
 @dataclass
 class Interpreter:
     """Executes functions of a CDFG.
 
     ``max_steps`` bounds total instructions executed across the whole call
-    tree so accidentally non-terminating inputs fail fast.
+    tree so accidentally non-terminating inputs fail fast.  ``mode``
+    selects the execution engine (see the module docstring).
+
+    ``compiled_program`` (advanced) supplies a precompiled program —
+    it must be ``compile_cdfg(cdfg)`` for this exact CDFG state.  When
+    omitted, the first compiled run compiles (or revalidates) the CDFG
+    and the result is memoized on this instance; construct a fresh
+    ``Interpreter`` after mutating the IR (the walker engine, by
+    contrast, always sees mutations immediately).
     """
 
     cdfg: CDFG
     hook: InterpreterHook = field(default_factory=_NullHook)
     max_steps: int = 200_000_000
+    mode: str = "auto"
+    compiled_program: CompiledProgram | None = None
 
     def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown interpreter mode {self.mode!r}; expected one of "
+                f"{MODES}"
+            )
+        if self.mode == "compiled" and not _is_passive_hook(self.hook):
+            raise ValueError(
+                "compiled mode only supports passive hooks (the null hook "
+                "or BlockProfiler); use mode='walker' or 'auto' for custom "
+                "per-instruction hooks"
+            )
         self._steps = 0
         self._blocks = 0
         self._globals: dict[str, Number] = {}
@@ -93,6 +153,9 @@ class Interpreter:
     def global_array(self, name: str) -> ArrayStorage:
         return self._global_arrays[name]
 
+    def global_scalar(self, name: str) -> Number:
+        return self._globals[name]
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -106,13 +169,63 @@ class Interpreter:
         :meth:`ArrayStorage.snapshot` — pass an :class:`ArrayStorage` to
         observe mutations directly) or existing :class:`ArrayStorage`.
         """
+        if self.mode == "compiled" or (
+            self.mode == "auto" and _is_passive_hook(self.hook)
+        ):
+            return self._run_compiled(function, list(args))
         self._steps = 0
         self._blocks = 0
         value = self._call(function, list(args))
         return ExecutionResult(value, self._steps, self._blocks)
 
     # ------------------------------------------------------------------
-    # Core execution
+    # Compiled engine
+    # ------------------------------------------------------------------
+    def _run_compiled(self, function: str, args: list) -> ExecutionResult:
+        program = self.compiled_program
+        if program is None:
+            program = self.compiled_program = compile_cdfg(self.cdfg)
+        env = program.make_env(
+            self._globals, self._global_arrays, self.max_steps
+        )
+        value = program.call(env, function, args)
+        counts = env.counts
+        self._feed_passive_hook(program, counts)
+        return ExecutionResult(value, env.steps, sum(counts))
+
+    def _feed_passive_hook(
+        self, program: CompiledProgram, counts: list[int]
+    ) -> None:
+        """Reconstruct BlockProfiler statistics from block-entry counts.
+
+        ``dynamic_instructions`` / ``dynamic_memory_accesses`` are derived
+        as ``count × static per-block totals``, which attributes every
+        instruction to its own block (the walker hook misattributes a
+        caller's post-call instructions to the callee's last-entered
+        block; execution frequencies and whole-program totals agree
+        exactly between the two engines).
+        """
+        from .profiler import BlockProfile, BlockProfiler
+
+        hook = self.hook
+        if type(hook) is not BlockProfiler:
+            return
+        profiles = hook.profiles
+        for info, count in zip(program.slots, counts):
+            if count == 0:
+                continue
+            profile = profiles.get(info.bb_id)
+            if profile is None:
+                profile = BlockProfile(info.bb_id, info.function, info.label)
+                profiles[info.bb_id] = profile
+            profile.exec_freq += count
+            profile.dynamic_instructions += count * info.instruction_count
+            profile.dynamic_memory_accesses += (
+                count * info.memory_access_count
+            )
+
+    # ------------------------------------------------------------------
+    # Walker engine
     # ------------------------------------------------------------------
     def _call(self, function: str, args: list) -> Number | None:
         cfg = self.cdfg.cfgs.get(function)
@@ -298,11 +411,9 @@ def run_function(
     *args,
     hook: InterpreterHook | None = None,
     max_steps: int = 200_000_000,
+    mode: str = "auto",
 ) -> ExecutionResult:
     """One-shot helper: build an interpreter and call ``function``."""
-    interpreter = (
-        Interpreter(cdfg, hook, max_steps)
-        if hook is not None
-        else Interpreter(cdfg, max_steps=max_steps)
-    )
-    return interpreter.run(function, *args)
+    if hook is None:
+        hook = _NullHook()
+    return Interpreter(cdfg, hook, max_steps, mode).run(function, *args)

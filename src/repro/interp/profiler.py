@@ -5,6 +5,14 @@ the program on representative inputs, and reads back per-block execution
 frequencies.  Our :class:`BlockProfiler` is the interpreter-hook equivalent:
 it counts every basic-block entry (``exec_freq``) and, optionally, dynamic
 memory accesses per block.
+
+Under the block-compiled engine (``Interpreter(mode="compiled")``) the
+same :class:`BlockProfiler` works as a counter-only sink: the engine
+accumulates one integer per block entry and reconstructs the profiles
+afterwards, with ``dynamic_instructions``/``dynamic_memory_accesses``
+derived as ``exec_freq × static per-block counts``
+(:func:`profiles_from_frequencies`) instead of one hook call per
+instruction.
 """
 
 from __future__ import annotations
@@ -68,10 +76,42 @@ class BlockProfiler:
         self._current = None
 
 
-def profile_run(cdfg: CDFG, function: str, *args) -> BlockProfiler:
+def profile_run(
+    cdfg: CDFG, function: str, *args, mode: str = "auto"
+) -> BlockProfiler:
     """Run ``function`` once under profiling and return the profiler."""
     from .interpreter import Interpreter
 
     profiler = BlockProfiler()
-    Interpreter(cdfg, profiler).run(function, *args)
+    Interpreter(cdfg, profiler, mode=mode).run(function, *args)
     return profiler
+
+
+def profiles_from_frequencies(
+    cdfg: CDFG, frequencies: dict[int, int]
+) -> dict[int, BlockProfile]:
+    """Derive full :class:`BlockProfile` records from execution counts.
+
+    ``dynamic_instructions`` and ``dynamic_memory_accesses`` are exact
+    static derivations (``freq × per-block instruction / memory-op
+    counts``): a block's instructions all execute each time it is entered,
+    so no per-instruction observation is needed.  This is what makes the
+    content-keyed profile cache possible — frequencies are the only
+    dynamic fact worth storing.
+    """
+    profiles: dict[int, BlockProfile] = {}
+    for bb_id, freq in sorted(frequencies.items()):
+        if freq == 0:
+            continue
+        key = cdfg.key_for_id(bb_id)
+        block = cdfg.block(key)
+        memory_ops = block.memory_access_count()
+        profiles[bb_id] = BlockProfile(
+            bb_id=bb_id,
+            function=key.function,
+            label=key.label,
+            exec_freq=freq,
+            dynamic_memory_accesses=freq * memory_ops,
+            dynamic_instructions=freq * len(block.instructions),
+        )
+    return profiles

@@ -14,6 +14,15 @@ from ..frontend.ast_nodes import ArrayType, Type
 Number = int | float
 
 
+class ExecutionLimitExceeded(RuntimeError):
+    """Raised when a program exceeds the configured step budget.
+
+    Lives here (not in :mod:`.interpreter`) so both execution engines —
+    the tree walker and the block compiler — can raise the identical
+    class without a circular import; :mod:`.interpreter` re-exports it.
+    """
+
+
 def coerce(value: Number, to_type: Type) -> Number:
     """Coerce a number to a declared scalar type (C assignment rules)."""
     if to_type is Type.INT:

@@ -18,7 +18,7 @@ from .operations import Opcode
 Number = int | float
 
 
-def _c_div(a: Number, b: Number) -> Number:
+def c_div(a: Number, b: Number) -> Number:
     if isinstance(a, float) or isinstance(b, float):
         return a / b
     if b == 0:
@@ -29,10 +29,23 @@ def _c_div(a: Number, b: Number) -> Number:
     return quotient
 
 
-def _c_mod(a: int, b: int) -> int:
+def c_mod(a: int, b: int) -> int:
     if b == 0:
         raise ZeroDivisionError("integer modulo by zero")
-    return a - _c_div(a, b) * b
+    return a - c_div(a, b) * b
+
+
+def c_round(value: Number) -> int:
+    """C-style round-half-away-from-zero, unlike Python's banker's
+    rounding — DSP reference code expects this."""
+    if value >= 0:
+        return int(math.floor(value + 0.5))
+    return int(math.ceil(value - 0.5))
+
+
+# Backwards-compatible aliases (the public names are the unprefixed ones).
+_c_div = c_div
+_c_mod = c_mod
 
 
 def _as_int(value: Number) -> int:
@@ -48,9 +61,9 @@ def evaluate_opcode(opcode: Opcode, args: tuple[Number, ...]) -> Number:
     if opcode is Opcode.MUL:
         return args[0] * args[1]
     if opcode is Opcode.DIV:
-        return _c_div(args[0], args[1])
+        return c_div(args[0], args[1])
     if opcode is Opcode.MOD:
-        return _c_mod(_as_int(args[0]), _as_int(args[1]))
+        return c_mod(_as_int(args[0]), _as_int(args[1]))
     if opcode is Opcode.SHL:
         return _as_int(args[0]) << _as_int(args[1])
     if opcode is Opcode.SHR:
@@ -96,12 +109,7 @@ def evaluate_opcode(opcode: Opcode, args: tuple[Number, ...]) -> Number:
     if opcode is Opcode.FLOOR:
         return float(math.floor(args[0]))
     if opcode is Opcode.ROUND:
-        # C-style round-half-away-from-zero, unlike Python's banker's
-        # rounding — DSP reference code expects this.
-        value = args[0]
-        return int(math.floor(value + 0.5)) if value >= 0 else int(
-            math.ceil(value - 0.5)
-        )
+        return c_round(args[0])
     if opcode is Opcode.I2F:
         return float(args[0])
     if opcode is Opcode.F2I:

@@ -59,17 +59,19 @@ class ApplicationWorkload:
     blocks: list[BlockWorkload] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        seen: set[int] = set()
+        # One walk both detects duplicates and builds the bb_id index
+        # that makes block() O(1) (engine hot loops call it per move).
+        self._by_id: dict[int, BlockWorkload] = {}
         for block in self.blocks:
-            if block.bb_id in seen:
+            if block.bb_id in self._by_id:
                 raise ValueError(f"duplicate BB id {block.bb_id}")
-            seen.add(block.bb_id)
+            self._by_id[block.bb_id] = block
 
     def block(self, bb_id: int) -> BlockWorkload:
-        for block in self.blocks:
-            if block.bb_id == bb_id:
-                return block
-        raise KeyError(f"no block with id {bb_id}")
+        try:
+            return self._by_id[bb_id]
+        except KeyError:
+            raise KeyError(f"no block with id {bb_id}") from None
 
     @property
     def block_count(self) -> int:

@@ -18,9 +18,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..analysis.dynamic_analysis import DynamicProfile
+from ..analysis.dynamic_analysis import DynamicProfile, profile_cdfg
+from ..interp.cache import ProfileCache
 from ..interp.interpreter import Interpreter
-from ..interp.profiler import BlockProfiler
 from ..ir.cdfg import CDFG, cdfg_from_source
 from .dsp.dct import DCT_FRAC_BITS, dct_matrix_fixed
 from .dsp.quantize import LUMA_QUANT_TABLE, RECIP_SHIFT, reciprocal_table
@@ -185,11 +185,20 @@ class JPEGEncodeResult:
 
 
 class JPEGEncoderApp:
-    """Runnable wrapper: compile once, encode frames, profile."""
+    """Runnable wrapper: compile once, encode frames, profile.
 
-    def __init__(self) -> None:
+    Execution uses the block-compiled interpreter fast path; profiling
+    runs are memoized through ``profile_cache`` (a fresh in-memory
+    :class:`ProfileCache` by default — pass one with a directory to share
+    profiles across processes and runs).
+    """
+
+    def __init__(self, profile_cache: ProfileCache | None = None) -> None:
         self.source = jpeg_source()
         self.cdfg: CDFG = cdfg_from_source(self.source, "jpeg_enc.c")
+        self.profile_cache = (
+            profile_cache if profile_cache is not None else ProfileCache()
+        )
 
     def encode_image(self, image: np.ndarray) -> JPEGEncodeResult:
         """Encode one IMAGE_SIZE×IMAGE_SIZE greyscale frame."""
@@ -214,11 +223,11 @@ class JPEGEncoderApp:
         return int(result.return_value)
 
     def profile_image(self, image: np.ndarray) -> DynamicProfile:
-        """Dynamic analysis over one frame."""
+        """Dynamic analysis over one frame (cached, counter-only)."""
         pixels = self._flatten(image)
-        profiler = BlockProfiler()
-        Interpreter(self.cdfg, profiler).run("encode_image", pixels)
-        return DynamicProfile(frequencies=profiler.frequencies(), runs=1)
+        return profile_cdfg(
+            self.cdfg, "encode_image", pixels, cache=self.profile_cache
+        )
 
     @staticmethod
     def _flatten(image: np.ndarray) -> list[int]:

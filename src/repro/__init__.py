@@ -25,8 +25,11 @@ every substrate it depends on:
 * :mod:`repro.reporting` — experiment runners regenerating Tables 1-3
   and CSV/JSON export of exploration reports;
 * :mod:`repro.explore` — parallel design-space exploration: declarative
-  (workload × platform × constraint) grids fanned out across worker
-  processes on top of the incremental engine.
+  (workload × platform × constraint × algorithm) grids fanned out across
+  worker processes on top of the incremental engine;
+* :mod:`repro.search` — pluggable partitioning algorithms (greedy,
+  exhaustive, multi-start, simulated annealing) over the shared
+  incremental cost state, with Pareto-front multi-objective analysis.
 
 Quickstart::
 
@@ -80,10 +83,18 @@ from .reporting import (
     reproduce_table2,
     reproduce_table3,
 )
+from .search import (
+    AlgorithmSpec,
+    Partitioner,
+    VisitedConfiguration,
+    make_partitioner,
+    pareto_front,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AlgorithmSpec",
     "AnalysisResult",
     "ApplicationWorkload",
     "BlockWorkload",
@@ -100,8 +111,10 @@ __all__ = [
     "Interpreter",
     "KernelInfo",
     "PartitionResult",
+    "Partitioner",
     "PartitioningEngine",
     "PlatformSpec",
+    "VisitedConfiguration",
     "WeightModel",
     "WorkloadSpec",
     "block_cgc_timing",
@@ -109,7 +122,9 @@ __all__ = [
     "build_cdfg",
     "cdfg_from_source",
     "extract_kernels",
+    "make_partitioner",
     "paper_platform",
+    "pareto_front",
     "parse_program",
     "partition_application",
     "partition_dfg",

@@ -1,0 +1,241 @@
+"""Command-line entry point: ``python -m repro``.
+
+Two subcommands wrap the existing factories so the common scenarios run
+without writing a script:
+
+``partition``
+    One workload on one platform against one timing constraint
+    (absolute ``--constraint`` or relative ``--fraction``), with any
+    registered search algorithm::
+
+        python -m repro partition --workload ofdm --fraction 0.5
+        python -m repro partition --workload synthetic:40:seed=3 \\
+            --algorithm annealing:seed=7 --constraint 250000 --pareto
+
+``explore``
+    A (workload × platform × constraint × algorithm) grid fanned out
+    over worker processes, with optional CSV/JSON export::
+
+        python -m repro explore --workloads ofdm jpeg \\
+            --afpga 1500 5000 --cgcs 2 3 --fractions 0.9 0.5 \\
+            --algorithms greedy multi_start --csv grid.csv
+
+Workload syntax: ``ofdm`` | ``jpeg`` | ``ofdm-measured`` |
+``jpeg-measured`` | ``synthetic:<blocks>[:key=value,...]``.
+Algorithm syntax: ``<name>[:key=value,...]`` with the
+:class:`repro.search.AlgorithmSpec` factory parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .explore import DesignSpace, PlatformSpec, WorkloadSpec, explore
+from .partition import EngineConfig
+from .platform import paper_platform
+from .reporting import render_exploration, render_pareto
+from .reporting import write_exploration_csv, write_exploration_json
+from .search import AlgorithmSpec, make_partitioner
+
+
+def _parse_params(text: str) -> dict[str, object]:
+    """``"seed=3,cooling=0.8"`` -> {'seed': 3, 'cooling': 0.8}."""
+    params: dict[str, object] = {}
+    for item in filter(None, text.split(",")):
+        if "=" not in item:
+            raise argparse.ArgumentTypeError(
+                f"malformed parameter {item!r}; expected key=value"
+            )
+        key, raw = item.split("=", 1)
+        value: object
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        params[key.strip()] = value
+    return params
+
+
+def parse_workload(text: str) -> WorkloadSpec:
+    kind, __, rest = text.partition(":")
+    if kind == "ofdm":
+        return WorkloadSpec.ofdm()
+    if kind == "jpeg":
+        return WorkloadSpec.jpeg()
+    if kind == "ofdm-measured":
+        return WorkloadSpec.ofdm_measured(**_parse_params(rest))
+    if kind == "jpeg-measured":
+        return WorkloadSpec.jpeg_measured(**_parse_params(rest))
+    if kind == "synthetic":
+        blocks, __, params = rest.partition(":")
+        if not blocks:
+            raise argparse.ArgumentTypeError(
+                "synthetic workloads need a block count: synthetic:<blocks>"
+            )
+        return WorkloadSpec.synthetic(int(blocks), **_parse_params(params))
+    raise argparse.ArgumentTypeError(
+        f"unknown workload {text!r}; expected ofdm, jpeg, ofdm-measured, "
+        "jpeg-measured or synthetic:<blocks>[:key=value,...]"
+    )
+
+
+def parse_algorithm(text: str) -> AlgorithmSpec:
+    name, __, rest = text.partition(":")
+    factories = {
+        "greedy": AlgorithmSpec.greedy,
+        "exhaustive": AlgorithmSpec.exhaustive,
+        "multi_start": AlgorithmSpec.multi_start,
+        "annealing": AlgorithmSpec.annealing,
+    }
+    factory = factories.get(name)
+    if factory is None:
+        raise argparse.ArgumentTypeError(
+            f"unknown algorithm {name!r}; expected one of {sorted(factories)}"
+        )
+    try:
+        return factory(**_parse_params(rest))
+    except TypeError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Hardware/software partitioning for hybrid reconfigurable "
+            "platforms (conf_date_GalanisMTSG04 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    part = sub.add_parser(
+        "partition", help="partition one workload on one platform"
+    )
+    part.add_argument(
+        "--workload", type=parse_workload, required=True,
+        help="ofdm | jpeg | *-measured | synthetic:<blocks>[:key=value,...]",
+    )
+    part.add_argument("--afpga", type=int, default=1500)
+    part.add_argument("--cgcs", type=int, default=2)
+    part.add_argument("--clock-ratio", type=int, default=3)
+    part.add_argument("--reconfig-cycles", type=int, default=20)
+    group = part.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--constraint", type=int, help="timing constraint in FPGA cycles"
+    )
+    group.add_argument(
+        "--fraction", type=float,
+        help="constraint as a fraction of the all-FPGA cycle count",
+    )
+    part.add_argument(
+        "--algorithm", type=parse_algorithm,
+        default=AlgorithmSpec.greedy(),
+        help="greedy | exhaustive | multi_start | annealing[:key=value,...]",
+    )
+    part.add_argument(
+        "--max-kernels", type=int, default=None,
+        help="move budget (EngineConfig.max_kernels_moved)",
+    )
+    part.add_argument(
+        "--pareto", action="store_true",
+        help="also print the Pareto front of visited configurations",
+    )
+
+    expl = sub.add_parser(
+        "explore", help="sweep a (workload x platform x constraint x "
+        "algorithm) grid",
+    )
+    expl.add_argument(
+        "--workloads", type=parse_workload, nargs="+", required=True
+    )
+    expl.add_argument("--afpga", type=int, nargs="+", default=[1500, 5000])
+    expl.add_argument("--cgcs", type=int, nargs="+", default=[2, 3])
+    expl.add_argument(
+        "--fractions", type=float, nargs="+", default=[0.9, 0.75, 0.5]
+    )
+    expl.add_argument(
+        "--algorithms", type=parse_algorithm, nargs="+",
+        default=[AlgorithmSpec.greedy()],
+    )
+    expl.add_argument("--workers", type=int, default=1)
+    expl.add_argument("--csv", help="write the grid as CSV to this path")
+    expl.add_argument("--json", help="write the full report as JSON")
+    return parser
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    workload = args.workload.build()
+    platform = paper_platform(
+        args.afpga,
+        args.cgcs,
+        clock_ratio=args.clock_ratio,
+        reconfig_cycles=args.reconfig_cycles,
+    )
+    config = EngineConfig(max_kernels_moved=args.max_kernels)
+    partitioner = make_partitioner(
+        args.algorithm, workload, platform, config=config
+    )
+    constraint = args.constraint
+    if constraint is None:
+        if args.fraction <= 0:
+            print("error: --fraction must be positive", file=sys.stderr)
+            return 2
+        constraint = max(1, round(partitioner.initial_cycles() * args.fraction))
+    result = partitioner.run(constraint)
+    print(f"algorithm: {args.algorithm.label}")
+    print(result.summary())
+    for step in result.steps:
+        marker = "met" if step.constraint_met else "   "
+        print(
+            f"  moved BB {step.moved_bb_id:>3}: total {step.total_cycles} "
+            f"(fpga {step.fpga_cycles}, cgc {step.cgc_fpga_cycles}, "
+            f"comm {step.comm_cycles}) {marker}"
+        )
+    if args.pareto:
+        print("\nPareto front (cycles / kernels moved / CGC rows):")
+        print(render_pareto(partitioner.pareto_front()))
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    space = DesignSpace.grid(
+        args.workloads,
+        afpga_values=tuple(args.afpga),
+        cgc_counts=tuple(args.cgcs),
+        constraint_fractions=tuple(args.fractions),
+        algorithms=tuple(args.algorithms),
+    )
+    report = explore(space, max_workers=args.workers)
+    print(render_exploration(report))
+    if len(report.algorithms()) > 1:
+        # Compared per workload: absolute cycle counts are only
+        # commensurable within one application.
+        print("\nBest point per algorithm:")
+        for workload in report.workload_names():
+            print(f"  {workload}:")
+            for label, best in report.best_per_algorithm(workload).items():
+                print(
+                    f"    {label}: {best.final_cycles} cycles "
+                    f"(A={best.afpga}, {best.cgc_count} CGCs, "
+                    f"{best.kernels_moved} moved)"
+                )
+    if args.csv:
+        print(f"wrote {write_exploration_csv(report.results, args.csv)}")
+    if args.json:
+        print(f"wrote {write_exploration_json(report, args.json)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "partition":
+        return _cmd_partition(args)
+    return _cmd_explore(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

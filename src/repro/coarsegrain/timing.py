@@ -27,10 +27,36 @@ class CoarseGrainBlockTiming:
     cgc_cycles: int       # latency of one invocation, in CGC clock cycles
     compute_ops: int
     memory_ops: int
+    #: Peak CGC node rows the schedule occupies in any single cycle,
+    #: summed over CGCs — the resource footprint the multi-objective
+    #: search trades against latency.
+    rows_used: int = 0
 
     def fpga_cycles(self, characterization: HardwareCharacterization) -> float:
         """One invocation's latency expressed in FPGA cycles."""
         return characterization.cgc_ticks_to_fpga_cycles(self.cgc_cycles)
+
+
+def _schedule_rows_used(schedule: CGCSchedule) -> int:
+    """Peak rows occupied: per cycle, each CGC needs ``ceil(ops/cols)``
+    rows for its compute ops; the footprint is the max over cycles of the
+    sum over CGCs.
+
+    One pass over the ops (O(ops × duration)) instead of rescanning the
+    whole schedule per cycle — this runs on every block mapping.
+    """
+    counts: dict[tuple[int, int], int] = {}
+    for op in schedule.ops.values():
+        if op.unit != "node" or op.cgc_index is None:
+            continue
+        for cycle in range(op.cycle, op.cycle + max(op.duration, 1)):
+            key = (cycle, op.cgc_index)
+            counts[key] = counts.get(key, 0) + 1
+    rows_by_cycle: dict[int, int] = {}
+    for (cycle, cgc_index), used in counts.items():
+        cols = schedule.datapath.cgcs[cgc_index].geometry.cols
+        rows_by_cycle[cycle] = rows_by_cycle.get(cycle, 0) + -(-used // cols)
+    return max(rows_by_cycle.values(), default=0)
 
 
 def block_cgc_timing(
@@ -44,6 +70,7 @@ def block_cgc_timing(
         cgc_cycles=schedule.makespan,
         compute_ops=compute,
         memory_ops=memory,
+        rows_used=_schedule_rows_used(schedule),
     )
 
 

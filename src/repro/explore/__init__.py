@@ -8,7 +8,10 @@ reported as a structured :class:`ExplorationResult`.
 Three layers:
 
 * :mod:`repro.explore.space` — :class:`WorkloadSpec` / :class:`PlatformSpec`
-  (buildable, picklable descriptions) and :class:`DesignSpace`, the grid.
+  (buildable, picklable descriptions) and :class:`DesignSpace`, the grid,
+  whose fourth axis is the partitioning algorithm
+  (:class:`~repro.search.AlgorithmSpec`: greedy, exhaustive, multi-start,
+  annealing — see :mod:`repro.search`).
   ``WorkloadSpec.ofdm_measured()`` / ``WorkloadSpec.jpeg_measured()``
   profile the real mini-C applications under the block-compiled
   interpreter instead of using the calibrated Table 1 statistics; pass
@@ -17,8 +20,8 @@ Three layers:
   on-disk cache (:mod:`repro.interp.cache`);
 * :mod:`repro.explore.runner` — :func:`explore`, which fans the grid out
   across worker processes; each task sweeps every constraint of one
-  (workload, platform) pair on a single incremental engine so cost caches
-  and the move trajectory are shared;
+  (workload, platform, algorithm) triple on a single partitioner so cost
+  caches and constraint-independent search state are shared;
 * :mod:`repro.explore.results` — :class:`ExplorationResult` records and
   the :class:`ExplorationReport` aggregate with DSE queries such as
   :meth:`ExplorationReport.cheapest_meeting`.

@@ -28,6 +28,9 @@ class ExplorationResult:
     reverted_bb_ids: tuple[int, ...]
     skipped_bb_ids: tuple[int, ...]
     constraint_met: bool
+    #: Label of the :class:`~repro.search.AlgorithmSpec` that produced
+    #: this point (the fourth grid axis).
+    algorithm: str = "greedy"
 
     @classmethod
     def from_partition_result(
@@ -39,8 +42,10 @@ class ExplorationResult:
         clock_ratio: int,
         reconfig_cycles: int,
         constraint_fraction: float,
+        algorithm: str = "greedy",
     ) -> "ExplorationResult":
         return cls(
+            algorithm=algorithm,
             workload=result.workload_name,
             platform=result.platform_name,
             afpga=afpga,
@@ -63,6 +68,7 @@ class ExplorationResult:
         """A flat, JSON/CSV-friendly view of this record."""
         return {
             "workload": self.workload,
+            "algorithm": self.algorithm,
             "platform": self.platform,
             "afpga": self.afpga,
             "cgc_count": self.cgc_count,
@@ -145,6 +151,52 @@ class ExplorationReport:
         if not rows:
             return None
         return max(rows, key=lambda r: r.reduction_percent)
+
+    def algorithms(self) -> list[str]:
+        """Algorithm labels present, in first-seen order."""
+        seen: dict[str, None] = {}
+        for result in self.results:
+            seen.setdefault(result.algorithm)
+        return list(seen)
+
+    def for_algorithm(self, algorithm: str) -> list[ExplorationResult]:
+        return [r for r in self.results if r.algorithm == algorithm]
+
+    def best_per_algorithm(
+        self,
+        workload: str | None = None,
+        constraint_fraction: float | None = None,
+    ) -> dict[str, ExplorationResult]:
+        """The best point each algorithm found, keyed by algorithm label.
+
+        "Best" is lowest final cycles, tie-broken by fewer kernels moved
+        then the smaller platform — the head-to-head comparison the
+        algorithm axis exists for.  Optional filters restrict the
+        competition to one workload and/or one constraint fraction.
+        """
+        best: dict[str, ExplorationResult] = {}
+        for result in self.results:
+            if workload is not None and result.workload != workload:
+                continue
+            if constraint_fraction is not None and not math.isclose(
+                result.constraint_fraction, constraint_fraction, rel_tol=1e-9
+            ):
+                continue
+            incumbent = best.get(result.algorithm)
+            key = (
+                result.final_cycles,
+                result.kernels_moved,
+                result.afpga,
+                result.cgc_count,
+            )
+            if incumbent is None or key < (
+                incumbent.final_cycles,
+                incumbent.kernels_moved,
+                incumbent.afpga,
+                incumbent.cgc_count,
+            ):
+                best[result.algorithm] = result
+        return best
 
     def summary(self) -> str:
         met = len(self.met())

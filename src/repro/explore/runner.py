@@ -1,9 +1,10 @@
 """Parallel grid-sweep runner.
 
-Work is split at (workload, platform) granularity: one task runs the
-whole constraint sweep for a pair on a single incremental engine, so the
-per-block cost cache and the constraint-independent move trajectory are
-shared across every constraint of that pair.  Within a worker process,
+Work is split at (workload, platform, algorithm) granularity: one task
+runs the whole constraint sweep for a triple on a single partitioner, so
+the per-block cost cache and any constraint-independent search state
+(the greedy move trajectory, a cached annealing walk) are shared across
+every constraint of that triple.  Within a worker process,
 built workloads are additionally cached by spec, so every platform the
 worker prices against the same workload reuses its DFGs.
 
@@ -21,8 +22,9 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..interp.cache import ProfileCache
-from ..partition.engine import EngineConfig, PartitioningEngine
+from ..partition.engine import EngineConfig
 from ..partition.workload import ApplicationWorkload
+from ..search import make_partitioner
 from .results import ExplorationReport, ExplorationResult
 from .space import DesignSpace, ExplorationTask, WorkloadSpec
 
@@ -75,18 +77,20 @@ def _run_task(
     task: ExplorationTask,
     workload_cache: dict[WorkloadSpec, ApplicationWorkload] | None = None,
 ) -> _TaskOutcome:
-    """Execute one (workload, platform) constraint sweep."""
+    """Execute one (workload, platform, algorithm) constraint sweep."""
     workload = _cached_workload(
         task.workload, workload_cache, task.profile_cache_dir
     )
     platform = task.platform.build()
     config = task.engine_config or EngineConfig()
-    engine = PartitioningEngine(workload, platform, config=config)
-    initial = engine.initial_cycles()
+    partitioner = make_partitioner(
+        task.algorithm, workload, platform, config=config
+    )
+    initial = partitioner.initial_cycles()
     outcome = _TaskOutcome()
     for fraction in task.constraint_fractions:
         constraint = max(1, round(initial * fraction))
-        result = engine.run(constraint)
+        result = partitioner.run(constraint)
         outcome.results.append(
             ExplorationResult.from_partition_result(
                 result,
@@ -95,10 +99,11 @@ def _run_task(
                 clock_ratio=task.platform.clock_ratio,
                 reconfig_cycles=task.platform.reconfig_cycles,
                 constraint_fraction=fraction,
+                algorithm=task.algorithm.label,
             )
         )
-    outcome.block_cost_evaluations = engine.stats.block_cost_evaluations
-    outcome.blocks_mapped = engine.stats.blocks_mapped
+    outcome.block_cost_evaluations = partitioner.stats.block_cost_evaluations
+    outcome.blocks_mapped = partitioner.stats.blocks_mapped
     return outcome
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..partition.engine import EngineConfig
 from ..partition.workload import ApplicationWorkload
 from ..platform.soc import HybridPlatform, paper_platform
+from ..search.base import AlgorithmSpec
 
 
 @dataclass(frozen=True)
@@ -177,8 +178,9 @@ class PlatformSpec:
 @dataclass(frozen=True)
 class ExplorationTask:
     """One worker unit: a full constraint sweep of one (workload,
-    platform) pair, so the engine's cost cache and move trajectory are
-    shared across every constraint of the pair.
+    platform, algorithm) triple, so the partitioner's cost cache and any
+    constraint-independent search state are shared across every
+    constraint of the triple.
 
     ``profile_cache_dir`` points measured workload specs at a shared
     on-disk profile cache so parallel workers (and later runs) profile
@@ -190,20 +192,24 @@ class ExplorationTask:
     constraint_fractions: tuple[float, ...]
     engine_config: EngineConfig | None = None
     profile_cache_dir: str | None = None
+    algorithm: AlgorithmSpec = AlgorithmSpec.greedy()
 
 
 @dataclass(frozen=True)
 class DesignSpace:
-    """A (workload × platform × constraint) grid.
+    """A (workload × platform × constraint × algorithm) grid.
 
     Constraints are *relative*: each fraction is multiplied by the
     workload's all-FPGA cycle count on that platform, so one grid spans
     workloads whose absolute timescales differ by orders of magnitude.
+    ``algorithms`` is the partitioning-algorithm axis; the default is the
+    paper's greedy loop alone, so existing grids are unchanged.
     """
 
     workloads: tuple[WorkloadSpec, ...]
     platforms: tuple[PlatformSpec, ...]
     constraint_fractions: tuple[float, ...] = (0.9, 0.75, 0.5)
+    algorithms: tuple[AlgorithmSpec, ...] = (AlgorithmSpec.greedy(),)
 
     def __post_init__(self) -> None:
         if not self.workloads or not self.platforms:
@@ -213,6 +219,8 @@ class DesignSpace:
         for fraction in self.constraint_fractions:
             if fraction <= 0.0:
                 raise ValueError("constraint fractions must be positive")
+        if not self.algorithms:
+            raise ValueError("a design space needs >= 1 algorithm")
 
     @property
     def size(self) -> int:
@@ -220,6 +228,7 @@ class DesignSpace:
             len(self.workloads)
             * len(self.platforms)
             * len(self.constraint_fractions)
+            * len(self.algorithms)
         )
 
     def tasks(
@@ -234,9 +243,10 @@ class DesignSpace:
                 constraint_fractions=self.constraint_fractions,
                 engine_config=engine_config,
                 profile_cache_dir=profile_cache_dir,
+                algorithm=algorithm,
             )
-            for workload, platform in itertools.product(
-                self.workloads, self.platforms
+            for workload, platform, algorithm in itertools.product(
+                self.workloads, self.platforms, self.algorithms
             )
         ]
 
@@ -250,10 +260,11 @@ class DesignSpace:
         clock_ratios=(3,),
         reconfig_cycles_values=(20,),
         constraint_fractions=(0.9, 0.75, 0.5),
+        algorithms=(AlgorithmSpec.greedy(),),
     ) -> "DesignSpace":
         """Cross the given axes into a full grid (the §4 neighbourhood by
         default: A_FPGA ∈ {1500, 5000} × {2, 3} CGCs at ratio 3, 20-cycle
-        reconfiguration)."""
+        reconfiguration, greedy partitioning)."""
         platforms = tuple(
             PlatformSpec(
                 afpga=a, cgc_count=c, clock_ratio=r, reconfig_cycles=g
@@ -266,4 +277,5 @@ class DesignSpace:
             workloads=tuple(workloads),
             platforms=platforms,
             constraint_fractions=tuple(constraint_fractions),
+            algorithms=tuple(algorithms),
         )

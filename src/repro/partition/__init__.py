@@ -5,6 +5,13 @@ from .comm import (
     kernel_communication,
     total_communication_cycles,
 )
+from .costs import (
+    BlockContribution,
+    BlockCosts,
+    CostModel,
+    CostState,
+    CostStats,
+)
 from .engine import (
     EngineConfig,
     EngineStats,
@@ -20,8 +27,13 @@ from .workload import (
 
 __all__ = [
     "ApplicationWorkload",
+    "BlockContribution",
+    "BlockCosts",
     "BlockWorkload",
     "CommunicationCost",
+    "CostModel",
+    "CostState",
+    "CostStats",
     "EngineConfig",
     "EngineStats",
     "PartitionResult",

@@ -1,0 +1,284 @@
+"""Incremental partitioning cost state, factored out of the engine.
+
+Eq. 2 of the paper is a sum of independent per-block terms, so any
+hardware/software split is priced by three running totals — FPGA, CGC and
+communication ticks — and a kernel move changes them by exactly that
+block's contribution.  This module packages that observation as two
+reusable pieces:
+
+* :class:`CostModel` — prices blocks on both fabrics (Figure 3 temporal
+  partitioning, the CGC list scheduler, the t_comm model) and caches the
+  per-block :class:`BlockContribution` terms;
+* :class:`CostState` — one candidate configuration (the set of moved
+  kernels) with O(1) ``propose`` / ``apply`` / ``revert`` transitions and
+  the single-rounding cycle split the result layer reports.
+
+The :class:`~repro.partition.engine.PartitioningEngine` (the paper's
+greedy loop) and every :mod:`repro.search` algorithm (exhaustive,
+multi-start, annealing) run on this same substrate, which is what makes
+thousands of candidate evaluations per second cheap enough for
+design-space search.
+
+Timebase: everything is accumulated in CGC ticks
+(``1 FPGA cycle = clock_ratio ticks``) so arithmetic stays integral;
+conversion to FPGA cycles (the paper's reporting unit) rounds once at the
+boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.weights import WeightModel
+from ..coarsegrain.timing import CoarseGrainBlockTiming, block_cgc_timing
+from ..finegrain.timing import FineGrainBlockTiming, block_fpga_timing
+from ..platform.soc import HybridPlatform
+from .comm import CommunicationCost, kernel_communication
+from .workload import ApplicationWorkload, BlockWorkload
+
+
+@dataclass
+class CostStats:
+    """Work counters shared by everything pricing blocks on a model.
+
+    Any object with these two attributes works as a sink (the engine
+    passes its :class:`~repro.partition.engine.EngineStats`).
+    """
+
+    #: Per-block cost lookups performed for Eq. 2-4 aggregation.
+    block_cost_evaluations: int = 0
+    #: Blocks actually mapped onto both fabrics (cache misses).
+    blocks_mapped: int = 0
+
+
+@dataclass
+class BlockCosts:
+    """Cached per-block mapping results (both fabrics + communication)."""
+
+    fine: FineGrainBlockTiming
+    coarse: CoarseGrainBlockTiming | None
+    comm: CommunicationCost
+
+
+@dataclass(frozen=True)
+class BlockContribution:
+    """One block's additive terms of Eq. 2, in CGC ticks."""
+
+    fpga_ticks: int        # t_FPGA share while the block stays fine-grain
+    cgc_ticks: int | None  # t_coarse share if moved (None: unsupported)
+    comm_ticks: int        # t_comm share if moved
+    #: Peak CGC rows the block's schedule occupies (resource objective of
+    #: the multi-objective search; 0 for unsupported blocks).
+    cgc_rows: int = 0
+
+    @property
+    def supported(self) -> bool:
+        return self.cgc_ticks is not None
+
+    @property
+    def move_delta(self) -> int:
+        """Change of the Eq. 2 total (in ticks) if this block moves."""
+        assert self.cgc_ticks is not None
+        return self.cgc_ticks + self.comm_ticks - self.fpga_ticks
+
+
+class CostModel:
+    """Prices one workload on one platform; caches per-block terms."""
+
+    def __init__(
+        self,
+        workload: ApplicationWorkload,
+        platform: HybridPlatform,
+        *,
+        charge_single_partition_reconfig: bool = False,
+        stats: CostStats | None = None,
+    ):
+        self.workload = workload
+        self.platform = platform
+        self.charge_single_partition_reconfig = charge_single_partition_reconfig
+        self.stats = stats if stats is not None else CostStats()
+        self._costs: dict[int, BlockCosts] = {}
+        self._contribs: dict[int, BlockContribution] = {}
+        self._initial_ticks: int | None = None
+
+    # ------------------------------------------------------------------
+    # Per-block mapping (steps 2 and 5 of Figure 2)
+    # ------------------------------------------------------------------
+    def block_costs(self, block: BlockWorkload) -> BlockCosts:
+        cached = self._costs.get(block.bb_id)
+        if cached is not None:
+            return cached
+        self.stats.blocks_mapped += 1
+        fine = block_fpga_timing(
+            block.dfg,
+            self.platform.fpga,
+            self.platform.characterization,
+            charge_single_partition=self.charge_single_partition_reconfig,
+        )
+        coarse: CoarseGrainBlockTiming | None = None
+        if self.platform.datapath.supports_dfg(block.dfg):
+            coarse = block_cgc_timing(block.dfg, self.platform.datapath)
+        comm = kernel_communication(
+            block, self.platform.memory, self.platform.interconnect
+        )
+        costs = BlockCosts(fine=fine, coarse=coarse, comm=comm)
+        self._costs[block.bb_id] = costs
+        return costs
+
+    def contribution(self, block: BlockWorkload) -> BlockContribution:
+        """The block's Eq. 2 terms in ticks (counts one cost evaluation)."""
+        self.stats.block_cost_evaluations += 1
+        cached = self._contribs.get(block.bb_id)
+        if cached is not None:
+            return cached
+        ratio = self.platform.clock_ratio
+        costs = self.block_costs(block)
+        contribution = BlockContribution(
+            fpga_ticks=costs.fine.total_cycles * block.exec_freq * ratio,
+            cgc_ticks=(
+                costs.coarse.cgc_cycles * block.exec_freq
+                if costs.coarse is not None
+                else None
+            ),
+            comm_ticks=costs.comm.total_cycles * ratio,
+            cgc_rows=costs.coarse.rows_used if costs.coarse is not None else 0,
+        )
+        self._contribs[block.bb_id] = contribution
+        return contribution
+
+    def contribution_by_id(self, bb_id: int) -> BlockContribution:
+        return self.contribution(self.workload.block(bb_id))
+
+    # ------------------------------------------------------------------
+    # Workload-level queries
+    # ------------------------------------------------------------------
+    def initial_ticks(self) -> int:
+        """The all-FPGA Eq. 2 total, cached after the first computation."""
+        if self._initial_ticks is None:
+            self._initial_ticks = sum(
+                self.contribution(block).fpga_ticks
+                for block in self.workload.blocks
+            )
+        return self._initial_ticks
+
+    def initial_cycles(self) -> int:
+        return self.ticks_to_cycles(self.initial_ticks())
+
+    def kernel_candidates(
+        self, weight_model: WeightModel | None = None
+    ) -> list[BlockWorkload]:
+        """Candidates in the Eq. 1 greedy order (descending total weight)."""
+        return self.workload.kernel_candidates(weight_model or WeightModel())
+
+    # ------------------------------------------------------------------
+    # Tick -> cycle conversion
+    # ------------------------------------------------------------------
+    def ticks_to_cycles(self, ticks: int) -> int:
+        ratio = self.platform.clock_ratio
+        return -(-ticks // ratio)  # ceil
+
+    def split_ticks(
+        self, fpga_t: int, cgc_t: int, comm_t: int
+    ) -> tuple[int, int, int, int]:
+        """(fpga, cgc, comm, total) FPGA cycles, rounded *once*.
+
+        The total is the ceiling of the summed ticks; the three component
+        cycle counts are apportioned so they always sum exactly to it
+        (largest-remainder rounding), instead of ceiling each term
+        independently and drifting from the total.
+        """
+        ratio = self.platform.clock_ratio
+        total_cycles = self.ticks_to_cycles(fpga_t + cgc_t + comm_t)
+        parts = [fpga_t // ratio, cgc_t // ratio, comm_t // ratio]
+        remainders = [fpga_t % ratio, cgc_t % ratio, comm_t % ratio]
+        leftover = total_cycles - sum(parts)
+        for index in sorted(range(3), key=lambda i: (-remainders[i], i))[:leftover]:
+            parts[index] += 1
+        return parts[0], parts[1], parts[2], total_cycles
+
+
+class CostState:
+    """One hardware/software split with O(1) move transitions.
+
+    The state is the set of moved kernels plus the three running Eq. 2
+    tick totals.  ``propose_move`` prices a transition without taking it;
+    ``apply_move`` / ``revert_move`` take and undo it in O(1).
+    """
+
+    def __init__(self, model: CostModel):
+        self.model = model
+        self.fpga_ticks = model.initial_ticks()
+        self.cgc_ticks = 0
+        self.comm_ticks = 0
+        self.moved: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def propose_move(self, bb_id: int) -> int:
+        """Tick delta of toggling ``bb_id`` (negative = improvement)."""
+        contribution = self.model.contribution_by_id(bb_id)
+        if bb_id in self.moved:
+            return -contribution.move_delta
+        return contribution.move_delta
+
+    def apply_move(self, bb_id: int) -> int:
+        """Move ``bb_id`` to the coarse-grain fabric; returns the delta."""
+        if bb_id in self.moved:
+            raise ValueError(f"BB {bb_id} is already moved")
+        contribution = self.model.contribution_by_id(bb_id)
+        if not contribution.supported:
+            raise ValueError(
+                f"kernel BB {bb_id} cannot execute on the coarse-grain "
+                "data-path"
+            )
+        assert contribution.cgc_ticks is not None
+        self.fpga_ticks -= contribution.fpga_ticks
+        self.cgc_ticks += contribution.cgc_ticks
+        self.comm_ticks += contribution.comm_ticks
+        self.moved.add(bb_id)
+        return contribution.move_delta
+
+    def revert_move(self, bb_id: int) -> int:
+        """Undo a previous :meth:`apply_move`; returns the delta."""
+        if bb_id not in self.moved:
+            raise ValueError(f"BB {bb_id} is not moved")
+        contribution = self.model.contribution_by_id(bb_id)
+        assert contribution.cgc_ticks is not None
+        self.fpga_ticks += contribution.fpga_ticks
+        self.cgc_ticks -= contribution.cgc_ticks
+        self.comm_ticks -= contribution.comm_ticks
+        self.moved.discard(bb_id)
+        return -contribution.move_delta
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def total_ticks(self) -> int:
+        return self.fpga_ticks + self.cgc_ticks + self.comm_ticks
+
+    @property
+    def ticks(self) -> tuple[int, int, int]:
+        return (self.fpga_ticks, self.cgc_ticks, self.comm_ticks)
+
+    def total_cycles(self) -> int:
+        return self.model.ticks_to_cycles(self.total_ticks)
+
+    def split_cycles(self) -> tuple[int, int, int, int]:
+        """(fpga, cgc, comm, total) FPGA cycles of this configuration."""
+        return self.model.split_ticks(*self.ticks)
+
+    def cgc_rows_used(self) -> int:
+        """Peak CGC rows any moved kernel's schedule occupies.
+
+        Kernels run sequentially (the program has one thread of control),
+        so the configuration's row footprint is the max, not the sum.
+        """
+        return max(
+            (
+                self.model.contribution_by_id(bb_id).cgc_rows
+                for bb_id in self.moved
+            ),
+            default=0,
+        )

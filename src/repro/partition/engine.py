@@ -14,21 +14,16 @@ Flow implemented here:
    strictly worsens Eq. 2 and is reverted (the paper's commit-always
    behaviour survives behind ``EngineConfig.allow_regressing_moves``).
 
-Timebase: internally everything is accumulated in CGC ticks
-(``1 FPGA cycle = clock_ratio ticks``) so arithmetic stays integral; the
-result is reported in FPGA cycles (the paper's unit), rounding up.
-
 Incremental aggregation
 -----------------------
-Eq. 2 is a sum of independent per-block terms, so a kernel move changes
-the total by exactly that block's contribution: ``-t_FPGA(block)`` plus
-``+t_coarse(block) + t_comm(block)``.  The engine therefore keeps running
-FPGA/CGC/communication tick totals and applies an O(1) delta per move
-(and per revert) instead of rescanning every block.  Because the greedy
-order and the revert decisions are independent of the timing constraint,
-the whole move *trajectory* is constraint-independent too: it is computed
-lazily once per engine and replayed, so ``sweep()`` warm-starts every
-constraint after the first from the shared prefix.
+Per-block pricing and the O(1) delta bookkeeping live in
+:mod:`repro.partition.costs` (:class:`CostModel` / :class:`CostState`),
+shared with the :mod:`repro.search` algorithms.  Because the greedy order
+and the revert decisions are independent of the timing constraint, the
+whole move *trajectory* is constraint-independent too
+(:mod:`repro.partition.trajectory`): it is computed lazily once per
+engine and replayed, so ``sweep()`` warm-starts every constraint after
+the first from the shared prefix.
 
 ``EngineConfig.incremental=False`` selects the seed engine's O(blocks)
 full-rescan aggregation — kept as a differential-testing reference and as
@@ -39,25 +34,26 @@ many per-block cost evaluations each mode performed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import dataclass
 
 from ..analysis.weights import WeightModel
-from ..coarsegrain.timing import CoarseGrainBlockTiming, block_cgc_timing
-from ..finegrain.timing import FineGrainBlockTiming, block_fpga_timing
 from ..platform.soc import HybridPlatform
-from .comm import CommunicationCost, kernel_communication
-from .result import PartitionResult, PartitionStep
-from .workload import ApplicationWorkload, BlockWorkload
+from .costs import CostModel
+from .result import PartitionResult
+from .trajectory import GreedyTrajectory, commit_step
+from .workload import ApplicationWorkload
 
 
 @dataclass
 class EngineConfig:
     """Tunables of the engine loop.
 
-    Treat a config as frozen once its engine has run: the incremental
-    mode bakes the flags into its cached move trajectory, so mutations
-    after the first ``run()`` are not picked up.  Build a new engine (or
-    a new config) instead.
+    A config is frozen once its engine has run: the incremental mode
+    bakes the flags into its cached move trajectory, so the engine
+    snapshots the config at the first ``run()`` / ``initial_cycles()``
+    and raises on any later mutation instead of silently ignoring it.
+    Build a new engine (or a new config) instead.
     """
 
     max_kernels_moved: int | None = None
@@ -93,61 +89,6 @@ class EngineStats:
     warm_started_runs: int = 0
 
 
-@dataclass
-class _BlockCosts:
-    """Cached per-block mapping results."""
-
-    fine: FineGrainBlockTiming
-    coarse: CoarseGrainBlockTiming | None
-    comm: CommunicationCost
-
-
-@dataclass(frozen=True)
-class _BlockContribution:
-    """One block's additive terms of Eq. 2, in CGC ticks."""
-
-    fpga_ticks: int        # t_FPGA share while the block stays fine-grain
-    cgc_ticks: int | None  # t_coarse share if moved (None: unsupported)
-    comm_ticks: int        # t_comm share if moved
-
-    @property
-    def supported(self) -> bool:
-        return self.cgc_ticks is not None
-
-    @property
-    def move_delta(self) -> int:
-        """Change of the Eq. 2 total (in ticks) if this block moves."""
-        assert self.cgc_ticks is not None
-        return self.cgc_ticks + self.comm_ticks - self.fpga_ticks
-
-
-#: Trajectory entry actions.
-_MOVED = "moved"
-_REVERTED = "reverted"
-_SKIPPED = "skipped"
-
-
-@dataclass(frozen=True)
-class _TrajectoryEntry:
-    """One greedy decision plus the tick totals after it took effect.
-
-    The greedy order (Eq. 1) and the revert test (``move_delta > 0``)
-    depend only on the workload and platform, never on the timing
-    constraint, so this sequence is computed once per engine and replayed
-    for every ``run()``.
-    """
-
-    bb_id: int
-    action: str  # _MOVED | _REVERTED | _SKIPPED
-    fpga_ticks: int
-    cgc_ticks: int
-    comm_ticks: int
-
-    @property
-    def total_ticks(self) -> int:
-        return self.fpga_ticks + self.cgc_ticks + self.comm_ticks
-
-
 class PartitioningEngine:
     """Runs the Figure 2 flow for one workload on one platform."""
 
@@ -163,189 +104,63 @@ class PartitioningEngine:
         self.weight_model = weight_model or WeightModel()
         self.config = config or EngineConfig()
         self.stats = EngineStats()
-        self._costs: dict[int, _BlockCosts] = {}
-        self._contribs: dict[int, _BlockContribution] = {}
+        self._config_snapshot: EngineConfig | None = None
+        self._cost_model: CostModel | None = None
         # Lazily built constraint-independent state (incremental mode).
-        self._initial_ticks: int | None = None
-        self._trajectory: list[_TrajectoryEntry] = []
-        self._trajectory_done = False
-        self._pending_kernels: list[BlockWorkload] | None = None
-        self._next_kernel = 0  # cursor into _pending_kernels
-        self._running: tuple[int, int, int] | None = None
+        self._trajectory: GreedyTrajectory | None = None
 
     # ------------------------------------------------------------------
-    # Per-block mapping (steps 2 and 5 of Figure 2)
+    # Config freeze + cost model
     # ------------------------------------------------------------------
-    def _block_costs(self, block: BlockWorkload) -> _BlockCosts:
-        cached = self._costs.get(block.bb_id)
-        if cached is not None:
-            return cached
-        self.stats.blocks_mapped += 1
-        fine = block_fpga_timing(
-            block.dfg,
-            self.platform.fpga,
-            self.platform.characterization,
-            charge_single_partition=self.config.charge_single_partition_reconfig,
-        )
-        coarse: CoarseGrainBlockTiming | None = None
-        if self.platform.datapath.supports_dfg(block.dfg):
-            coarse = block_cgc_timing(block.dfg, self.platform.datapath)
-        comm = kernel_communication(
-            block, self.platform.memory, self.platform.interconnect
-        )
-        costs = _BlockCosts(fine=fine, coarse=coarse, comm=comm)
-        self._costs[block.bb_id] = costs
-        return costs
+    def _freeze_config(self) -> None:
+        """Snapshot the config on first use; reject later mutations.
 
-    def _contribution(self, block: BlockWorkload) -> _BlockContribution:
-        """The block's Eq. 2 terms in ticks (counts one cost evaluation)."""
-        self.stats.block_cost_evaluations += 1
-        cached = self._contribs.get(block.bb_id)
-        if cached is not None:
-            return cached
-        ratio = self.platform.clock_ratio
-        costs = self._block_costs(block)
-        contribution = _BlockContribution(
-            fpga_ticks=costs.fine.total_cycles * block.exec_freq * ratio,
-            cgc_ticks=(
-                costs.coarse.cgc_cycles * block.exec_freq
-                if costs.coarse is not None
-                else None
-            ),
-            comm_ticks=costs.comm.total_cycles * ratio,
-        )
-        self._contribs[block.bb_id] = contribution
-        return contribution
-
-    # ------------------------------------------------------------------
-    # Aggregation (Eqs. 2-4)
-    # ------------------------------------------------------------------
-    def _total_ticks(self, moved: set[int]) -> tuple[int, int, int, int]:
-        """(fpga, cgc, comm, total) ticks via a full O(blocks) rescan.
-
-        The seed engine's aggregation, retained as the reference the
-        incremental path is differentially tested against.
+        The cached cost terms and move trajectory bake the config flags
+        in, so a mutated config would silently be ignored — raising keeps
+        the documented freeze-after-run contract honest.
         """
-        fpga_ticks = 0
-        cgc_ticks = 0
-        comm_ticks = 0
-        for block in self.workload.blocks:
-            contribution = self._contribution(block)
-            if block.bb_id in moved:
-                assert contribution.cgc_ticks is not None
-                cgc_ticks += contribution.cgc_ticks
-                comm_ticks += contribution.comm_ticks
-            else:
-                fpga_ticks += contribution.fpga_ticks
-        return fpga_ticks, cgc_ticks, comm_ticks, fpga_ticks + cgc_ticks + comm_ticks
-
-    def _ticks_to_cycles(self, ticks: int) -> int:
-        ratio = self.platform.clock_ratio
-        return -(-ticks // ratio)  # ceil
-
-    def _split_ticks(
-        self, fpga_t: int, cgc_t: int, comm_t: int
-    ) -> tuple[int, int, int, int]:
-        """(fpga, cgc, comm, total) FPGA cycles, rounded *once*.
-
-        The total is the ceiling of the summed ticks; the three component
-        cycle counts are apportioned so they always sum exactly to it
-        (largest-remainder rounding), instead of ceiling each term
-        independently and drifting from the total.
-        """
-        ratio = self.platform.clock_ratio
-        total_cycles = self._ticks_to_cycles(fpga_t + cgc_t + comm_t)
-        parts = [fpga_t // ratio, cgc_t // ratio, comm_t // ratio]
-        remainders = [fpga_t % ratio, cgc_t % ratio, comm_t % ratio]
-        leftover = total_cycles - sum(parts)
-        for index in sorted(range(3), key=lambda i: (-remainders[i], i))[:leftover]:
-            parts[index] += 1
-        return parts[0], parts[1], parts[2], total_cycles
-
-    # ------------------------------------------------------------------
-    # Constraint-independent move trajectory (incremental mode)
-    # ------------------------------------------------------------------
-    def _ensure_initial_ticks(self) -> int:
-        if self._initial_ticks is None:
-            self._initial_ticks = sum(
-                self._contribution(block).fpga_ticks
-                for block in self.workload.blocks
+        if self._config_snapshot is None:
+            self._config_snapshot = dataclasses.replace(self.config)
+        elif self.config != self._config_snapshot:
+            raise ValueError(
+                "EngineConfig mutated after the engine ran; its flags are "
+                "baked into cached state — build a new PartitioningEngine "
+                "for a different configuration"
             )
-            self._running = (self._initial_ticks, 0, 0)
-        return self._initial_ticks
 
-    def _extend_trajectory(self) -> bool:
-        """Process the next greedy kernel; False when exhausted."""
-        if self._trajectory_done:
-            return False
-        self._ensure_initial_ticks()
-        if self._pending_kernels is None:
-            self._pending_kernels = list(
-                self.workload.kernel_candidates(self.weight_model)
+    @property
+    def cost_model(self) -> CostModel:
+        """The shared pricing substrate (created on first use)."""
+        if self._cost_model is None:
+            self._cost_model = CostModel(
+                self.workload,
+                self.platform,
+                charge_single_partition_reconfig=(
+                    self.config.charge_single_partition_reconfig
+                ),
+                stats=self.stats,
             )
-        if self._next_kernel >= len(self._pending_kernels):
-            self._trajectory_done = True
-            return False
-        kernel = self._pending_kernels[self._next_kernel]
-        assert self._running is not None
-        fpga_t, cgc_t, comm_t = self._running
-        contribution = self._contribution(kernel)
-        if not contribution.supported:
-            if not self.config.skip_unsupported_kernels:
-                # Raise while the kernel is still pending, so a retried
-                # run() fails the same way instead of silently dropping it.
-                raise ValueError(
-                    f"kernel BB {kernel.bb_id} cannot execute on the "
-                    "coarse-grain data-path"
-                )
-            action = _SKIPPED
-        elif (
-            contribution.move_delta > 0
-            and not self.config.allow_regressing_moves
-        ):
-            # CGC + comm ticks exceed the FPGA ticks: the move strictly
-            # worsens Eq. 2 for every constraint, so revert it.
-            action = _REVERTED
-        else:
-            action = _MOVED
-            assert contribution.cgc_ticks is not None
-            fpga_t -= contribution.fpga_ticks
-            cgc_t += contribution.cgc_ticks
-            comm_t += contribution.comm_ticks
-            self._running = (fpga_t, cgc_t, comm_t)
-        self._next_kernel += 1
-        self._trajectory.append(
-            _TrajectoryEntry(
-                bb_id=kernel.bb_id,
-                action=action,
-                fpga_ticks=fpga_t,
-                cgc_ticks=cgc_t,
-                comm_ticks=comm_t,
-            )
-        )
-        return True
+        return self._cost_model
 
-    def _iter_trajectory(self):
-        """Replay cached trajectory entries, extending lazily on demand."""
-        if self._trajectory:
-            self.stats.warm_started_runs += 1
-        index = 0
-        while True:
-            while index >= len(self._trajectory):
-                if not self._extend_trajectory():
-                    return
-            yield self._trajectory[index]
-            index += 1
+    @property
+    def trajectory(self) -> GreedyTrajectory:
+        """The shared constraint-independent greedy decision sequence."""
+        if self._trajectory is None:
+            self._trajectory = GreedyTrajectory(
+                self.cost_model,
+                self.weight_model,
+                skip_unsupported_kernels=self.config.skip_unsupported_kernels,
+                allow_regressing_moves=self.config.allow_regressing_moves,
+            )
+        return self._trajectory
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def initial_cycles(self) -> int:
         """All-FPGA execution time in FPGA cycles (Table 2/3 row 1)."""
-        if not self.config.incremental:
-            __, __, __, total = self._total_ticks(set())
-            return self._ticks_to_cycles(total)
-        return self._ticks_to_cycles(self._ensure_initial_ticks())
+        self._freeze_config()
+        return self.cost_model.initial_cycles()
 
     def run(self, timing_constraint: int) -> PartitionResult:
         """Execute the Figure 2 loop against a timing constraint
@@ -353,19 +168,13 @@ class PartitioningEngine:
         if timing_constraint <= 0:
             raise ValueError("timing constraint must be positive")
 
-        initial = self.initial_cycles()
-        result = PartitionResult(
-            workload_name=self.workload.name,
-            platform_name=self.platform.name,
-            timing_constraint=timing_constraint,
-            initial_cycles=initial,
-            final_cycles=initial,
-            cycles_in_cgc=0,
-            comm_cycles=0,
-            fpga_cycles=initial,
+        result = PartitionResult.all_fpga(
+            self.workload.name,
+            self.platform.name,
+            timing_constraint,
+            self.initial_cycles(),
         )
-        if initial <= timing_constraint:
-            result.constraint_met = True
+        if result.constraint_met:
             return result
 
         if self.config.incremental:
@@ -375,75 +184,54 @@ class PartitioningEngine:
         result.validate()
         return result
 
-    def _commit_step(
-        self,
-        result: PartitionResult,
-        bb_id: int,
-        ticks: tuple[int, int, int],
-        timing_constraint: int,
-    ) -> bool:
-        """Record one committed move; returns constraint_met."""
-        fpga_c, cgc_c, comm_c, total_c = self._split_ticks(*ticks)
-        met = total_c <= timing_constraint
-        result.steps.append(
-            PartitionStep(
-                moved_bb_id=bb_id,
-                fpga_cycles=fpga_c,
-                cgc_fpga_cycles=cgc_c,
-                comm_cycles=comm_c,
-                total_cycles=total_c,
-                constraint_met=met,
-            )
-        )
-        result.moved_bb_ids.append(bb_id)
-        result.final_cycles = total_c
-        result.fpga_cycles = fpga_c
-        result.cycles_in_cgc = cgc_c
-        result.comm_cycles = comm_c
-        result.constraint_met = met
-        self.stats.moves_committed += 1
-        return met
-
     def _run_incremental(
         self, timing_constraint: int, result: PartitionResult
     ) -> None:
-        for entry in self._iter_trajectory():
-            if (
-                self.config.max_kernels_moved is not None
-                and len(result.moved_bb_ids) >= self.config.max_kernels_moved
-            ):
-                break
-            if entry.action == _SKIPPED:
-                result.skipped_bb_ids.append(entry.bb_id)
-                self.stats.kernels_skipped += 1
-                continue
-            if entry.action == _REVERTED:
-                result.reverted_bb_ids.append(entry.bb_id)
-                self.stats.moves_reverted += 1
-                continue
-            met = self._commit_step(
-                result,
-                entry.bb_id,
-                (entry.fpga_ticks, entry.cgc_ticks, entry.comm_ticks),
-                timing_constraint,
-            )
-            if met and self.config.stop_at_constraint:
-                break
+        trajectory = self.trajectory
+        if trajectory.entries:
+            self.stats.warm_started_runs += 1
+        trajectory.replay(
+            result,
+            timing_constraint,
+            max_kernels_moved=self.config.max_kernels_moved,
+            stop_at_constraint=self.config.stop_at_constraint,
+            on_skipped=lambda e: self._count("kernels_skipped"),
+            on_reverted=lambda e: self._count("moves_reverted"),
+            on_committed=lambda e: self._count("moves_committed"),
+        )
+
+    def _count(self, counter: str) -> None:
+        setattr(self.stats, counter, getattr(self.stats, counter) + 1)
 
     def _run_full_rescan(
         self, timing_constraint: int, result: PartitionResult
     ) -> None:
         """The seed engine's loop: O(blocks) rescan after every move."""
-        kernels = self.workload.kernel_candidates(self.weight_model)
+        model = self.cost_model
+        kernels = model.kernel_candidates(self.weight_model)
         moved: set[int] = set()
-        __, __, __, previous_total = self._total_ticks(moved)
+
+        def total_ticks() -> tuple[int, int, int, int]:
+            """(fpga, cgc, comm, total) via a full O(blocks) rescan."""
+            fpga_t = cgc_t = comm_t = 0
+            for block in self.workload.blocks:
+                contribution = model.contribution(block)
+                if block.bb_id in moved:
+                    assert contribution.cgc_ticks is not None
+                    cgc_t += contribution.cgc_ticks
+                    comm_t += contribution.comm_ticks
+                else:
+                    fpga_t += contribution.fpga_ticks
+            return fpga_t, cgc_t, comm_t, fpga_t + cgc_t + comm_t
+
+        __, __, __, previous_total = total_ticks()
         for kernel in kernels:
             if (
                 self.config.max_kernels_moved is not None
                 and len(moved) >= self.config.max_kernels_moved
             ):
                 break
-            costs = self._block_costs(kernel)
+            costs = model.block_costs(kernel)
             if costs.coarse is None:
                 if not self.config.skip_unsupported_kernels:
                     raise ValueError(
@@ -455,7 +243,7 @@ class PartitioningEngine:
                 continue
 
             moved.add(kernel.bb_id)
-            fpga_t, cgc_t, comm_t, total_t = self._total_ticks(moved)
+            fpga_t, cgc_t, comm_t, total_t = total_ticks()
             if (
                 total_t > previous_total
                 and not self.config.allow_regressing_moves
@@ -465,9 +253,14 @@ class PartitioningEngine:
                 self.stats.moves_reverted += 1
                 continue
             previous_total = total_t
-            met = self._commit_step(
-                result, kernel.bb_id, (fpga_t, cgc_t, comm_t), timing_constraint
+            met = commit_step(
+                model,
+                result,
+                kernel.bb_id,
+                (fpga_t, cgc_t, comm_t),
+                timing_constraint,
             )
+            self.stats.moves_committed += 1
             if met and self.config.stop_at_constraint:
                 break
 

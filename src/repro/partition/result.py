@@ -55,6 +55,31 @@ class PartitionResult:
     #: when ``EngineConfig.allow_regressing_moves`` is set).
     reverted_bb_ids: list[int] = field(default_factory=list)
 
+    @classmethod
+    def all_fpga(
+        cls,
+        workload_name: str,
+        platform_name: str,
+        timing_constraint: int,
+        initial_cycles: int,
+    ) -> "PartitionResult":
+        """The starting point of every search: everything fine-grain.
+
+        ``constraint_met`` reflects whether the all-FPGA mapping already
+        satisfies the constraint (the Figure 2 early exit).
+        """
+        return cls(
+            workload_name=workload_name,
+            platform_name=platform_name,
+            timing_constraint=timing_constraint,
+            initial_cycles=initial_cycles,
+            final_cycles=initial_cycles,
+            cycles_in_cgc=0,
+            comm_cycles=0,
+            fpga_cycles=initial_cycles,
+            constraint_met=initial_cycles <= timing_constraint,
+        )
+
     @property
     def reduction_percent(self) -> float:
         """The "% cycles reduction" row: vs. the all-FPGA mapping."""

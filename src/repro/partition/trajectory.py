@@ -1,0 +1,192 @@
+"""The constraint-independent greedy move trajectory.
+
+The Figure 2 loop's decisions — visit order (Eq. 1 weight), the
+unsupported-kernel skip, and the revert of moves that strictly worsen
+Eq. 2 — depend only on the workload and platform, never on the timing
+constraint.  This module owns that shared sequence: it is computed
+lazily once and replayed for every constraint, which is what lets
+``sweep()`` warm-start.
+
+:class:`~repro.partition.engine.PartitioningEngine` runs on it in
+incremental mode, and :class:`~repro.search.greedy.GreedyPartitioner`
+delegates to the engine outright — so the paper flow and the
+pluggable-algorithm protocol cannot drift apart (the differential suite
+is the backstop, not the mechanism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..analysis.weights import WeightModel
+from .costs import CostModel, CostState
+from .result import PartitionResult, PartitionStep
+
+#: Trajectory entry actions.
+MOVED = "moved"
+REVERTED = "reverted"
+SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class TrajectoryEntry:
+    """One greedy decision plus the tick totals after it took effect."""
+
+    bb_id: int
+    action: str  # MOVED | REVERTED | SKIPPED
+    fpga_ticks: int
+    cgc_ticks: int
+    comm_ticks: int
+
+    @property
+    def ticks(self) -> tuple[int, int, int]:
+        return (self.fpga_ticks, self.cgc_ticks, self.comm_ticks)
+
+    @property
+    def total_ticks(self) -> int:
+        return self.fpga_ticks + self.cgc_ticks + self.comm_ticks
+
+
+class GreedyTrajectory:
+    """Lazily extended, cached greedy decision sequence."""
+
+    def __init__(
+        self,
+        model: CostModel,
+        weight_model: WeightModel,
+        *,
+        skip_unsupported_kernels: bool = True,
+        allow_regressing_moves: bool = False,
+    ):
+        self.model = model
+        self.weight_model = weight_model
+        self.skip_unsupported_kernels = skip_unsupported_kernels
+        self.allow_regressing_moves = allow_regressing_moves
+        self.entries: list[TrajectoryEntry] = []
+        self._state: CostState | None = None
+        self._pending: list | None = None
+        self._next = 0
+        self._done = False
+
+    def _extend(self) -> bool:
+        """Process the next greedy kernel; False when exhausted."""
+        if self._done:
+            return False
+        if self._state is None:
+            self._state = CostState(self.model)
+        if self._pending is None:
+            self._pending = self.model.kernel_candidates(self.weight_model)
+        if self._next >= len(self._pending):
+            self._done = True
+            return False
+        kernel = self._pending[self._next]
+        state = self._state
+        contribution = self.model.contribution(kernel)
+        if not contribution.supported:
+            if not self.skip_unsupported_kernels:
+                # Raise while the kernel is still pending, so a retried
+                # run() fails the same way instead of silently dropping it.
+                raise ValueError(
+                    f"kernel BB {kernel.bb_id} cannot execute on the "
+                    "coarse-grain data-path"
+                )
+            action = SKIPPED
+        elif contribution.move_delta > 0 and not self.allow_regressing_moves:
+            # CGC + comm ticks exceed the FPGA ticks: the move strictly
+            # worsens Eq. 2 for every constraint, so revert it.
+            action = REVERTED
+        else:
+            action = MOVED
+            state.apply_move(kernel.bb_id)
+        self._next += 1
+        self.entries.append(
+            TrajectoryEntry(
+                bb_id=kernel.bb_id,
+                action=action,
+                fpga_ticks=state.fpga_ticks,
+                cgc_ticks=state.cgc_ticks,
+                comm_ticks=state.comm_ticks,
+            )
+        )
+        return True
+
+    def iter_entries(self):
+        """Replay cached entries, extending lazily on demand."""
+        index = 0
+        while True:
+            while index >= len(self.entries):
+                if not self._extend():
+                    return
+            yield self.entries[index]
+            index += 1
+
+    def replay(
+        self,
+        result: PartitionResult,
+        timing_constraint: int,
+        *,
+        max_kernels_moved: int | None,
+        stop_at_constraint: bool,
+        on_skipped: Callable[[TrajectoryEntry], None] | None = None,
+        on_reverted: Callable[[TrajectoryEntry], None] | None = None,
+        on_committed: Callable[[TrajectoryEntry], None] | None = None,
+    ) -> None:
+        """Fill ``result`` by replaying decisions against one constraint."""
+        for entry in self.iter_entries():
+            if (
+                max_kernels_moved is not None
+                and len(result.moved_bb_ids) >= max_kernels_moved
+            ):
+                break
+            if entry.action == SKIPPED:
+                result.skipped_bb_ids.append(entry.bb_id)
+                if on_skipped is not None:
+                    on_skipped(entry)
+                continue
+            if entry.action == REVERTED:
+                result.reverted_bb_ids.append(entry.bb_id)
+                if on_reverted is not None:
+                    on_reverted(entry)
+                continue
+            met = commit_step(
+                self.model, result, entry.bb_id, entry.ticks, timing_constraint
+            )
+            if on_committed is not None:
+                on_committed(entry)
+            if met and stop_at_constraint:
+                break
+
+
+def commit_step(
+    model: CostModel,
+    result: PartitionResult,
+    bb_id: int,
+    ticks: tuple[int, int, int],
+    timing_constraint: int,
+) -> bool:
+    """Append one committed move to ``result``; returns constraint_met.
+
+    One shared implementation of the step bookkeeping (single-rounding
+    cycle split, running result fields) for the engine and every search
+    algorithm.
+    """
+    fpga_c, cgc_c, comm_c, total_c = model.split_ticks(*ticks)
+    met = total_c <= timing_constraint
+    result.steps.append(
+        PartitionStep(
+            moved_bb_id=bb_id,
+            fpga_cycles=fpga_c,
+            cgc_fpga_cycles=cgc_c,
+            comm_cycles=comm_c,
+            total_cycles=total_c,
+            constraint_met=met,
+        )
+    )
+    result.moved_bb_ids.append(bb_id)
+    result.final_cycles = total_c
+    result.fpga_cycles = fpga_c
+    result.cycles_in_cgc = cgc_c
+    result.comm_cycles = comm_c
+    result.constraint_met = met
+    return met

@@ -16,8 +16,10 @@ from .experiments import (
 )
 from .exploration import (
     render_exploration,
+    render_pareto,
     write_exploration_csv,
     write_exploration_json,
+    write_pareto_csv,
 )
 from .tables import format_grid, render_partition_table, render_table1
 
@@ -28,6 +30,7 @@ __all__ = [
     "TableReproduction",
     "format_grid",
     "render_exploration",
+    "render_pareto",
     "render_partition_table",
     "render_table1",
     "reproduce_headline_claims",
@@ -40,4 +43,5 @@ __all__ = [
     "scaled_constraint",
     "write_exploration_csv",
     "write_exploration_json",
+    "write_pareto_csv",
 ]

@@ -14,11 +14,13 @@ from pathlib import Path
 from typing import Iterable
 
 from ..explore.results import ExplorationReport, ExplorationResult
+from ..search.pareto import VisitedConfiguration
 from .tables import format_grid
 
 #: Column order of the CSV export (a superset of the printed table).
 CSV_FIELDS = (
     "workload",
+    "algorithm",
     "platform",
     "afpga",
     "cgc_count",
@@ -46,6 +48,7 @@ def exploration_rows(
         rows.append(
             [
                 result.workload,
+                result.algorithm,
                 str(result.afpga),
                 f"{result.cgc_count}x CGC",
                 str(result.clock_ratio),
@@ -66,6 +69,7 @@ def render_exploration(report: ExplorationReport) -> str:
     """The exploration grid as an ASCII table plus the run summary."""
     headers = [
         "workload",
+        "algorithm",
         "A_FPGA",
         "CGCs",
         "T-ratio",
@@ -116,4 +120,50 @@ def write_exploration_json(
         "results": [result.to_dict() for result in report.results],
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Pareto fronts (multi-objective search output)
+# ----------------------------------------------------------------------
+#: Column order of the Pareto CSV export.
+PARETO_CSV_FIELDS = (
+    "algorithm",
+    "total_cycles",
+    "moved_kernel_count",
+    "cgc_rows_used",
+    "moved_bb_ids",
+)
+
+
+def render_pareto(points: Iterable[VisitedConfiguration]) -> str:
+    """Non-dominated configurations as an ASCII table."""
+    headers = ["algorithm", "cycles", "kernels moved", "CGC rows", "BBs"]
+    rows = [
+        [
+            point.algorithm or "-",
+            str(point.total_cycles),
+            str(point.moved_kernel_count),
+            str(point.cgc_rows_used),
+            ",".join(str(b) for b in point.moved_bb_ids) or "-",
+        ]
+        for point in points
+    ]
+    return format_grid(headers, rows)
+
+
+def write_pareto_csv(
+    points: Iterable[VisitedConfiguration], path: str | Path
+) -> Path:
+    """One row per non-dominated configuration; BB ids are ';'-joined."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=PARETO_CSV_FIELDS)
+        writer.writeheader()
+        for point in points:
+            row = point.to_dict()
+            row["moved_bb_ids"] = ";".join(
+                str(b) for b in point.moved_bb_ids
+            )
+            writer.writerow(row)
     return path

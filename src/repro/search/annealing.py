@@ -1,0 +1,141 @@
+"""Simulated annealing over kernel subsets.
+
+Each step toggles one kernel in or out of the coarse-grain set (or, at
+the move budget, swaps one in for one out), priced in O(1) ticks by
+:class:`~repro.partition.costs.CostState`.  Improving steps are always
+taken; worsening steps with probability ``exp(-delta / T)`` under a
+geometric temperature schedule.  The walk starts from the greedy
+solution and the best configuration ever seen is returned, so annealing
+is never worse than unbounded greedy — it can only escape the weight-
+order traps greedy falls into under budgets or skewed workloads.
+
+The temperature schedule lives in the spec/constructor parameters
+(``initial_temp``, ``cooling``, ``temp_levels``, ``steps_per_temp``);
+``initial_temp=None`` self-scales to the largest single-move |delta| so
+early steps accept almost anything.  Fully deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..partition.costs import CostState
+from ..partition.result import PartitionResult
+from .base import Partitioner, register_algorithm
+
+
+@register_algorithm
+class AnnealingPartitioner(Partitioner):
+    """Simulated annealing with a geometric cooling schedule."""
+
+    algorithm = "annealing"
+
+    def __init__(
+        self,
+        *args,
+        seed: int = 0,
+        initial_temp: float | None = None,
+        cooling: float = 0.9,
+        temp_levels: int = 30,
+        steps_per_temp: int | None = None,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if not 0.0 < cooling < 1.0:
+            raise ValueError("cooling must be in (0, 1)")
+        if temp_levels < 1:
+            raise ValueError("temp_levels must be >= 1")
+        if initial_temp is not None and initial_temp <= 0.0:
+            raise ValueError("initial_temp must be positive")
+        if steps_per_temp is not None and steps_per_temp < 1:
+            raise ValueError("steps_per_temp must be >= 1")
+        self.seed = seed
+        self.initial_temp = initial_temp
+        self.cooling = cooling
+        self.temp_levels = temp_levels
+        self.steps_per_temp = steps_per_temp
+        self._best: tuple[tuple, frozenset[int], list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    def _start_temperature(self, deltas: list[int]) -> float:
+        if self.initial_temp is not None:
+            return self.initial_temp
+        scale = max((abs(delta) for delta in deltas), default=1)
+        return float(max(scale, 1))
+
+    def _anneal(self) -> tuple[tuple, frozenset[int], list[int]]:
+        if self._best is not None:
+            return self._best
+        supported, skipped = self._split_candidates()
+        budget = self.move_budget
+        rng = random.Random((self.seed * 0x5DEECE66D + 0xB) & 0xFFFFFFFFFFFF)
+        state = CostState(self.model)
+        # Greedy warm start: the best-seen tracker therefore starts at
+        # the greedy solution and can only improve on it.
+        for kernel in supported:
+            if budget is not None and len(state.moved) >= budget:
+                break
+            if self.model.contribution(kernel).move_delta <= 0:
+                state.apply_move(kernel.bb_id)
+        self._record_visited(state)
+        best_key = self._subset_key(state.total_ticks, state.moved)
+        best_subset = frozenset(state.moved)
+
+        candidates = [kernel.bb_id for kernel in supported]
+        if not candidates or (budget is not None and budget <= 0):
+            # Nothing to toggle (or a zero budget: no swap partner
+            # exists either) — the greedy start is the answer.
+            self._best = (best_key, best_subset, skipped)
+            return self._best
+        deltas = [
+            self.model.contribution(kernel).move_delta
+            for kernel in supported
+        ]
+        temperature = self._start_temperature(deltas)
+        steps = self.steps_per_temp or max(8, 4 * len(candidates))
+
+        def accept(delta: int) -> bool:
+            if delta <= 0:
+                return True
+            return rng.random() < math.exp(-delta / temperature)
+
+        for _level in range(self.temp_levels):
+            for _step in range(steps):
+                bb_id = candidates[rng.randrange(len(candidates))]
+                if bb_id in state.moved:
+                    if accept(state.propose_move(bb_id)):
+                        state.revert_move(bb_id)
+                    else:
+                        continue
+                elif budget is not None and len(state.moved) >= budget:
+                    # At the budget boundary toggling in is illegal, so
+                    # propose a swap: one kernel out, this one in.
+                    out_id = sorted(state.moved)[rng.randrange(len(state.moved))]
+                    delta = state.propose_move(bb_id) + state.propose_move(out_id)
+                    if accept(delta):
+                        state.revert_move(out_id)
+                        state.apply_move(bb_id)
+                    else:
+                        continue
+                else:
+                    if accept(state.propose_move(bb_id)):
+                        state.apply_move(bb_id)
+                    else:
+                        continue
+                self._record_visited(state)
+                key = self._subset_key(state.total_ticks, state.moved)
+                if key < best_key:
+                    best_key = key
+                    best_subset = frozenset(state.moved)
+            temperature *= self.cooling
+        self._best = (best_key, best_subset, skipped)
+        return self._best
+
+    def _search(
+        self, timing_constraint: int, result: PartitionResult
+    ) -> None:
+        __, subset, skipped = self._anneal()
+        self._fill_result_from_subset(
+            result, subset, timing_constraint, skipped
+        )

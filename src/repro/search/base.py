@@ -1,0 +1,360 @@
+"""The pluggable partitioning-algorithm protocol.
+
+The paper prescribes one algorithm — the Figure 2 greedy kernel-move
+loop.  This module generalizes it: a :class:`Partitioner` is anything
+that searches the space of kernel subsets against the shared incremental
+cost substrate (:class:`~repro.partition.costs.CostModel` /
+:class:`~repro.partition.costs.CostState`) and returns the same
+:class:`~repro.partition.result.PartitionResult` records the engine
+produces, so every downstream consumer (reports, exploration grids,
+benchmarks) works with any algorithm unchanged.
+
+Algorithms are named by :class:`AlgorithmSpec` — a tiny, hashable,
+picklable description that the :mod:`repro.explore` grids use as a
+design-space axis and that builds the concrete partitioner on demand
+(mirroring ``WorkloadSpec`` / ``PlatformSpec``).
+
+Every partitioner also records each configuration it visits (total
+cycles, moved-kernel count, peak CGC rows) for the multi-objective
+analysis in :mod:`repro.search.pareto`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..analysis.weights import WeightModel
+from ..partition.costs import CostModel, CostState, CostStats
+from ..partition.engine import EngineConfig
+from ..partition.result import PartitionResult
+from ..partition.trajectory import commit_step
+from ..partition.workload import ApplicationWorkload, BlockWorkload
+from ..platform.soc import HybridPlatform
+from .pareto import VisitedConfiguration, pareto_front
+
+#: Algorithm name -> partitioner class; populated by @register_algorithm.
+_REGISTRY: dict[str, type["Partitioner"]] = {}
+
+#: Names AlgorithmSpec accepts (static so spec validation does not depend
+#: on which algorithm modules happen to be imported yet).
+ALGORITHM_NAMES = ("greedy", "exhaustive", "multi_start", "annealing")
+
+
+def register_algorithm(cls: type["Partitioner"]) -> type["Partitioner"]:
+    """Class decorator adding a partitioner to the spec registry."""
+    _REGISTRY[cls.algorithm] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A buildable partitioning algorithm (a grid axis value).
+
+    ``params`` are constructor keyword arguments of the algorithm class,
+    stored as a sorted tuple so specs stay hashable and picklable.
+    """
+
+    name: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.name not in ALGORITHM_NAMES:
+            raise ValueError(
+                f"unknown algorithm {self.name!r}; expected one of "
+                f"{ALGORITHM_NAMES}"
+            )
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def greedy(cls) -> "AlgorithmSpec":
+        """The paper's Figure 2 loop (bit-identical to the engine)."""
+        return cls(name="greedy")
+
+    @classmethod
+    def exhaustive(cls, max_candidates: int = 16) -> "AlgorithmSpec":
+        """Optimal over all kernel subsets (ground truth, small inputs)."""
+        return cls(
+            name="exhaustive", params=(("max_candidates", max_candidates),)
+        )
+
+    @classmethod
+    def multi_start(
+        cls, restarts: int = 8, seed: int = 0, jitter: float = 0.75
+    ) -> "AlgorithmSpec":
+        """Randomized greedy restarts with seeded tie-breaking."""
+        merged = {"restarts": restarts, "seed": seed, "jitter": jitter}
+        return cls(name="multi_start", params=tuple(sorted(merged.items())))
+
+    @classmethod
+    def annealing(
+        cls,
+        seed: int = 0,
+        initial_temp: float | None = None,
+        cooling: float = 0.9,
+        temp_levels: int = 30,
+        steps_per_temp: int | None = None,
+    ) -> "AlgorithmSpec":
+        """Simulated annealing over kernel subsets (O(1) tick deltas)."""
+        merged = {
+            "seed": seed,
+            "initial_temp": initial_temp,
+            "cooling": cooling,
+            "temp_levels": temp_levels,
+            "steps_per_temp": steps_per_temp,
+        }
+        return cls(name="annealing", params=tuple(sorted(merged.items())))
+
+    @property
+    def label(self) -> str:
+        """Report/query key: the name plus any non-default parameters."""
+        defaults = _SPEC_DEFAULTS[self.name]
+        deviations = [
+            f"{key}={value}"
+            for key, value in self.params
+            if defaults.get(key, object()) != value
+        ]
+        if not deviations:
+            return self.name
+        return self.name + "[" + ",".join(deviations) + "]"
+
+    def build(
+        self,
+        workload: ApplicationWorkload,
+        platform: HybridPlatform,
+        weight_model: WeightModel | None = None,
+        config: EngineConfig | None = None,
+    ) -> "Partitioner":
+        """Construct the concrete partitioner for one (workload, platform)."""
+        cls = _REGISTRY.get(self.name)
+        if cls is None:  # pragma: no cover - registry is import-complete
+            raise ValueError(f"algorithm {self.name!r} is not registered")
+        return cls(
+            workload,
+            platform,
+            weight_model=weight_model,
+            config=config,
+            **dict(self.params),
+        )
+
+
+#: Factory defaults per algorithm, consulted by AlgorithmSpec.label so a
+#: default-valued parameter never changes the label.
+_SPEC_DEFAULTS: dict[str, dict[str, object]] = {
+    "greedy": {},
+    "exhaustive": {"max_candidates": 16},
+    "multi_start": {"restarts": 8, "seed": 0, "jitter": 0.75},
+    "annealing": {
+        "seed": 0,
+        "initial_temp": None,
+        "cooling": 0.9,
+        "temp_levels": 30,
+        "steps_per_temp": None,
+    },
+}
+
+
+def make_partitioner(
+    spec: AlgorithmSpec,
+    workload: ApplicationWorkload,
+    platform: HybridPlatform,
+    weight_model: WeightModel | None = None,
+    config: EngineConfig | None = None,
+) -> "Partitioner":
+    """Convenience wrapper around :meth:`AlgorithmSpec.build`."""
+    return spec.build(workload, platform, weight_model, config)
+
+
+class Partitioner(ABC):
+    """Base of every partitioning algorithm.
+
+    Subclasses implement :meth:`_search`, which fills a pre-initialized
+    all-FPGA :class:`PartitionResult` for one timing constraint.  The
+    base class owns the shared pricing substrate, the early exit when the
+    all-FPGA mapping already meets the constraint, the visited-
+    configuration log, and the config freeze (algorithm state caches bake
+    the config in, exactly like the engine's move trajectory).
+    """
+
+    #: Registry / report key; subclasses override.
+    algorithm = "base"
+
+    def __init__(
+        self,
+        workload: ApplicationWorkload,
+        platform: HybridPlatform,
+        weight_model: WeightModel | None = None,
+        config: EngineConfig | None = None,
+    ):
+        self.workload = workload
+        self.platform = platform
+        self.weight_model = weight_model or WeightModel()
+        self.config = config or EngineConfig()
+        self.stats = CostStats()
+        self._model: CostModel | None = None
+        self.visited: list[VisitedConfiguration] = []
+        self._visited_subsets: set[frozenset[int]] = set()
+        self._config_snapshot: EngineConfig | None = None
+
+    @property
+    def model(self) -> CostModel:
+        """The pricing substrate, built lazily so the config flags it
+        bakes in are the ones in force at the first run (mutations before
+        then are honoured, exactly like the engine)."""
+        if self._model is None:
+            self._model = CostModel(
+                self.workload,
+                self.platform,
+                charge_single_partition_reconfig=(
+                    self.config.charge_single_partition_reconfig
+                ),
+                stats=self.stats,
+            )
+        return self._model
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def initial_cycles(self) -> int:
+        """All-FPGA execution time in FPGA cycles."""
+        self._freeze_config()
+        return self.model.initial_cycles()
+
+    def run(self, timing_constraint: int) -> PartitionResult:
+        """Search against a timing constraint in FPGA clock cycles."""
+        if timing_constraint <= 0:
+            raise ValueError("timing constraint must be positive")
+        result = PartitionResult.all_fpga(
+            self.workload.name,
+            self.platform.name,
+            timing_constraint,
+            self.initial_cycles(),
+        )
+        # The all-FPGA corner is a configuration every algorithm prices
+        # (minimal moves, minimal rows — always on the Pareto front).
+        self._record_visited(CostState(self.model))
+        if result.constraint_met:
+            return result
+        self._search(timing_constraint, result)
+        result.validate()
+        return result
+
+    def sweep(self, constraints: list[int]) -> list[PartitionResult]:
+        """Run at several constraints, sharing all cached state."""
+        return [self.run(constraint) for constraint in constraints]
+
+    def pareto_front(self) -> list[VisitedConfiguration]:
+        """Non-dominated subset of everything visited so far."""
+        return pareto_front(self.visited)
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _search(
+        self, timing_constraint: int, result: PartitionResult
+    ) -> None:
+        """Fill ``result`` (pre-initialized to the all-FPGA mapping)."""
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+    def _freeze_config(self) -> None:
+        if self._config_snapshot is None:
+            self._config_snapshot = dataclasses.replace(self.config)
+        elif self.config != self._config_snapshot:
+            raise ValueError(
+                "EngineConfig mutated after the partitioner ran; build a "
+                "new partitioner for a different configuration"
+            )
+
+    @property
+    def move_budget(self) -> int | None:
+        return self.config.max_kernels_moved
+
+    def _split_candidates(self) -> tuple[list[BlockWorkload], list[int]]:
+        """(supported kernels in Eq. 1 order, skipped unsupported ids).
+
+        Mirrors the engine: unsupported kernels are skipped (recorded) or,
+        with ``skip_unsupported_kernels=False``, rejected outright.
+        """
+        supported: list[BlockWorkload] = []
+        skipped: list[int] = []
+        for kernel in self.model.kernel_candidates(self.weight_model):
+            if self.model.contribution(kernel).supported:
+                supported.append(kernel)
+            elif not self.config.skip_unsupported_kernels:
+                raise ValueError(
+                    f"kernel BB {kernel.bb_id} cannot execute on the "
+                    "coarse-grain data-path"
+                )
+            else:
+                skipped.append(kernel.bb_id)
+        return supported, skipped
+
+    def _record_visited(self, state: CostState) -> VisitedConfiguration:
+        """Log the state's configuration (deduplicated by kernel subset)."""
+        subset = frozenset(state.moved)
+        config = VisitedConfiguration(
+            total_cycles=state.total_cycles(),
+            moved_kernel_count=len(state.moved),
+            cgc_rows_used=state.cgc_rows_used(),
+            moved_bb_ids=tuple(sorted(state.moved)),
+            algorithm=self.algorithm,
+        )
+        if subset not in self._visited_subsets:
+            self._visited_subsets.add(subset)
+            self.visited.append(config)
+        return config
+
+    def _commit_step(
+        self,
+        result: PartitionResult,
+        bb_id: int,
+        ticks: tuple[int, int, int],
+        timing_constraint: int,
+    ) -> bool:
+        """Append one committed move to ``result``; returns constraint_met.
+
+        The engine's exact step bookkeeping
+        (:func:`repro.partition.trajectory.commit_step`), so greedy
+        results stay bit-identical and every algorithm's steps satisfy
+        the single-rounding component invariant.
+        """
+        return commit_step(
+            self.model, result, bb_id, ticks, timing_constraint
+        )
+
+    def _fill_result_from_subset(
+        self,
+        result: PartitionResult,
+        subset: frozenset[int] | set[int],
+        timing_constraint: int,
+        skipped: list[int],
+    ) -> None:
+        """Replay a final kernel subset as a move sequence.
+
+        Moves are applied in the canonical Eq. 1 order (descending total
+        weight), so the step list reads like a greedy trace and the final
+        cycle split is identical no matter which order the algorithm
+        discovered the subset in (Eq. 2 is additive).
+        """
+        result.skipped_bb_ids.extend(skipped)
+        state = CostState(self.model)
+        for kernel in self.model.kernel_candidates(self.weight_model):
+            if kernel.bb_id not in subset:
+                continue
+            state.apply_move(kernel.bb_id)
+            self._commit_step(
+                result, kernel.bb_id, state.ticks, timing_constraint
+            )
+
+    @staticmethod
+    def _subset_key(
+        total_ticks: int, moved: set[int] | frozenset[int]
+    ) -> tuple[int, int, tuple[int, ...]]:
+        """Deterministic ordering key: cycles, then fewer moves, then ids."""
+        return (total_ticks, len(moved), tuple(sorted(moved)))

@@ -1,0 +1,86 @@
+"""Exhaustive subset search — the ground truth the heuristics are judged
+against.
+
+Eq. 2 prices any kernel subset in O(1) per inclusion, so for small
+candidate counts (the paper's applications have ≤ 8 meaningful kernels)
+every subset can be enumerated outright: a depth-first walk over the
+include/exclude tree with :class:`~repro.partition.costs.CostState`'s
+O(1) ``apply_move`` / ``revert_move`` at each branch.  The optimum —
+minimum total cycles, tie-broken by fewer moves then lexicographic BB
+ids — lower-bounds every heuristic, and the full visited log is the
+exact Pareto surface of the instance.
+
+Guarded by ``max_candidates`` (default 16): 2^n subsets is the point of
+this algorithm, not an accident to stumble into.
+"""
+
+from __future__ import annotations
+
+from ..partition.costs import CostState
+from ..partition.result import PartitionResult
+from .base import Partitioner, register_algorithm
+
+
+@register_algorithm
+class ExhaustivePartitioner(Partitioner):
+    """Optimal kernel subset by complete enumeration."""
+
+    algorithm = "exhaustive"
+
+    def __init__(self, *args, max_candidates: int = 16, **kwargs):
+        super().__init__(*args, **kwargs)
+        if max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        self.max_candidates = max_candidates
+        #: (ordering key, subset, skipped ids) once enumerated; the
+        #: optimum is constraint-independent so one enumeration serves
+        #: every run() of a sweep.
+        self._best: tuple[tuple, frozenset[int], list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    def _enumerate(self) -> tuple[tuple, frozenset[int], list[int]]:
+        if self._best is not None:
+            return self._best
+        supported, skipped = self._split_candidates()
+        if len(supported) > self.max_candidates:
+            raise ValueError(
+                f"{len(supported)} kernel candidates exceed the exhaustive "
+                f"limit of {self.max_candidates} (2^n subsets); raise "
+                "max_candidates explicitly if you really want this"
+            )
+        budget = self.move_budget
+        state = CostState(self.model)
+        best_key = self._subset_key(state.total_ticks, state.moved)
+        best_subset = frozenset()
+        self._record_visited(state)
+
+        def walk(index: int) -> None:
+            nonlocal best_key, best_subset
+            if index == len(supported):
+                return
+            # Exclude branch first so the all-FPGA prefix is explored
+            # without touching the state.
+            walk(index + 1)
+            if budget is not None and len(state.moved) >= budget:
+                return
+            bb_id = supported[index].bb_id
+            state.apply_move(bb_id)
+            self._record_visited(state)
+            key = self._subset_key(state.total_ticks, state.moved)
+            if key < best_key:
+                best_key = key
+                best_subset = frozenset(state.moved)
+            walk(index + 1)
+            state.revert_move(bb_id)
+
+        walk(0)
+        self._best = (best_key, best_subset, skipped)
+        return self._best
+
+    def _search(
+        self, timing_constraint: int, result: PartitionResult
+    ) -> None:
+        __, subset, skipped = self._enumerate()
+        self._fill_result_from_subset(
+            result, subset, timing_constraint, skipped
+        )

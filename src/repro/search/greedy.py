@@ -1,0 +1,86 @@
+"""The paper's greedy kernel-move loop as a :class:`Partitioner`.
+
+This is the Figure 2 / §3.4 algorithm behind the pluggable-algorithm
+protocol.  The partitioner *delegates* to
+:class:`~repro.partition.engine.PartitioningEngine` — the engine IS the
+greedy algorithm — so results are bit-identical by construction, every
+``EngineConfig`` flag keeps working (including the ``incremental=False``
+full-rescan differential reference), and the constraint-independent
+trajectory cache warm-starts sweeps exactly as before.  On top, each
+committed configuration is logged for the Pareto analysis.
+"""
+
+from __future__ import annotations
+
+from ..partition.costs import CostModel, CostState
+from ..partition.engine import PartitioningEngine
+from ..partition.result import PartitionResult
+from .base import Partitioner, register_algorithm
+from .pareto import VisitedConfiguration
+
+
+@register_algorithm
+class GreedyPartitioner(Partitioner):
+    """Figure 2 greedy loop (engine delegate) behind the protocol."""
+
+    algorithm = "greedy"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._engine: PartitioningEngine | None = None
+
+    @property
+    def engine(self) -> PartitioningEngine:
+        if self._engine is None:
+            self._engine = PartitioningEngine(
+                self.workload, self.platform, self.weight_model, self.config
+            )
+            # Share the engine's pricing substrate and work counters so
+            # cost caches are not duplicated and ``stats`` reflects the
+            # real work (EngineStats is a CostStats superset).
+            self._model = self._engine.cost_model
+            self.stats = self._engine.stats
+        return self._engine
+
+    @property
+    def model(self) -> CostModel:
+        return self.engine.cost_model
+
+    def initial_cycles(self) -> int:
+        return self.engine.initial_cycles()
+
+    def run(self, timing_constraint: int) -> PartitionResult:
+        # The engine owns constraint validation, the config freeze, the
+        # early exit and the loop itself.
+        result = self.engine.run(timing_constraint)
+        self._record_visited(CostState(self.model))  # all-FPGA corner
+        self._record_steps(result)
+        return result
+
+    def _search(
+        self, timing_constraint: int, result: PartitionResult
+    ) -> None:  # pragma: no cover - run() delegates to the engine
+        raise NotImplementedError("GreedyPartitioner delegates run()")
+
+    def _record_steps(self, result: PartitionResult) -> None:
+        """Log each committed configuration prefix as visited."""
+        moved: list[int] = []
+        rows = 0
+        for step in result.steps:
+            moved.append(step.moved_bb_id)
+            rows = max(
+                rows, self.model.contribution_by_id(step.moved_bb_id).cgc_rows
+            )
+            subset = frozenset(moved)
+            if subset in self._visited_subsets:
+                continue
+            self._visited_subsets.add(subset)
+            self.visited.append(
+                VisitedConfiguration(
+                    total_cycles=step.total_cycles,
+                    moved_kernel_count=len(moved),
+                    cgc_rows_used=rows,
+                    moved_bb_ids=tuple(sorted(moved)),
+                    algorithm=self.algorithm,
+                )
+            )

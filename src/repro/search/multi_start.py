@@ -1,0 +1,93 @@
+"""Randomized greedy restarts.
+
+The greedy loop's one degree of freedom is its visit order: Eq. 1 weight
+is a *predictor* of benefit, not benefit itself, so under a move budget
+(or CGC area pressure) the canonical order can spend the budget on
+heavy-but-barely-profitable kernels.  Multi-start reruns the greedy
+accept-if-improving sweep ``restarts`` times — restart 0 uses the exact
+paper order (so the result is never worse than unbounded greedy), every
+later restart perturbs each kernel's weight by a seeded multiplicative
+jitter before sorting — and keeps the best final configuration.
+
+Fully deterministic for a given (seed, restarts, jitter).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..partition.costs import CostState
+from ..partition.result import PartitionResult
+from ..partition.workload import BlockWorkload
+from .base import Partitioner, register_algorithm
+
+
+@register_algorithm
+class MultiStartPartitioner(Partitioner):
+    """Best-of-N greedy sweeps over jittered kernel orders."""
+
+    algorithm = "multi_start"
+
+    def __init__(
+        self,
+        *args,
+        restarts: int = 8,
+        seed: int = 0,
+        jitter: float = 0.75,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if restarts < 1:
+            raise ValueError("restarts must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.restarts = restarts
+        self.seed = seed
+        self.jitter = jitter
+        self._best: tuple[tuple, frozenset[int], list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    def _restart_order(
+        self, supported: list[BlockWorkload], restart: int
+    ) -> list[BlockWorkload]:
+        """Visit order for one restart (restart 0 = the paper's order)."""
+        if restart == 0:
+            return supported
+        rng = random.Random((self.seed * 0x9E3779B1 + restart) & 0xFFFFFFFF)
+        noisy = {
+            kernel.bb_id: kernel.total_weight(self.weight_model)
+            * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+            for kernel in supported
+        }
+        return sorted(supported, key=lambda k: (-noisy[k.bb_id], k.bb_id))
+
+    def _explore(self) -> tuple[tuple, frozenset[int], list[int]]:
+        if self._best is not None:
+            return self._best
+        supported, skipped = self._split_candidates()
+        budget = self.move_budget
+        best_key: tuple | None = None
+        best_subset = frozenset()
+        for restart in range(self.restarts):
+            state = CostState(self.model)
+            for kernel in self._restart_order(supported, restart):
+                if budget is not None and len(state.moved) >= budget:
+                    break
+                if self.model.contribution(kernel).move_delta <= 0:
+                    state.apply_move(kernel.bb_id)
+                    self._record_visited(state)
+            key = self._subset_key(state.total_ticks, state.moved)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_subset = frozenset(state.moved)
+        assert best_key is not None
+        self._best = (best_key, best_subset, skipped)
+        return self._best
+
+    def _search(
+        self, timing_constraint: int, result: PartitionResult
+    ) -> None:
+        __, subset, skipped = self._explore()
+        self._fill_result_from_subset(
+            result, subset, timing_constraint, skipped
+        )

@@ -19,6 +19,7 @@ from repro.reporting import (
     write_exploration_csv,
     write_exploration_json,
 )
+from repro.search import AlgorithmSpec
 
 
 @pytest.fixture(scope="module")
@@ -175,6 +176,22 @@ class TestExplore:
         )
         assert all(r.kernels_moved <= 1 for r in strict.results)
 
+    def test_full_rescan_reference_mode_honoured(self, small_space):
+        """EngineConfig.incremental=False must reach the engine through
+        the partitioner layer (regression: the flag was silently
+        ignored), visible as the full-rescan evaluation blow-up."""
+        incremental = explore(small_space, max_workers=1)
+        rescan = explore(
+            small_space,
+            max_workers=1,
+            engine_config=EngineConfig(incremental=False),
+        )
+        assert rescan.results == incremental.results
+        assert (
+            rescan.block_cost_evaluations
+            > 2 * incremental.block_cost_evaluations
+        )
+
     def test_stats_aggregate(self, small_report):
         assert small_report.block_cost_evaluations > 0
         assert small_report.blocks_mapped > 0
@@ -185,6 +202,84 @@ class TestExplore:
         # One engine priced every constraint of the pair, so each of the
         # 18 OFDM blocks was mapped exactly once, not once per constraint.
         assert outcome.blocks_mapped == 18
+
+
+class TestAlgorithmAxis:
+    @pytest.fixture(scope="class")
+    def algo_space(self):
+        return DesignSpace(
+            workloads=(WorkloadSpec.ofdm(),),
+            platforms=(PlatformSpec(afpga=1500, cgc_count=2),),
+            constraint_fractions=(0.5,),
+            algorithms=(
+                AlgorithmSpec.greedy(),
+                AlgorithmSpec.multi_start(),
+                AlgorithmSpec.annealing(seed=2),
+            ),
+        )
+
+    @pytest.fixture(scope="class")
+    def algo_report(self, algo_space):
+        return explore(algo_space, max_workers=1)
+
+    def test_size_includes_algorithm_axis(self, algo_space):
+        assert algo_space.size == 3
+        assert len(algo_space.tasks()) == 3
+
+    def test_default_axis_is_greedy_alone(self, small_space, small_report):
+        assert small_space.algorithms == (AlgorithmSpec.greedy(),)
+        assert small_report.algorithms() == ["greedy"]
+        assert all(r.algorithm == "greedy" for r in small_report.results)
+
+    def test_empty_algorithm_axis_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace(
+                workloads=(WorkloadSpec.ofdm(),),
+                platforms=(PlatformSpec(),),
+                algorithms=(),
+            )
+
+    def test_grid_factory_accepts_algorithms(self):
+        space = DesignSpace.grid(
+            [WorkloadSpec.ofdm()],
+            afpga_values=(1500,),
+            cgc_counts=(2,),
+            constraint_fractions=(0.5,),
+            algorithms=(AlgorithmSpec.greedy(), AlgorithmSpec.annealing()),
+        )
+        assert space.size == 2
+
+    def test_results_tagged_with_algorithm_label(self, algo_report):
+        assert algo_report.algorithms() == [
+            "greedy",
+            "multi_start",
+            "annealing[seed=2]",
+        ]
+        for result in algo_report.results:
+            assert result.to_dict()["algorithm"] == result.algorithm
+
+    def test_heuristics_at_least_match_greedy(self, algo_report):
+        # Greedy stops at the constraint; the heuristics minimize fully
+        # from a greedy warm start, so they can only end at or below it.
+        best = algo_report.best_per_algorithm("ofdm-transmitter", 0.5)
+        greedy = best["greedy"]
+        for label in ("multi_start", "annealing[seed=2]"):
+            assert best[label].final_cycles <= greedy.final_cycles
+
+    def test_best_per_algorithm_filters(self, algo_report):
+        assert algo_report.best_per_algorithm("nope") == {}
+        best = algo_report.best_per_algorithm()
+        assert set(best) == set(algo_report.algorithms())
+
+    def test_for_algorithm_slices(self, algo_report):
+        rows = algo_report.for_algorithm("multi_start")
+        assert rows and all(r.algorithm == "multi_start" for r in rows)
+
+    def test_parallel_matches_serial_with_algorithms(
+        self, algo_space, algo_report
+    ):
+        parallel = explore(algo_space, max_workers=2)
+        assert parallel.results == algo_report.results
 
 
 class TestReportQueries:

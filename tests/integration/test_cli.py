@@ -1,0 +1,108 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import csv
+import json
+
+import pytest
+
+from repro.__main__ import main, parse_algorithm, parse_workload
+from repro.search import AlgorithmSpec
+
+
+class TestParsers:
+    def test_parse_paper_workloads(self):
+        assert parse_workload("ofdm").kind == "ofdm"
+        assert parse_workload("jpeg").kind == "jpeg"
+
+    def test_parse_synthetic_with_params(self):
+        spec = parse_workload("synthetic:24:seed=3,comm_intensity=0.8")
+        assert spec.kind == "synthetic"
+        params = dict(spec.params)
+        assert params["block_count"] == 24
+        assert params["seed"] == 3
+        assert params["comm_intensity"] == 0.8
+
+    def test_parse_workload_rejects_unknown(self):
+        with pytest.raises(Exception):
+            parse_workload("mp3")
+        with pytest.raises(Exception):
+            parse_workload("synthetic")  # missing block count
+
+    def test_parse_algorithm_with_params(self):
+        assert parse_algorithm("greedy") == AlgorithmSpec.greedy()
+        spec = parse_algorithm("annealing:seed=7,cooling=0.8")
+        assert spec.name == "annealing"
+        assert dict(spec.params)["seed"] == 7
+        assert dict(spec.params)["cooling"] == 0.8
+
+    def test_parse_algorithm_rejects_unknown(self):
+        with pytest.raises(Exception):
+            parse_algorithm("tabu")
+        with pytest.raises(Exception):
+            parse_algorithm("greedy:bogus_param=1")
+
+
+class TestPartitionCommand:
+    def test_partition_with_fraction(self, capsys):
+        code = main(
+            ["partition", "--workload", "ofdm", "--fraction", "0.5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ofdm-transmitter" in out
+        assert "constraint" in out and "met" in out
+
+    def test_partition_with_absolute_constraint_and_algorithm(self, capsys):
+        code = main(
+            [
+                "partition",
+                "--workload", "synthetic:12:seed=2",
+                "--constraint", "1",
+                "--algorithm", "multi_start:restarts=4",
+                "--pareto",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "multi_start" in out
+        assert "Pareto front" in out
+
+    def test_constraint_and_fraction_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "partition", "--workload", "ofdm",
+                    "--constraint", "10", "--fraction", "0.5",
+                ]
+            )
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExploreCommand:
+    def test_explore_writes_csv_and_json(self, capsys, tmp_path):
+        csv_path = tmp_path / "grid.csv"
+        json_path = tmp_path / "grid.json"
+        code = main(
+            [
+                "explore",
+                "--workloads", "ofdm",
+                "--afpga", "1500",
+                "--cgcs", "2",
+                "--fractions", "0.5",
+                "--algorithms", "greedy", "multi_start",
+                "--csv", str(csv_path),
+                "--json", str(json_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Best point per algorithm" in out
+        with csv_path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert {row["algorithm"] for row in rows} == {"greedy", "multi_start"}
+        payload = json.loads(json_path.read_text())
+        assert payload["summary"]["points"] == 2

@@ -1,0 +1,150 @@
+"""Round-trip coverage for the exploration CSV/JSON export and the
+Pareto-front export (previously only exercised by the examples)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.explore import ExplorationReport, ExplorationResult
+from repro.reporting import (
+    render_exploration,
+    render_pareto,
+    write_exploration_csv,
+    write_exploration_json,
+    write_pareto_csv,
+)
+from repro.reporting.exploration import CSV_FIELDS, PARETO_CSV_FIELDS
+from repro.search import VisitedConfiguration, pareto_front
+
+
+def result(**overrides):
+    base = dict(
+        workload="wl",
+        platform="plat",
+        afpga=1500,
+        cgc_count=2,
+        clock_ratio=3,
+        reconfig_cycles=20,
+        constraint_fraction=0.5,
+        timing_constraint=500,
+        initial_cycles=1000,
+        final_cycles=400,
+        reduction_percent=60.0,
+        kernels_moved=2,
+        moved_bb_ids=(3, 7),
+        reverted_bb_ids=(9,),
+        skipped_bb_ids=(),
+        constraint_met=True,
+        algorithm="annealing",
+    )
+    base.update(overrides)
+    return ExplorationResult(**base)
+
+
+@pytest.fixture()
+def report():
+    return ExplorationReport(
+        results=[
+            result(),
+            result(
+                algorithm="greedy",
+                final_cycles=450,
+                moved_bb_ids=(3,),
+                kernels_moved=1,
+                constraint_met=False,
+            ),
+        ],
+        workers_used=2,
+        tasks_run=2,
+        elapsed_seconds=0.25,
+        block_cost_evaluations=123,
+        blocks_mapped=45,
+    )
+
+
+class TestExplorationCsv:
+    def test_headers_match_declared_fields(self, report, tmp_path):
+        path = write_exploration_csv(report.results, tmp_path / "out.csv")
+        with path.open() as handle:
+            header = next(csv.reader(handle))
+        assert tuple(header) == CSV_FIELDS
+        assert "algorithm" in header
+
+    def test_row_count_and_value_fidelity(self, report, tmp_path):
+        path = write_exploration_csv(report.results, tmp_path / "out.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(report.results)
+        first = rows[0]
+        assert first["workload"] == "wl"
+        assert first["algorithm"] == "annealing"
+        assert int(first["initial_cycles"]) == 1000
+        assert int(first["final_cycles"]) == 400
+        assert float(first["reduction_percent"]) == 60.0
+        assert first["moved_bb_ids"] == "3;7"
+        assert first["reverted_bb_ids"] == "9"
+        assert first["skipped_bb_ids"] == ""
+        assert first["constraint_met"] == "True"
+        assert rows[1]["algorithm"] == "greedy"
+        assert rows[1]["constraint_met"] == "False"
+
+    def test_empty_results_write_header_only(self, tmp_path):
+        path = write_exploration_csv([], tmp_path / "empty.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+
+
+class TestExplorationJson:
+    def test_summary_and_results_round_trip(self, report, tmp_path):
+        path = write_exploration_json(report, tmp_path / "out.json")
+        payload = json.loads(path.read_text())
+        summary = payload["summary"]
+        assert summary["points"] == 2
+        assert summary["tasks_run"] == 2
+        assert summary["workers_used"] == 2
+        assert summary["block_cost_evaluations"] == 123
+        assert summary["blocks_mapped"] == 45
+        assert summary["constraints_met"] == 1
+        assert len(payload["results"]) == 2
+        record = payload["results"][0]
+        assert record == report.results[0].to_dict()
+        assert record["algorithm"] == "annealing"
+        assert record["moved_bb_ids"] == [3, 7]
+
+
+class TestRenderIncludesAlgorithm:
+    def test_table_has_algorithm_column(self, report):
+        text = render_exploration(report)
+        assert "algorithm" in text and "annealing" in text
+
+
+class TestParetoExport:
+    @pytest.fixture()
+    def front(self):
+        return pareto_front(
+            [
+                VisitedConfiguration(100, 3, 2, (1, 2, 3), "annealing"),
+                VisitedConfiguration(250, 1, 1, (1,), "greedy"),
+                VisitedConfiguration(260, 2, 2, (1, 2), "greedy"),
+            ]
+        )
+
+    def test_csv_round_trip(self, front, tmp_path):
+        path = write_pareto_csv(front, tmp_path / "front.csv")
+        with path.open() as handle:
+            header = next(csv.reader(handle))
+            handle.seek(0)
+            rows = list(csv.DictReader(handle))
+        assert tuple(header) == PARETO_CSV_FIELDS
+        assert len(rows) == len(front) == 2  # dominated point dropped
+        assert rows[0]["moved_bb_ids"] == "1;2;3"
+        assert int(rows[0]["total_cycles"]) == 100
+        assert rows[1]["algorithm"] == "greedy"
+
+    def test_render(self, front):
+        text = render_pareto(front)
+        assert "CGC rows" in text and "annealing" in text
+
+    def test_render_empty(self):
+        assert render_pareto([])

@@ -1,0 +1,137 @@
+"""Tests for the multi-objective (Pareto) analysis layer."""
+
+import pytest
+
+from repro.partition import EngineConfig
+from repro.platform import paper_platform
+from repro.search import (
+    AlgorithmSpec,
+    VisitedConfiguration,
+    front_of_results,
+    make_partitioner,
+    pareto_front,
+)
+from repro.workloads import synthetic_application
+
+
+def config(cycles, moved, rows, bbs=(), algorithm=""):
+    return VisitedConfiguration(
+        total_cycles=cycles,
+        moved_kernel_count=moved,
+        cgc_rows_used=rows,
+        moved_bb_ids=tuple(bbs),
+        algorithm=algorithm,
+    )
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert config(100, 1, 1).dominates(config(200, 2, 2))
+
+    def test_equal_does_not_dominate(self):
+        a, b = config(100, 1, 1), config(100, 1, 1)
+        assert not a.dominates(b) and not b.dominates(a)
+
+    def test_tradeoff_is_incomparable(self):
+        fast_many = config(100, 5, 2)
+        slow_few = config(300, 1, 1)
+        assert not fast_many.dominates(slow_few)
+        assert not slow_few.dominates(fast_many)
+
+    def test_partial_improvement_dominates(self):
+        assert config(100, 2, 2).dominates(config(100, 2, 3))
+
+
+class TestParetoFront:
+    def test_known_front(self):
+        points = [
+            config(100, 5, 3, bbs=(1, 2, 3, 4, 5)),  # fastest
+            config(150, 3, 2, bbs=(1, 2, 3)),        # tradeoff
+            config(150, 4, 2, bbs=(1, 2, 3, 4)),     # dominated by above
+            config(300, 0, 0),                       # all-FPGA corner
+            config(400, 1, 1, bbs=(9,)),             # dominated by corner
+        ]
+        front = pareto_front(points)
+        assert [p.total_cycles for p in front] == [100, 150, 300]
+
+    def test_front_is_sorted_and_deterministic(self):
+        points = [config(200, 1, 1, bbs=(2,)), config(100, 2, 1, bbs=(1, 2))]
+        assert pareto_front(points) == pareto_front(reversed(points))
+        assert [p.total_cycles for p in pareto_front(points)] == [100, 200]
+
+    def test_duplicate_objectives_collapse(self):
+        points = [
+            config(100, 1, 1, bbs=(5,)),
+            config(100, 1, 1, bbs=(3,)),
+        ]
+        front = pareto_front(points)
+        assert len(front) == 1
+        assert front[0].moved_bb_ids == (3,)  # lexicographically smallest
+
+    def test_empty_front(self):
+        assert pareto_front([]) == []
+
+    def test_merged_front_across_algorithms(self):
+        a = [config(100, 3, 2, algorithm="annealing")]
+        b = [config(90, 4, 2, algorithm="exhaustive"), config(120, 1, 1)]
+        merged = front_of_results([a, b])
+        assert {p.total_cycles for p in merged} == {90, 100, 120}
+
+    def test_to_dict_round_trip(self):
+        point = config(10, 2, 1, bbs=(4, 7), algorithm="greedy")
+        as_dict = point.to_dict()
+        assert as_dict["total_cycles"] == 10
+        assert as_dict["moved_bb_ids"] == [4, 7]
+        assert as_dict["algorithm"] == "greedy"
+
+
+class TestPartitionerFronts:
+    @pytest.fixture(scope="class")
+    def annealer(self):
+        workload = synthetic_application(
+            12, seed=2, comm_intensity=0.7, kernel_fraction=0.8
+        )
+        partitioner = make_partitioner(
+            AlgorithmSpec.annealing(),
+            workload,
+            paper_platform(1500, 2),
+            config=EngineConfig(stop_at_constraint=False),
+        )
+        partitioner.run(1)
+        return partitioner
+
+    def test_front_subset_of_visited(self, annealer):
+        front = annealer.pareto_front()
+        assert front
+        objectives = {v.objectives for v in annealer.visited}
+        assert all(p.objectives in objectives for p in front)
+
+    def test_front_is_mutually_non_dominated(self, annealer):
+        front = annealer.pareto_front()
+        for p in front:
+            assert not any(q.dominates(p) for q in front)
+
+    def test_visited_configs_carry_algorithm(self, annealer):
+        assert all(v.algorithm == "annealing" for v in annealer.visited)
+
+    def test_exhaustive_front_dominates_or_matches_heuristic_front(self):
+        """The exhaustive visited set is the whole space, so its front is
+        the true Pareto surface: nothing a heuristic visited may
+        dominate any point of it."""
+        workload = synthetic_application(
+            10, seed=5, comm_intensity=0.8, kernel_fraction=0.8
+        )
+        platform = paper_platform(1500, 2)
+        exhaustive = make_partitioner(
+            AlgorithmSpec.exhaustive(), workload, platform,
+            config=EngineConfig(stop_at_constraint=False),
+        )
+        exhaustive.run(1)
+        true_front = exhaustive.pareto_front()
+        annealer = make_partitioner(
+            AlgorithmSpec.annealing(), workload, platform,
+            config=EngineConfig(stop_at_constraint=False),
+        )
+        annealer.run(1)
+        for visited in annealer.visited:
+            assert not any(visited.dominates(p) for p in true_front)

@@ -1,0 +1,129 @@
+"""Scenario-suite bench: the whole registry, gated against the baseline.
+
+Runs every registered scenario through the batched suite runner and
+checks the three properties the suite exists for:
+
+* every scenario still partitions sanely (``final <= initial``, the
+  deterministic cycle counts reproduce across back-to-back runs);
+* the two new kernel-rich workloads (FIR/IIR filter bank, Viterbi
+  trellis decoder) are present and contribute non-trivial Pareto
+  fronts;
+* nothing regressed by more than 20% in total cycles against the
+  committed baseline (``benchmarks/suite_baseline.json``) — the same
+  gate CI runs via ``python -m repro suite compare``.
+
+Records the run into ``BENCH_suite.json`` at the repo root (uploaded as
+a CI artifact) so any run is diffable against any other with
+``suite compare``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.search import make_partitioner
+from repro.suite import (
+    RegressionThresholds,
+    assert_no_regressions,
+    compare_runs,
+    default_suite,
+    read_run_json,
+    run_suite,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_suite.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "suite_baseline.json"
+
+
+def test_suite_runs_green_and_matches_baseline(capsys):
+    run = run_suite(max_workers=1)
+
+    names = run.scenario_names()
+    assert len(names) == len(default_suite())
+    for result in run.results:
+        assert result.total_cycles <= result.initial_cycles
+        assert result.reduction_percent >= 0.0
+        assert result.wall_time_seconds > 0.0
+
+    # The two new workloads are on the board.
+    workloads = {result.workload for result in run.results}
+    assert any(w.startswith("filterbank-pipeline") for w in workloads)
+    assert any(w.startswith("viterbi-decoder") for w in workloads)
+
+    # The CI gate, inlined: nothing slower than baseline + 20% cycles.
+    baseline = read_run_json(BASELINE_PATH)
+    comparison = compare_runs(
+        baseline, run, RegressionThresholds(cycle_percent=20.0)
+    )
+    assert_no_regressions(comparison)
+
+    run.write_json(BENCH_PATH)
+    with capsys.disabled():
+        print(f"\n[bench_suite] {comparison.summary()}")
+        print(f"[bench_suite] results -> {BENCH_PATH}")
+
+
+def test_suite_cycles_are_deterministic():
+    scenarios = [s for s in default_suite() if s.name in (
+        "synth-skewed", "filterbank-greedy", "viterbi-greedy",
+    )]
+    first = run_suite(scenarios, max_workers=1)
+    second = run_suite(scenarios, max_workers=1)
+    assert [r.total_cycles for r in first.results] == [
+        r.total_cycles for r in second.results
+    ]
+    assert [r.moved_bb_ids for r in first.results] == [
+        r.moved_bb_ids for r in second.results
+    ]
+
+
+def test_new_workloads_have_nontrivial_pareto_fronts(capsys):
+    """The acceptance claim: both new named workloads appear on the
+    Pareto reports with real cycles/moves/rows trade-offs."""
+    fronts = {}
+    for scenario in default_suite():
+        if scenario.name not in ("filterbank-greedy", "viterbi-greedy"):
+            continue
+        workload = scenario.workload.build()
+        platform = scenario.platform.build()
+        partitioner = make_partitioner(
+            scenario.algorithm, workload, platform
+        )
+        initial = partitioner.initial_cycles()
+        # A deliberately tight constraint walks the whole greedy
+        # trajectory, so the front spans the full cycles/moves curve.
+        partitioner.run(max(1, round(initial * 0.05)))
+        front = partitioner.pareto_front()
+        fronts[workload.name] = front
+        # The front spans from the all-FPGA corner to the best split.
+        assert any(p.moved_kernel_count == 0 for p in front)
+        assert any(p.moved_kernel_count >= 1 for p in front)
+        assert len(front) >= 3
+    assert set(fronts) == {"filterbank-pipeline", "viterbi-decoder"}
+    with capsys.disabled():
+        for name, front in fronts.items():
+            print(f"\n[bench_suite] {name}: Pareto front size {len(front)}")
+
+
+def test_injected_regression_is_detected():
+    """Doubling one scenario's cycles must trip the 20% gate."""
+    baseline = read_run_json(BASELINE_PATH)
+    payload = baseline.to_json_dict()
+    payload["results"][0]["total_cycles"] *= 2
+    from repro.suite import SuiteRun
+
+    doctored = SuiteRun.from_json_dict(payload)
+    comparison = compare_runs(
+        baseline, doctored, RegressionThresholds(cycle_percent=20.0)
+    )
+    assert comparison.has_regressions
+    (regression,) = comparison.regressions()
+    assert regression.cycle_delta_percent == 100.0
+
+
+def test_bench_artifact_is_readable():
+    """BENCH_suite.json (written above) loads as a suite run."""
+    if not BENCH_PATH.exists():  # ordering safety on partial runs
+        return
+    payload = json.loads(BENCH_PATH.read_text())
+    assert payload["results"]
+    assert read_run_json(BENCH_PATH).scenario_names()

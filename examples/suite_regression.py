@@ -1,0 +1,105 @@
+"""Walkthrough: the scenario suite, its result store, and the gate.
+
+The workflow every future change plugs into:
+
+1. run a named subset of the suite and persist it into an SQLite store
+   (plus a baseline-format JSON export);
+2. re-run and diff against the stored baseline — identical code, no
+   regressions;
+3. simulate a bad change by doctoring one scenario's cycles and watch
+   the 20% gate catch it;
+4. print the Pareto reports for the two new kernel-rich workloads.
+
+The CLI equivalent of steps 1-2 (what CI runs) is::
+
+    python -m repro suite run --db results.sqlite --label baseline
+    python -m repro suite compare \\
+        --baseline benchmarks/suite_baseline.json --cycle-threshold 20
+"""
+
+import dataclasses
+import tempfile
+from pathlib import Path
+
+from repro.reporting import render_pareto, render_suite, render_suite_diff
+from repro.search import make_partitioner
+from repro.suite import (
+    RegressionThresholds,
+    ResultStore,
+    compare_runs,
+    get_scenario,
+    run_suite,
+    select_scenarios,
+)
+
+SCENARIOS = [
+    "ofdm-greedy",
+    "filterbank-greedy",
+    "viterbi-greedy",
+    "synth-skewed",
+]
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = Path(tmp) / "results.sqlite"
+
+        # 1. Run and persist a baseline.
+        print("=== suite run (baseline) ===")
+        with ResultStore(db_path) as store:
+            baseline = run_suite(
+                select_scenarios(SCENARIOS),
+                store=store,
+                label="baseline",
+                max_workers=1,
+            )
+        print(render_suite(baseline))
+
+        # 2. Re-run and compare: deterministic cycles, no regressions.
+        print("\n=== suite compare (same code) ===")
+        candidate = run_suite(select_scenarios(SCENARIOS), max_workers=1)
+        comparison = compare_runs(
+            baseline, candidate, RegressionThresholds(cycle_percent=20.0)
+        )
+        print(render_suite_diff(comparison))
+        assert not comparison.has_regressions
+
+        # 3. A "bad change": one scenario suddenly costs 2x the cycles.
+        print("\n=== suite compare (injected 2x regression) ===")
+        doctored = dataclasses.replace(
+            candidate,
+            results=[
+                dataclasses.replace(
+                    r, total_cycles=r.total_cycles * 2
+                )
+                if r.scenario == "filterbank-greedy"
+                else r
+                for r in candidate.results
+            ],
+        )
+        gated = compare_runs(
+            baseline, doctored, RegressionThresholds(cycle_percent=20.0)
+        )
+        print(render_suite_diff(gated))
+        assert gated.has_regressions
+
+        # The store kept both recorded runs' history.
+        with ResultStore(db_path) as store:
+            history = store.scenario_history("filterbank-greedy")
+        print(f"\nstore history for filterbank-greedy: {len(history)} run(s)")
+
+    # 4. Pareto reports for the two new workloads.
+    for name in ("filterbank-greedy", "viterbi-greedy"):
+        scenario = get_scenario(name)
+        workload = scenario.workload.build()
+        partitioner = make_partitioner(
+            scenario.algorithm, workload, scenario.platform.build()
+        )
+        # Tight constraint: walk the full cycles/moves trade-off curve.
+        partitioner.run(max(1, round(partitioner.initial_cycles() * 0.05)))
+        print(f"\n=== Pareto front: {workload.name} ===")
+        print(render_pareto(partitioner.pareto_front()))
+
+
+if __name__ == "__main__":
+    main()

@@ -29,7 +29,10 @@ every substrate it depends on:
   worker processes on top of the incremental engine;
 * :mod:`repro.search` — pluggable partitioning algorithms (greedy,
   exhaustive, multi-start, simulated annealing) over the shared
-  incremental cost state, with Pareto-front multi-objective analysis.
+  incremental cost state, with Pareto-front multi-objective analysis;
+* :mod:`repro.suite` — named end-to-end scenario registry, batched
+  runner, persistent SQLite/JSON result store and the thresholded
+  regression comparison CI gates on.
 
 Quickstart::
 
@@ -90,6 +93,16 @@ from .search import (
     make_partitioner,
     pareto_front,
 )
+from .suite import (
+    RegressionThresholds,
+    ResultStore,
+    Scenario,
+    ScenarioResult,
+    SuiteComparison,
+    SuiteRun,
+    compare_runs,
+    run_suite,
+)
 
 __version__ = "1.0.0"
 
@@ -114,6 +127,12 @@ __all__ = [
     "Partitioner",
     "PartitioningEngine",
     "PlatformSpec",
+    "RegressionThresholds",
+    "ResultStore",
+    "Scenario",
+    "ScenarioResult",
+    "SuiteComparison",
+    "SuiteRun",
     "VisitedConfiguration",
     "WeightModel",
     "WorkloadSpec",
@@ -121,6 +140,7 @@ __all__ = [
     "block_fpga_timing",
     "build_cdfg",
     "cdfg_from_source",
+    "compare_runs",
     "extract_kernels",
     "make_partitioner",
     "paper_platform",
@@ -135,6 +155,7 @@ __all__ = [
     "reproduce_table2",
     "reproduce_table3",
     "run_function",
+    "run_suite",
     "schedule_dfg",
     "standard_datapath",
     "workload_from_cdfg",

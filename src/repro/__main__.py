@@ -1,7 +1,7 @@
 """Command-line entry point: ``python -m repro``.
 
-Two subcommands wrap the existing factories so the common scenarios run
-without writing a script:
+Three subcommands wrap the existing factories so the common scenarios
+run without writing a script:
 
 ``partition``
     One workload on one platform against one timing constraint
@@ -20,8 +20,19 @@ without writing a script:
             --afpga 1500 5000 --cgcs 2 3 --fractions 0.9 0.5 \\
             --algorithms greedy multi_start --csv grid.csv
 
+``suite``
+    The named scenario suite with its persistent result store and
+    regression gating (``suite list``, ``suite run``,
+    ``suite compare``)::
+
+        python -m repro suite run --db results.sqlite --label nightly
+        python -m repro suite compare \\
+            --baseline benchmarks/suite_baseline.json --cycle-threshold 20
+
 Workload syntax: ``ofdm`` | ``jpeg`` | ``ofdm-measured`` |
-``jpeg-measured`` | ``synthetic:<blocks>[:key=value,...]``.
+``jpeg-measured`` | ``filterbank`` | ``viterbi`` |
+``synthetic:<blocks>``, each optionally followed by
+``:key=value,...`` parameters.
 Algorithm syntax: ``<name>[:key=value,...]`` with the
 :class:`repro.search.AlgorithmSpec` factory parameters.
 """
@@ -30,13 +41,33 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
+from typing import Callable
 
-from .explore import DesignSpace, PlatformSpec, WorkloadSpec, explore
+from .explore import DesignSpace, WorkloadSpec, explore
 from .partition import EngineConfig
 from .platform import paper_platform
-from .reporting import render_exploration, render_pareto
-from .reporting import write_exploration_csv, write_exploration_json
+from .reporting import (
+    render_exploration,
+    render_pareto,
+    render_suite,
+    render_suite_diff,
+    write_exploration_csv,
+    write_exploration_json,
+    write_suite_csv,
+    write_suite_json,
+)
 from .search import AlgorithmSpec, make_partitioner
+from .suite import (
+    RegressionThresholds,
+    ResultStore,
+    SuiteRun,
+    compare_runs,
+    read_run_json,
+    run_suite,
+    scenario_names,
+    select_scenarios,
+)
 
 
 def _parse_params(text: str) -> dict[str, object]:
@@ -61,6 +92,17 @@ def _parse_params(text: str) -> dict[str, object]:
 
 
 def parse_workload(text: str) -> WorkloadSpec:
+    spec = _parse_workload_spec(text)
+    try:
+        spec.label  # validates parameter names eagerly, at parse time
+    except TypeError as error:
+        raise argparse.ArgumentTypeError(
+            f"bad parameters for workload {text!r}: {error}"
+        ) from None
+    return spec
+
+
+def _parse_workload_spec(text: str) -> WorkloadSpec:
     kind, __, rest = text.partition(":")
     if kind == "ofdm":
         return WorkloadSpec.ofdm()
@@ -70,16 +112,27 @@ def parse_workload(text: str) -> WorkloadSpec:
         return WorkloadSpec.ofdm_measured(**_parse_params(rest))
     if kind == "jpeg-measured":
         return WorkloadSpec.jpeg_measured(**_parse_params(rest))
+    if kind == "filterbank":
+        return WorkloadSpec.filterbank(**_parse_params(rest))
+    if kind == "viterbi":
+        return WorkloadSpec.viterbi(**_parse_params(rest))
     if kind == "synthetic":
         blocks, __, params = rest.partition(":")
         if not blocks:
             raise argparse.ArgumentTypeError(
                 "synthetic workloads need a block count: synthetic:<blocks>"
             )
-        return WorkloadSpec.synthetic(int(blocks), **_parse_params(params))
+        try:
+            block_count = int(blocks)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"synthetic block count must be an integer, got {blocks!r}"
+            ) from None
+        return WorkloadSpec.synthetic(block_count, **_parse_params(params))
     raise argparse.ArgumentTypeError(
         f"unknown workload {text!r}; expected ofdm, jpeg, ofdm-measured, "
-        "jpeg-measured or synthetic:<blocks>[:key=value,...]"
+        "jpeg-measured, filterbank, viterbi or "
+        "synthetic:<blocks>[:key=value,...]"
     )
 
 
@@ -164,11 +217,119 @@ def _build_parser() -> argparse.ArgumentParser:
     expl.add_argument("--workers", type=int, default=1)
     expl.add_argument("--csv", help="write the grid as CSV to this path")
     expl.add_argument("--json", help="write the full report as JSON")
+
+    suite = sub.add_parser(
+        "suite", help="named scenario suite: run, persist, diff, gate"
+    )
+    suite_sub = suite.add_subparsers(dest="suite_command", required=True)
+
+    slist = suite_sub.add_parser(
+        "list", help="list registered scenarios (or recorded runs)"
+    )
+    slist.add_argument("--tag", help="only scenarios carrying this tag")
+    slist.add_argument(
+        "--db", help="list runs recorded in this SQLite store instead"
+    )
+
+    srun = suite_sub.add_parser(
+        "run", help="run scenarios, print the table, persist results"
+    )
+    srun.add_argument(
+        "--scenarios", nargs="+", metavar="NAME",
+        help="subset of scenario names (default: the whole registry)",
+    )
+    srun.add_argument("--tag", help="only scenarios carrying this tag")
+    srun.add_argument(
+        "--db", help="record the run into this SQLite result store"
+    )
+    srun.add_argument(
+        "--label", default="", help="label stored with the run"
+    )
+    srun.add_argument("--workers", type=int, default=1)
+    srun.add_argument(
+        "--json", help="write the run as baseline-format JSON"
+    )
+    srun.add_argument("--csv", help="write the per-scenario results as CSV")
+
+    scmp = suite_sub.add_parser(
+        "compare",
+        help="diff a candidate run against a baseline; exit 1 on "
+        "regression",
+    )
+    scmp.add_argument(
+        "--baseline", required=True, metavar="REF",
+        help="baseline: a suite-run JSON file, or (with --db) a run id "
+        "or label",
+    )
+    scmp.add_argument(
+        "--candidate", metavar="REF",
+        help="candidate: same forms as --baseline; omitted = run the "
+        "suite now",
+    )
+    scmp.add_argument("--db", help="SQLite store run references resolve in")
+    scmp.add_argument(
+        "--scenarios", nargs="+", metavar="NAME",
+        help="scenario subset when the candidate is run fresh",
+    )
+    scmp.add_argument("--tag", help="scenario tag filter for a fresh run")
+    scmp.add_argument("--workers", type=int, default=1)
+    scmp.add_argument(
+        "--cycle-threshold", type=float, default=20.0,
+        help="fail on total-cycle growth beyond this percent "
+        "(default 20)",
+    )
+    scmp.add_argument(
+        "--wall-threshold", type=float, default=None,
+        help="also fail on wall-time growth beyond this percent "
+        "(off by default: wall times are machine-dependent)",
+    )
+    scmp.add_argument(
+        "--min-wall", type=float, default=0.25,
+        help="wall gating noise floor in seconds (default 0.25)",
+    )
+    scmp.add_argument(
+        "--save-candidate",
+        help="also write the candidate run as baseline-format JSON "
+        "(baseline refresh)",
+    )
     return parser
 
 
+def _export(writer: Callable[[], Path], what: str) -> bool:
+    """Run one artifact write; report (not raise) filesystem errors."""
+    try:
+        print(f"wrote {writer()}")
+    except OSError as error:
+        print(f"error: cannot write {what}: {error}", file=sys.stderr)
+        return False
+    return True
+
+
+def _open_store(path: str) -> ResultStore | None:
+    """Open (or create) the SQLite store; report failures instead of
+    crashing with an sqlite3 traceback."""
+    import sqlite3
+
+    try:
+        return ResultStore(path)
+    except (sqlite3.Error, OSError) as error:
+        print(
+            f"error: cannot open result store {path!r}: {error}",
+            file=sys.stderr,
+        )
+        return None
+
+
 def _cmd_partition(args: argparse.Namespace) -> int:
-    workload = args.workload.build()
+    try:
+        workload = args.workload.build()
+    except ValueError as error:
+        print(
+            f"error: cannot build workload "
+            f"{args.workload.label!r}: {error}",
+            file=sys.stderr,
+        )
+        return 2
     platform = paper_platform(
         args.afpga,
         args.cgcs,
@@ -209,7 +370,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         constraint_fractions=tuple(args.fractions),
         algorithms=tuple(args.algorithms),
     )
-    report = explore(space, max_workers=args.workers)
+    try:
+        report = explore(space, max_workers=args.workers)
+    except ValueError as error:
+        print(f"error: cannot explore the grid: {error}", file=sys.stderr)
+        return 2
     print(render_exploration(report))
     if len(report.algorithms()) > 1:
         # Compared per workload: absolute cycle counts are only
@@ -223,18 +388,194 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                     f"(A={best.afpga}, {best.cgc_count} CGCs, "
                     f"{best.kernels_moved} moved)"
                 )
+    ok = True
     if args.csv:
-        print(f"wrote {write_exploration_csv(report.results, args.csv)}")
+        ok &= _export(
+            lambda: write_exploration_csv(report.results, args.csv),
+            "exploration CSV",
+        )
     if args.json:
-        print(f"wrote {write_exploration_json(report, args.json)}")
+        ok &= _export(
+            lambda: write_exploration_json(report, args.json),
+            "exploration JSON",
+        )
+    return 0 if ok else 2
+
+
+def _selected_scenarios(args: argparse.Namespace):
+    try:
+        scenarios = select_scenarios(args.scenarios, args.tag)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return None
+    if not scenarios:
+        print(
+            "error: no scenarios selected "
+            f"(registry: {', '.join(scenario_names())})",
+            file=sys.stderr,
+        )
+        return None
+    return scenarios
+
+
+def _cmd_suite_list(args: argparse.Namespace) -> int:
+    if args.db:
+        store = _open_store(args.db)
+        if store is None:
+            return 2
+        with store:
+            runs = store.runs_summary()
+        if not runs:
+            print(f"no runs recorded in {args.db}")
+            return 0
+        for entry in runs:
+            label = f" [{entry['label']}]" if entry["label"] else ""
+            print(
+                f"run {entry['run_id']}{label}: {entry['scenarios']} "
+                f"scenario(s) @ {entry['fingerprint']} "
+                f"({entry['created_at']}, {entry['elapsed_seconds']:.2f}s)"
+            )
+        return 0
+    scenarios = select_scenarios(None, args.tag)
+    for scenario in scenarios:
+        tags = f"  [{', '.join(scenario.tags)}]" if scenario.tags else ""
+        print(f"{scenario.name}: {scenario.describe()}{tags}")
+    print(f"{len(scenarios)} scenario(s)")
     return 0
+
+
+def _cmd_suite_run(args: argparse.Namespace) -> int:
+    scenarios = _selected_scenarios(args)
+    if scenarios is None:
+        return 2
+    store = None
+    if args.db:
+        store = _open_store(args.db)
+        if store is None:
+            return 2
+    try:
+        run = run_suite(
+            scenarios,
+            store=store,
+            label=args.label,
+            max_workers=args.workers,
+        )
+    finally:
+        if store is not None:
+            store.close()
+    print(render_suite(run))
+    if args.db:
+        print(f"recorded as run {run.run_id} in {args.db}")
+    ok = True
+    if args.json:
+        ok &= _export(lambda: write_suite_json(run, args.json), "suite JSON")
+    if args.csv:
+        ok &= _export(
+            lambda: write_suite_csv(run.results, args.csv), "suite CSV"
+        )
+    return 0 if ok else 2
+
+
+def _resolve_run(
+    ref: str, store: ResultStore | None, role: str
+) -> SuiteRun | None:
+    """A run reference: a JSON file path, or a store run id / label."""
+    path = Path(ref)
+    if path.is_file():
+        try:
+            return read_run_json(path)
+        except (ValueError, KeyError) as error:
+            print(
+                f"error: {role} {ref!r} is not a suite-run JSON file "
+                f"({error})",
+                file=sys.stderr,
+            )
+            return None
+    if store is None:
+        print(
+            f"error: {role} {ref!r} is not a file and no --db was given",
+            file=sys.stderr,
+        )
+        return None
+    # Labels win over run ids so a digit-only label stays reachable;
+    # ids are only generated, labels are what users chose.
+    run = store.load_latest(label=ref)
+    if run is not None:
+        return run
+    if ref.isdigit():
+        try:
+            return store.load_run(int(ref))
+        except KeyError:
+            print(
+                f"error: no run {ref} (as label or id) in the result "
+                "store",
+                file=sys.stderr,
+            )
+            return None
+    print(
+        f"error: no run labelled {ref!r} in the result store",
+        file=sys.stderr,
+    )
+    return None
+
+
+def _cmd_suite_compare(args: argparse.Namespace) -> int:
+    # Validate thresholds first: a bad flag must not cost a suite run.
+    try:
+        thresholds = RegressionThresholds(
+            cycle_percent=args.cycle_threshold,
+            wall_percent=args.wall_threshold,
+            min_wall_seconds=args.min_wall,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    store = None
+    if args.db:
+        store = _open_store(args.db)
+        if store is None:
+            return 2
+    try:
+        baseline = _resolve_run(args.baseline, store, "baseline")
+        if baseline is None:
+            return 2
+        if args.candidate is not None:
+            candidate = _resolve_run(args.candidate, store, "candidate")
+            if candidate is None:
+                return 2
+        else:
+            scenarios = _selected_scenarios(args)
+            if scenarios is None:
+                return 2
+            candidate = run_suite(scenarios, max_workers=args.workers)
+    finally:
+        if store is not None:
+            store.close()
+    comparison = compare_runs(baseline, candidate, thresholds)
+    print(render_suite_diff(comparison))
+    if args.save_candidate and not _export(
+        lambda: write_suite_json(candidate, args.save_candidate),
+        "candidate JSON",
+    ):
+        return 2
+    return 1 if comparison.has_regressions else 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    if args.suite_command == "list":
+        return _cmd_suite_list(args)
+    if args.suite_command == "run":
+        return _cmd_suite_run(args)
+    return _cmd_suite_compare(args)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "partition":
         return _cmd_partition(args)
-    return _cmd_explore(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
+    return _cmd_suite(args)
 
 
 if __name__ == "__main__":

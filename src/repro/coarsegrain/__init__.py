@@ -37,4 +37,5 @@ __all__ = [
     "make_cgc_array",
     "schedule_dfg",
     "speedup_over_fpga",
+    "standard_datapath",
 ]

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..ir.dfg import DataFlowGraph
-from .datapath import CGCDatapath
 from .scheduler import CGCSchedule
 
 

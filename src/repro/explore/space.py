@@ -23,10 +23,18 @@ class WorkloadSpec:
     measured by actually profiling the mini-C implementation) or a
     synthetic one."""
 
-    kind: str  # "ofdm" | "jpeg" | "synthetic" | "ofdm-measured" | "jpeg-measured"
+    kind: str  # "ofdm" | "jpeg" | "synthetic" | "*-measured" | "filterbank" | "viterbi"
     params: tuple[tuple[str, object], ...] = ()
 
-    _KINDS = ("ofdm", "jpeg", "synthetic", "ofdm-measured", "jpeg-measured")
+    _KINDS = (
+        "ofdm",
+        "jpeg",
+        "synthetic",
+        "ofdm-measured",
+        "jpeg-measured",
+        "filterbank",
+        "viterbi",
+    )
     #: Names the paper-app factories give their workloads; labels must
     #: match them because ExplorationResult.workload is the built name.
     _APP_NAMES = {
@@ -62,6 +70,16 @@ class WorkloadSpec:
         return cls(kind="synthetic", params=tuple(sorted(merged.items())))
 
     @classmethod
+    def filterbank(cls, **params: object) -> "WorkloadSpec":
+        """The FIR/IIR filter-bank pipeline (channels/taps/... params)."""
+        return cls(kind="filterbank", params=tuple(sorted(params.items())))
+
+    @classmethod
+    def viterbi(cls, **params: object) -> "WorkloadSpec":
+        """The Viterbi trellis decoder (states/stages params)."""
+        return cls(kind="viterbi", params=tuple(sorted(params.items())))
+
+    @classmethod
     def ofdm_measured(cls, symbols: int = 6) -> "WorkloadSpec":
         """OFDM with frequencies measured by interpreting the mini-C
         transmitter on ``symbols`` deterministic payload symbols."""
@@ -84,6 +102,14 @@ class WorkloadSpec:
             if self.kind == "ofdm-measured":
                 return f"{base}-s{params.get('symbols', 6)}"
             return f"{base}-i{params.get('image_seed', 1994)}"
+        if self.kind == "filterbank":
+            from ..workloads.filterbank import filterbank_workload_name
+
+            return filterbank_workload_name(**dict(self.params))
+        if self.kind == "viterbi":
+            from ..workloads.viterbi import viterbi_workload_name
+
+            return viterbi_workload_name(**dict(self.params))
         if self.kind != "synthetic":
             return self._APP_NAMES[self.kind]
         from ..workloads.synthetic import synthetic_workload_name
@@ -106,6 +132,14 @@ class WorkloadSpec:
             return ofdm_workload()
         if self.kind == "jpeg":
             return jpeg_workload()
+        if self.kind == "filterbank":
+            from ..workloads.filterbank import filterbank_workload
+
+            return filterbank_workload(**dict(self.params))  # type: ignore[arg-type]
+        if self.kind == "viterbi":
+            from ..workloads.viterbi import viterbi_workload
+
+            return viterbi_workload(**dict(self.params))  # type: ignore[arg-type]
         if self.kind in ("ofdm-measured", "jpeg-measured"):
             return self._build_measured(profile_cache)
         return synthetic_application(**dict(self.params))  # type: ignore[arg-type]

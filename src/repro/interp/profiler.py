@@ -17,7 +17,7 @@ instruction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..ir.basicblock import BasicBlock
 from ..ir.cdfg import CDFG

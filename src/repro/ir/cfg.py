@@ -7,7 +7,7 @@ sets for cleanup) plus a NetworkX export for analyses and debugging.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 
@@ -111,7 +111,7 @@ class ControlFlowGraph:
     def remove_unreachable_blocks(self) -> int:
         """Drop blocks not reachable from the entry; returns removed count."""
         reachable = self.reachable_labels()
-        unreachable = [l for l in self.blocks if l not in reachable]
+        unreachable = [b for b in self.blocks if b not in reachable]
         for label in unreachable:
             del self.blocks[label]
         return len(unreachable)

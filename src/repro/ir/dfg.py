@@ -12,14 +12,13 @@ considered for parallel execution without any dependency check" (§3.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 
 from .basicblock import BasicBlock
 from .operations import (
     ArrayBase,
-    Const,
     Instruction,
     OpClass,
     Opcode,

@@ -49,7 +49,7 @@ class LoopForest:
                     )
                     loop.back_edges.append((label, successor))
                     self._collect_body(loop, label)
-        self.loops = sorted(loops_by_header.values(), key=lambda l: l.header)
+        self.loops = sorted(loops_by_header.values(), key=lambda x: x.header)
 
     def _collect_body(self, loop: NaturalLoop, tail: str) -> None:
         """Blocks that can reach the back edge tail without passing the
@@ -73,7 +73,7 @@ class LoopForest:
         containing = [loop for loop in self.loops if loop.contains(label)]
         if not containing:
             return None
-        return min(containing, key=lambda l: l.size)
+        return min(containing, key=lambda x: x.size)
 
     def blocks_in_loops(self) -> set[str]:
         blocks: set[str] = set()

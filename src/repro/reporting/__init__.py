@@ -21,6 +21,12 @@ from .exploration import (
     write_exploration_json,
     write_pareto_csv,
 )
+from .suite import (
+    render_suite,
+    render_suite_diff,
+    write_suite_csv,
+    write_suite_json,
+)
 from .tables import format_grid, render_partition_table, render_table1
 
 __all__ = [
@@ -32,6 +38,8 @@ __all__ = [
     "render_exploration",
     "render_pareto",
     "render_partition_table",
+    "render_suite",
+    "render_suite_diff",
     "render_table1",
     "reproduce_headline_claims",
     "reproduce_partition_table",
@@ -44,4 +52,6 @@ __all__ = [
     "write_exploration_csv",
     "write_exploration_json",
     "write_pareto_csv",
+    "write_suite_csv",
+    "write_suite_json",
 ]

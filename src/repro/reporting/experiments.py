@@ -23,7 +23,7 @@ from ..analysis.weights import WeightModel
 from ..partition.engine import EngineConfig, PartitioningEngine
 from ..partition.result import PartitionResult
 from ..partition.workload import ApplicationWorkload
-from ..platform.soc import HybridPlatform, paper_platform
+from ..platform.soc import paper_platform
 from ..workloads import profiles as paper_profiles
 from ..workloads.profiles import PaperKernelRow, PaperPartitionRow
 

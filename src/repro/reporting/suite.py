@@ -1,0 +1,134 @@
+"""Rendering and export of scenario-suite runs and diffs."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from ..suite.compare import SuiteComparison
+from ..suite.store import ScenarioResult, SuiteRun
+from .tables import format_grid
+
+#: Column order of the suite CSV export.
+SUITE_CSV_FIELDS = (
+    "scenario",
+    "workload",
+    "platform",
+    "algorithm",
+    "constraint_fraction",
+    "timing_constraint",
+    "initial_cycles",
+    "total_cycles",
+    "reduction_percent",
+    "kernels_moved",
+    "moved_bb_ids",
+    "rows_used",
+    "constraint_met",
+    "wall_time_seconds",
+)
+
+
+def render_suite(run: SuiteRun) -> str:
+    """One suite run as an ASCII table plus its metadata line."""
+    headers = [
+        "scenario",
+        "workload",
+        "algorithm",
+        "C/initial",
+        "initial",
+        "total",
+        "red %",
+        "moved",
+        "rows",
+        "met",
+        "wall s",
+    ]
+    rows = []
+    for result in run.results:
+        rows.append(
+            [
+                result.scenario,
+                result.workload,
+                result.algorithm,
+                f"{result.constraint_fraction:.2f}",
+                str(result.initial_cycles),
+                str(result.total_cycles),
+                f"{result.reduction_percent:.1f}",
+                str(result.kernels_moved),
+                str(result.rows_used),
+                "yes" if result.constraint_met else "no",
+                f"{result.wall_time_seconds:.3f}",
+            ]
+        )
+    table = format_grid(headers, rows)
+    label = f" [{run.label}]" if run.label else ""
+    meta = (
+        f"{len(run.results)} scenario(s){label} @ {run.fingerprint} "
+        f"in {run.elapsed_seconds:.2f}s"
+    )
+    return f"{table}\n{meta}"
+
+
+def render_suite_diff(comparison: SuiteComparison) -> str:
+    """A candidate-vs-baseline diff as an ASCII table plus summary."""
+    headers = [
+        "scenario",
+        "status",
+        "base cycles",
+        "cand cycles",
+        "cycles Δ%",
+        "base wall",
+        "cand wall",
+        "wall Δ%",
+        "why",
+    ]
+    rows = []
+    for delta in comparison.deltas:
+        base, cand = delta.baseline, delta.candidate
+        rows.append(
+            [
+                delta.scenario,
+                delta.status,
+                str(base.total_cycles) if base else "-",
+                str(cand.total_cycles) if cand else "-",
+                (
+                    f"{delta.cycle_delta_percent:+.1f}"
+                    if delta.cycle_delta_percent is not None
+                    else "-"
+                ),
+                f"{base.wall_time_seconds:.3f}" if base else "-",
+                f"{cand.wall_time_seconds:.3f}" if cand else "-",
+                (
+                    f"{delta.wall_delta_percent:+.0f}"
+                    if delta.wall_delta_percent is not None
+                    else "-"
+                ),
+                "; ".join(delta.reasons) or "-",
+            ]
+        )
+    table = format_grid(headers, rows)
+    return f"{table}\n{comparison.summary()}"
+
+
+def write_suite_csv(
+    results: Iterable[ScenarioResult], path: str | Path
+) -> Path:
+    """One row per scenario; BB id lists are ';'-joined."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=SUITE_CSV_FIELDS)
+        writer.writeheader()
+        for result in results:
+            row = result.to_dict()
+            row["moved_bb_ids"] = ";".join(
+                str(b) for b in result.moved_bb_ids
+            )
+            writer.writerow(row)
+    return path
+
+
+def write_suite_json(run: SuiteRun, path: str | Path) -> Path:
+    """The run in the baseline JSON format (same file ``suite compare``
+    accepts as either side)."""
+    return run.write_json(path)

@@ -1,0 +1,211 @@
+"""Run-against-baseline comparison and regression gating.
+
+Diffs a candidate :class:`~repro.suite.store.SuiteRun` against a
+baseline run scenario-by-scenario and classifies each pair under
+configurable :class:`RegressionThresholds`.  Cycle counts are
+deterministic, so any growth beyond the threshold is a genuine
+algorithmic regression; wall times are machine-dependent, so wall
+gating is opt-in and guarded by an absolute noise floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .store import ScenarioResult, SuiteRun
+
+#: Delta classifications, roughly worst-first.
+STATUS_REGRESSED = "regressed"
+STATUS_REMOVED = "removed"
+STATUS_ADDED = "added"
+STATUS_IMPROVED = "improved"
+STATUS_OK = "ok"
+
+
+@dataclass(frozen=True)
+class RegressionThresholds:
+    """What counts as a regression.
+
+    ``cycle_percent`` gates the deterministic total-cycle metric.
+    ``wall_percent`` (None = wall gating off) gates wall time, but only
+    when the candidate also exceeds ``min_wall_seconds`` — sub-floor
+    scenarios finish too fast for a percentage to mean anything.
+    A scenario present in the baseline but missing from the candidate
+    always gates (history must not silently disappear).
+    """
+
+    cycle_percent: float = 20.0
+    wall_percent: float | None = None
+    min_wall_seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.cycle_percent < 0.0:
+            raise ValueError("cycle_percent must be >= 0")
+        if self.wall_percent is not None and self.wall_percent < 0.0:
+            raise ValueError("wall_percent must be >= 0 (or None)")
+        if self.min_wall_seconds < 0.0:
+            raise ValueError("min_wall_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class ScenarioDelta:
+    """One scenario's baseline-vs-candidate comparison."""
+
+    scenario: str
+    baseline: ScenarioResult | None
+    candidate: ScenarioResult | None
+    status: str
+    #: 100·(candidate−baseline)/baseline; None when either side is absent.
+    cycle_delta_percent: float | None = None
+    wall_delta_percent: float | None = None
+    #: Human-readable reasons this delta gates (empty when it does not).
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def is_regression(self) -> bool:
+        return bool(self.reasons)
+
+
+@dataclass
+class SuiteComparison:
+    """A full candidate-vs-baseline diff."""
+
+    baseline: SuiteRun
+    candidate: SuiteRun
+    thresholds: RegressionThresholds
+    deltas: list[ScenarioDelta] = field(default_factory=list)
+
+    def regressions(self) -> list[ScenarioDelta]:
+        return [delta for delta in self.deltas if delta.is_regression]
+
+    @property
+    def has_regressions(self) -> bool:
+        return any(delta.is_regression for delta in self.deltas)
+
+    def summary(self) -> str:
+        counts: dict[str, int] = {}
+        for delta in self.deltas:
+            counts[delta.status] = counts.get(delta.status, 0) + 1
+        parts = [
+            f"{count} {status}"
+            for status, count in sorted(counts.items())
+        ]
+        verdict = (
+            f"{len(self.regressions())} regression(s)"
+            if self.has_regressions
+            else "no regressions"
+        )
+        return (
+            f"compared {len(self.deltas)} scenario(s) "
+            f"[{', '.join(parts)}]: {verdict} "
+            f"(baseline {self.baseline.fingerprint} vs "
+            f"candidate {self.candidate.fingerprint})"
+        )
+
+
+def _percent_delta(baseline: float, candidate: float) -> float | None:
+    if baseline == 0:
+        return None
+    return 100.0 * (candidate - baseline) / baseline
+
+
+def compare_runs(
+    baseline: SuiteRun,
+    candidate: SuiteRun,
+    thresholds: RegressionThresholds | None = None,
+) -> SuiteComparison:
+    """Diff ``candidate`` against ``baseline`` under the thresholds."""
+    thresholds = thresholds or RegressionThresholds()
+    comparison = SuiteComparison(
+        baseline=baseline, candidate=candidate, thresholds=thresholds
+    )
+    names: dict[str, None] = {}
+    for result in baseline.results:
+        names.setdefault(result.scenario)
+    for result in candidate.results:
+        names.setdefault(result.scenario)
+
+    for name in names:
+        base = baseline.result_for(name)
+        cand = candidate.result_for(name)
+        if base is None:
+            comparison.deltas.append(
+                ScenarioDelta(
+                    scenario=name,
+                    baseline=None,
+                    candidate=cand,
+                    status=STATUS_ADDED,
+                )
+            )
+            continue
+        if cand is None:
+            comparison.deltas.append(
+                ScenarioDelta(
+                    scenario=name,
+                    baseline=base,
+                    candidate=None,
+                    status=STATUS_REMOVED,
+                    reasons=("scenario missing from candidate run",),
+                )
+            )
+            continue
+
+        cycle_delta = _percent_delta(base.total_cycles, cand.total_cycles)
+        wall_delta = _percent_delta(
+            base.wall_time_seconds, cand.wall_time_seconds
+        )
+        reasons: list[str] = []
+        if (
+            cycle_delta is not None
+            and cycle_delta > thresholds.cycle_percent
+        ):
+            reasons.append(
+                f"total_cycles +{cycle_delta:.1f}% "
+                f"({base.total_cycles} -> {cand.total_cycles}, "
+                f"threshold {thresholds.cycle_percent:g}%)"
+            )
+        if base.constraint_met and not cand.constraint_met:
+            reasons.append("timing constraint met in baseline, missed now")
+        if (
+            thresholds.wall_percent is not None
+            and wall_delta is not None
+            and cand.wall_time_seconds >= thresholds.min_wall_seconds
+            and wall_delta > thresholds.wall_percent
+        ):
+            reasons.append(
+                f"wall_time +{wall_delta:.0f}% "
+                f"({base.wall_time_seconds:.3f}s -> "
+                f"{cand.wall_time_seconds:.3f}s, "
+                f"threshold {thresholds.wall_percent:g}%)"
+            )
+
+        if reasons:
+            status = STATUS_REGRESSED
+        elif cycle_delta is not None and cycle_delta < 0.0:
+            status = STATUS_IMPROVED
+        else:
+            status = STATUS_OK
+        comparison.deltas.append(
+            ScenarioDelta(
+                scenario=name,
+                baseline=base,
+                candidate=cand,
+                status=status,
+                cycle_delta_percent=cycle_delta,
+                wall_delta_percent=wall_delta,
+                reasons=tuple(reasons),
+            )
+        )
+    return comparison
+
+
+def assert_no_regressions(comparison: SuiteComparison) -> None:
+    """Raise ``AssertionError`` listing every gating delta (bench/CI
+    helper)."""
+    if not comparison.has_regressions:
+        return
+    lines = [comparison.summary()]
+    for delta in comparison.regressions():
+        for reason in delta.reasons:
+            lines.append(f"  {delta.scenario}: {reason}")
+    raise AssertionError("\n".join(lines))

@@ -1,0 +1,64 @@
+"""Code-version fingerprints for persisted suite runs.
+
+Every recorded run is stamped with where the code stood when it ran, so
+a comparison knows whether two runs actually exercised different code.
+The fingerprint is ``<git-describe>@<content-hash>`` when the package
+lives in a git checkout, or just the content hash when it does not
+(installed wheels, tarballs, sandboxes without git).  The content hash
+covers every ``.py`` file under ``repro`` in a deterministic order, so
+it changes exactly when the shipped source changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import subprocess
+from pathlib import Path
+
+#: Hex digits of the content hash kept in the fingerprint.
+CONTENT_HASH_LENGTH = 12
+
+
+def package_root() -> Path:
+    """The installed ``repro`` package directory."""
+    return Path(__file__).resolve().parent.parent
+
+
+def content_fingerprint(root: Path | None = None) -> str:
+    """sha256 over every .py file under ``root`` (path + contents)."""
+    root = root or package_root()
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:CONTENT_HASH_LENGTH]
+
+
+def git_describe(root: Path | None = None) -> str | None:
+    """``git describe --always --dirty`` of the checkout, or None."""
+    root = root or package_root()
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    described = completed.stdout.strip()
+    return described or None
+
+
+def repo_fingerprint(root: Path | None = None) -> str:
+    """The fingerprint stored with every suite run."""
+    content = content_fingerprint(root)
+    described = git_describe(root)
+    if described is None:
+        return content
+    return f"{described}@{content}"

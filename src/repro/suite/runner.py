@@ -1,0 +1,154 @@
+"""Batched scenario execution.
+
+Runs a list of named scenarios through the :mod:`repro.search`
+substrate (the same partitioners the :mod:`repro.explore` grids fan
+out), timing each scenario and packaging the outcomes as a
+:class:`~repro.suite.store.SuiteRun` ready for the store, the JSON
+baseline writer, or a comparison.
+
+Scenarios fan out over ``ProcessPoolExecutor`` like exploration tasks
+do, with the same serial fallback when process pools are unavailable;
+built workloads are cached per process by spec, so scenarios sharing a
+workload (e.g. the skew axis pair) build its DFGs once.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+from ..explore.space import WorkloadSpec
+from ..partition.engine import EngineConfig
+from ..partition.workload import ApplicationWorkload
+from ..search import make_partitioner
+from .fingerprint import repo_fingerprint
+from .scenarios import Scenario, default_suite
+from .store import ResultStore, ScenarioResult, SuiteRun
+
+#: Per-process workload cache (worker processes grow their own copy).
+_WORKLOAD_CACHE: dict[WorkloadSpec, ApplicationWorkload] = {}
+
+
+def run_scenario(
+    scenario: Scenario,
+    workload_cache: dict[WorkloadSpec, ApplicationWorkload] | None = None,
+) -> ScenarioResult:
+    """Execute one scenario; wall time covers the partitioning search
+    itself (pricing-model construction through the final result), not
+    the cached workload build."""
+    cache = _WORKLOAD_CACHE if workload_cache is None else workload_cache
+    workload = cache.get(scenario.workload)
+    if workload is None:
+        workload = scenario.workload.build()
+        cache[scenario.workload] = workload
+    platform = scenario.platform.build()
+
+    started = time.perf_counter()
+    partitioner = make_partitioner(
+        scenario.algorithm, workload, platform, config=EngineConfig()
+    )
+    initial = partitioner.initial_cycles()
+    constraint = max(1, round(initial * scenario.constraint_fraction))
+    result = partitioner.run(constraint)
+    wall = time.perf_counter() - started
+
+    # The final subset was priced by the search, so its CGC row
+    # footprint is in the visited log.
+    final_subset = tuple(sorted(result.moved_bb_ids))
+    rows_used = 0
+    for visited in partitioner.visited:
+        if visited.moved_bb_ids == final_subset:
+            rows_used = visited.cgc_rows_used
+            break
+
+    return ScenarioResult(
+        scenario=scenario.name,
+        workload=result.workload_name,
+        platform=scenario.platform.label,
+        algorithm=scenario.algorithm.label,
+        constraint_fraction=scenario.constraint_fraction,
+        timing_constraint=result.timing_constraint,
+        initial_cycles=result.initial_cycles,
+        total_cycles=result.final_cycles,
+        reduction_percent=result.reduction_percent,
+        kernels_moved=result.kernels_moved,
+        moved_bb_ids=final_subset,
+        rows_used=rows_used,
+        constraint_met=result.constraint_met,
+        wall_time_seconds=wall,
+    )
+
+
+def run_suite(
+    scenarios: list[Scenario] | None = None,
+    *,
+    store: ResultStore | None = None,
+    label: str = "",
+    max_workers: int | None = None,
+    fingerprint: str | None = None,
+) -> SuiteRun:
+    """Run every scenario (the full registry by default) and return the
+    assembled :class:`SuiteRun`, recorded into ``store`` when given.
+
+    ``max_workers=None`` sizes the pool to ``min(scenarios, cpus)``;
+    ``max_workers=1`` forces a serial in-process run.  Results come back
+    in scenario order regardless of worker scheduling.
+    """
+    scenarios = default_suite() if scenarios is None else list(scenarios)
+    if not scenarios:
+        raise ValueError("no scenarios to run")
+    names = [scenario.name for scenario in scenarios]
+    if len(set(names)) != len(names):
+        raise ValueError("scenario names must be unique within a run")
+
+    started = time.perf_counter()
+    workers = max_workers
+    if workers is None:
+        workers = min(len(scenarios), os.cpu_count() or 1)
+    workers = max(1, workers)
+
+    def run_serially() -> list[ScenarioResult]:
+        cache: dict[WorkloadSpec, ApplicationWorkload] = {}
+        return [run_scenario(scenario, cache) for scenario in scenarios]
+
+    results: list[ScenarioResult]
+    if workers == 1 or len(scenarios) == 1:
+        workers = 1
+        results = run_serially()
+    else:
+        # Same fallback contract as repro.explore: an unusable pool
+        # degrades to a serial run, genuine scenario errors propagate.
+        pool_ready = False
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                pool.submit(os.getpid).result()  # force a worker to spawn
+                pool_ready = True
+                results = list(pool.map(run_scenario, scenarios))
+        except (OSError, ImportError, NotImplementedError) as error:
+            if pool_ready:
+                raise
+            warnings.warn(
+                f"process pool unavailable ({error}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            results = run_serially()
+        except BrokenExecutor as error:
+            warnings.warn(
+                f"worker pool broke mid-suite ({error}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            results = run_serially()
+
+    run = SuiteRun(
+        fingerprint=fingerprint or repo_fingerprint(),
+        label=label,
+        elapsed_seconds=time.perf_counter() - started,
+        results=results,
+    )
+    if store is not None:
+        store.record_run(run)
+    return run

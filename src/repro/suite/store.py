@@ -1,0 +1,351 @@
+"""Persistent suite results: records, SQLite store, JSON baselines.
+
+Two complementary persistence formats share one record model:
+
+* :class:`ResultStore` — an append-only SQLite database accumulating
+  every run on a machine (``runs`` × ``results`` tables), the substrate
+  for "did I regress anything since last week?" queries.
+* JSON — a single run serialized as one reviewable file
+  (:meth:`SuiteRun.write_json` / :func:`read_run_json`), the format the
+  committed CI baseline uses so baseline refreshes show up as readable
+  diffs.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Bumped when the schema changes; stored via PRAGMA user_version.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    label TEXT NOT NULL DEFAULT '',
+    fingerprint TEXT NOT NULL,
+    created_at TEXT NOT NULL,
+    elapsed_seconds REAL NOT NULL DEFAULT 0.0
+);
+CREATE TABLE IF NOT EXISTS results (
+    run_id INTEGER NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+    scenario TEXT NOT NULL,
+    workload TEXT NOT NULL,
+    platform TEXT NOT NULL,
+    algorithm TEXT NOT NULL,
+    constraint_fraction REAL NOT NULL,
+    timing_constraint INTEGER NOT NULL,
+    initial_cycles INTEGER NOT NULL,
+    total_cycles INTEGER NOT NULL,
+    reduction_percent REAL NOT NULL,
+    kernels_moved INTEGER NOT NULL,
+    moved_bb_ids TEXT NOT NULL,
+    rows_used INTEGER NOT NULL,
+    constraint_met INTEGER NOT NULL,
+    wall_time_seconds REAL NOT NULL,
+    PRIMARY KEY (run_id, scenario)
+);
+CREATE INDEX IF NOT EXISTS idx_results_scenario ON results(scenario);
+"""
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's outcome within one suite run."""
+
+    scenario: str
+    workload: str
+    platform: str
+    algorithm: str
+    constraint_fraction: float
+    timing_constraint: int
+    initial_cycles: int
+    total_cycles: int
+    reduction_percent: float
+    kernels_moved: int
+    moved_bb_ids: tuple[int, ...]
+    rows_used: int
+    constraint_met: bool
+    wall_time_seconds: float
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "workload": self.workload,
+            "platform": self.platform,
+            "algorithm": self.algorithm,
+            "constraint_fraction": self.constraint_fraction,
+            "timing_constraint": self.timing_constraint,
+            "initial_cycles": self.initial_cycles,
+            "total_cycles": self.total_cycles,
+            "reduction_percent": round(self.reduction_percent, 3),
+            "kernels_moved": self.kernels_moved,
+            "moved_bb_ids": list(self.moved_bb_ids),
+            "rows_used": self.rows_used,
+            "constraint_met": self.constraint_met,
+            "wall_time_seconds": round(self.wall_time_seconds, 6),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioResult":
+        return cls(
+            scenario=str(payload["scenario"]),
+            workload=str(payload["workload"]),
+            platform=str(payload["platform"]),
+            algorithm=str(payload["algorithm"]),
+            constraint_fraction=float(payload["constraint_fraction"]),
+            timing_constraint=int(payload["timing_constraint"]),
+            initial_cycles=int(payload["initial_cycles"]),
+            total_cycles=int(payload["total_cycles"]),
+            reduction_percent=float(payload["reduction_percent"]),
+            kernels_moved=int(payload["kernels_moved"]),
+            moved_bb_ids=tuple(int(b) for b in payload["moved_bb_ids"]),
+            rows_used=int(payload["rows_used"]),
+            constraint_met=bool(payload["constraint_met"]),
+            wall_time_seconds=float(payload["wall_time_seconds"]),
+        )
+
+
+@dataclass
+class SuiteRun:
+    """One complete suite execution (metadata + per-scenario results)."""
+
+    fingerprint: str
+    label: str = ""
+    created_at: str = ""
+    elapsed_seconds: float = 0.0
+    results: list[ScenarioResult] = field(default_factory=list)
+    #: Assigned by the store on record; None for unpersisted/JSON runs.
+    run_id: int | None = None
+
+    def scenario_names(self) -> list[str]:
+        return [result.scenario for result in self.results]
+
+    def result_for(self, scenario: str) -> ScenarioResult | None:
+        for result in self.results:
+            if result.scenario == scenario:
+                return result
+        return None
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "label": self.label,
+            "created_at": self.created_at,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "SuiteRun":
+        return cls(
+            fingerprint=str(payload["fingerprint"]),
+            label=str(payload.get("label", "")),
+            created_at=str(payload.get("created_at", "")),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            results=[
+                ScenarioResult.from_dict(entry)
+                for entry in payload["results"]
+            ],
+        )
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+
+def read_run_json(path: str | Path) -> SuiteRun:
+    """Load a run previously written with :meth:`SuiteRun.write_json`."""
+    payload = json.loads(Path(path).read_text())
+    return SuiteRun.from_json_dict(payload)
+
+
+def _utcnow() -> str:
+    return (
+        datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat()
+    )
+
+
+class ResultStore:
+    """Append-only SQLite store of suite runs.
+
+    Usable as a context manager; ``path=":memory:"`` gives an ephemeral
+    store for tests.
+    """
+
+    def __init__(self, path: str | Path = "suite_results.sqlite"):
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(_SCHEMA)
+        if self._conn.execute("PRAGMA user_version").fetchone()[0] == 0:
+            self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def record_run(self, run: SuiteRun) -> int:
+        """Persist a run and its results atomically; returns (and sets)
+        run_id.  A failure inserting any result rolls the whole run
+        back, so the store never holds a run row without its results."""
+        created_at = run.created_at or _utcnow()
+        # sqlite3 connections as context managers commit on success and
+        # roll back on exception.
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO runs (label, fingerprint, created_at,"
+                " elapsed_seconds) VALUES (?, ?, ?, ?)",
+                (run.label, run.fingerprint, created_at, run.elapsed_seconds),
+            )
+            run_id = cursor.lastrowid
+            assert run_id is not None
+            self._conn.executemany(
+                "INSERT INTO results VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        run_id,
+                        r.scenario,
+                        r.workload,
+                        r.platform,
+                        r.algorithm,
+                        r.constraint_fraction,
+                        r.timing_constraint,
+                        r.initial_cycles,
+                        r.total_cycles,
+                        r.reduction_percent,
+                        r.kernels_moved,
+                        ",".join(str(b) for b in r.moved_bb_ids),
+                        r.rows_used,
+                        int(r.constraint_met),
+                        r.wall_time_seconds,
+                    )
+                    for r in run.results
+                ],
+            )
+        run.run_id = run_id
+        run.created_at = created_at
+        return run_id
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def run_ids(self, label: str | None = None) -> list[int]:
+        """Recorded run ids, oldest first; optionally filtered by label."""
+        if label is None:
+            rows = self._conn.execute(
+                "SELECT run_id FROM runs ORDER BY run_id"
+            )
+        else:
+            rows = self._conn.execute(
+                "SELECT run_id FROM runs WHERE label = ? ORDER BY run_id",
+                (label,),
+            )
+        return [row["run_id"] for row in rows]
+
+    def latest_run_id(self, label: str | None = None) -> int | None:
+        ids = self.run_ids(label)
+        return ids[-1] if ids else None
+
+    def load_run(self, run_id: int) -> SuiteRun:
+        row = self._conn.execute(
+            "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no run with id {run_id}")
+        run = SuiteRun(
+            fingerprint=row["fingerprint"],
+            label=row["label"],
+            created_at=row["created_at"],
+            elapsed_seconds=row["elapsed_seconds"],
+            run_id=run_id,
+        )
+        for record in self._conn.execute(
+            "SELECT * FROM results WHERE run_id = ? ORDER BY rowid",
+            (run_id,),
+        ):
+            moved = tuple(
+                int(b) for b in record["moved_bb_ids"].split(",") if b
+            )
+            run.results.append(
+                ScenarioResult(
+                    scenario=record["scenario"],
+                    workload=record["workload"],
+                    platform=record["platform"],
+                    algorithm=record["algorithm"],
+                    constraint_fraction=record["constraint_fraction"],
+                    timing_constraint=record["timing_constraint"],
+                    initial_cycles=record["initial_cycles"],
+                    total_cycles=record["total_cycles"],
+                    reduction_percent=record["reduction_percent"],
+                    kernels_moved=record["kernels_moved"],
+                    moved_bb_ids=moved,
+                    rows_used=record["rows_used"],
+                    constraint_met=bool(record["constraint_met"]),
+                    wall_time_seconds=record["wall_time_seconds"],
+                )
+            )
+        return run
+
+    def load_latest(self, label: str | None = None) -> SuiteRun | None:
+        run_id = self.latest_run_id(label)
+        if run_id is None:
+            return None
+        return self.load_run(run_id)
+
+    def scenario_history(
+        self, scenario: str
+    ) -> list[tuple[int, str, int, float]]:
+        """(run_id, created_at, total_cycles, wall_time) per run, oldest
+        first — the longitudinal view of one scenario."""
+        rows = self._conn.execute(
+            "SELECT r.run_id, runs.created_at, r.total_cycles,"
+            " r.wall_time_seconds"
+            " FROM results r JOIN runs USING (run_id)"
+            " WHERE r.scenario = ? ORDER BY r.run_id",
+            (scenario,),
+        )
+        return [
+            (
+                row["run_id"],
+                row["created_at"],
+                row["total_cycles"],
+                row["wall_time_seconds"],
+            )
+            for row in rows
+        ]
+
+    def runs_summary(self) -> list[dict[str, object]]:
+        """One dict per recorded run (id, label, fingerprint, when,
+        scenario count) for ``suite list``-style displays."""
+        rows = self._conn.execute(
+            "SELECT runs.run_id, runs.label, runs.fingerprint,"
+            " runs.created_at, runs.elapsed_seconds,"
+            " COUNT(results.scenario) AS scenarios"
+            " FROM runs LEFT JOIN results USING (run_id)"
+            " GROUP BY runs.run_id ORDER BY runs.run_id"
+        )
+        return [dict(row) for row in rows]

@@ -23,7 +23,7 @@ from ..interp.cache import ProfileCache
 from ..interp.interpreter import Interpreter
 from ..ir.cdfg import CDFG, cdfg_from_source
 from .dsp.dct import DCT_FRAC_BITS, dct_matrix_fixed
-from .dsp.quantize import LUMA_QUANT_TABLE, RECIP_SHIFT, reciprocal_table
+from .dsp.quantize import RECIP_SHIFT, reciprocal_table
 from .dsp.zigzag import zigzag_indices
 
 IMAGE_SIZE = 32  # 32x32 test frame = 16 of the 8x8 blocks

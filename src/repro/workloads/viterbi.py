@@ -1,0 +1,168 @@
+"""Viterbi-style trellis decoder workload.
+
+A hard-decision Viterbi decoder for a rate-1/2 convolutional code with
+``states`` trellis states over ``stages`` received symbols — the
+canonical communications kernel alongside the paper's OFDM transmitter.
+
+The statistics mirror the textbook datapath exactly: the branch-metric
+unit costs two XOR/popcount-style ALU ops per distinct branch label, the
+add-compare-select (ACS) butterfly costs two adds, one compare and one
+select per state per stage (the dominant, embarrassingly parallel
+kernel), path-metric renormalization is one subtract per state, and the
+survivor traceback is a serial read-modify-write walk over the decision
+memory — the same serialized structure as the JPEG Huffman bit-buffer
+block, and just as CGC-hostile.  DFG shapes come from the calibrated
+synthetic generator so the mapping algorithms run on real layered DFGs.
+
+Fully deterministic for a given parameter set.
+"""
+
+from __future__ import annotations
+
+from ..partition.workload import ApplicationWorkload
+from .profiles import workload_from_profiles
+from .synthetic import SyntheticBlockProfile
+
+#: Default trellis: 16 states (constraint length 5) over 48 stages.
+DEFAULT_STATES = 16
+DEFAULT_STAGES = 48
+
+
+def viterbi_workload_name(
+    states: int = DEFAULT_STATES, stages: int = DEFAULT_STAGES
+) -> str:
+    """Canonical name; non-default parameters are encoded so two
+    parameterizations never share a report key."""
+    name = "viterbi-decoder"
+    if states != DEFAULT_STATES or stages != DEFAULT_STAGES:
+        name += f"-s{states}-g{stages}"
+    return name
+
+
+def viterbi_profiles(
+    states: int = DEFAULT_STATES, stages: int = DEFAULT_STAGES
+) -> list[SyntheticBlockProfile]:
+    """Per-block profiles of the whole decoder."""
+    if states < 2 or states & (states - 1):
+        raise ValueError("states must be a power of two >= 2")
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+    profiles: list[SyntheticBlockProfile] = []
+
+    # BB1: symbol intake / soft-bit slicing per received symbol.
+    profiles.append(
+        SyntheticBlockProfile(
+            bb_id=1,
+            exec_freq=stages,
+            alu_ops=6,
+            mul_ops=2,
+            load_ops=2,
+            store_ops=1,
+            width=2.0,
+            live_in_words=2,
+            live_out_words=2,
+            name="vit_slice",
+        )
+    )
+
+    # BB2: branch-metric unit — a rate-1/2 code has 4 distinct branch
+    # labels; each metric is an XOR plus a popcount-style add (2 ALU ops
+    # per label), computed fresh every stage.
+    profiles.append(
+        SyntheticBlockProfile(
+            bb_id=2,
+            exec_freq=stages,
+            alu_ops=8,
+            mul_ops=0,
+            load_ops=2,
+            store_ops=2,
+            width=4.0,
+            live_in_words=2,
+            live_out_words=4,
+            name="vit_branch_metric",
+        )
+    )
+
+    # BB3: the ACS butterfly — per state: two path-metric adds, one
+    # compare, one select, plus a decision-bit pack per butterfly pair.
+    # Wide, regular, multiply-free: the showcase CGC kernel.
+    profiles.append(
+        SyntheticBlockProfile(
+            bb_id=3,
+            exec_freq=stages,
+            alu_ops=4 * states + states // 2,
+            mul_ops=0,
+            load_ops=states // 2,
+            store_ops=states // 4,
+            width=6.0,
+            live_in_words=4 + states // 4,
+            live_out_words=2 + states // 8,
+            name="vit_acs",
+        )
+    )
+
+    # BB4: path-metric renormalization — subtract the running minimum
+    # from every state metric (one sub per state, plus the min tree).
+    profiles.append(
+        SyntheticBlockProfile(
+            bb_id=4,
+            exec_freq=max(1, stages // 4),
+            alu_ops=2 * states - 1,
+            mul_ops=0,
+            load_ops=states // 4,
+            store_ops=states // 8,
+            width=5.0,
+            live_in_words=2 + states // 8,
+            live_out_words=1 + states // 8,
+            name="vit_normalize",
+        )
+    )
+
+    # BB5: survivor traceback — a serial walk back through the decision
+    # memory, one read-modify-write per recovered bit.  Runs once per
+    # frame; the serialized memory chain keeps it on the FPGA.
+    profiles.append(
+        SyntheticBlockProfile(
+            bb_id=5,
+            exec_freq=1,
+            alu_ops=3 * stages,
+            mul_ops=0,
+            load_ops=2 * stages,
+            store_ops=stages,
+            width=1.0,
+            live_in_words=2,
+            live_out_words=1,
+            serial_memory=True,
+            name="vit_traceback",
+        )
+    )
+
+    # Control/glue blocks (trellis init, frame bookkeeping, CRC tail).
+    for index, (freq, alu, mul) in enumerate(
+        [(1, states, 0), (stages, 3, 0), (1, 9, 2)]
+    ):
+        profiles.append(
+            SyntheticBlockProfile(
+                bb_id=10 + index,
+                exec_freq=freq,
+                alu_ops=alu,
+                mul_ops=mul,
+                load_ops=1,
+                store_ops=1,
+                width=1.5,
+                live_in_words=1,
+                live_out_words=1,
+                name=f"vit_ctrl{index}",
+            )
+        )
+    return profiles
+
+
+def viterbi_workload(
+    states: int = DEFAULT_STATES, stages: int = DEFAULT_STAGES
+) -> ApplicationWorkload:
+    """The Viterbi trellis decoder as an engine-ready workload."""
+    return workload_from_profiles(
+        viterbi_workload_name(states, stages),
+        viterbi_profiles(states, stages),
+    )

@@ -124,7 +124,6 @@ class TestKernelExtraction:
         cdfg = cdfg_from_source(HOT_LOOP)
         profile = profile_cdfg(cdfg, "f", 50)
         result = extract_kernels(cdfg, profile)
-        loop_labels = set()
         from repro.ir import LoopForest
 
         forest = LoopForest(cdfg.cfg("f"))

@@ -13,7 +13,6 @@ from repro.frontend import (
     ConditionalExpr,
     DeclStmt,
     DoWhileStmt,
-    ExprStmt,
     ForStmt,
     IfStmt,
     IntLiteral,

@@ -28,6 +28,24 @@ class TestParsers:
         with pytest.raises(Exception):
             parse_workload("synthetic")  # missing block count
 
+    def test_parse_new_workload_kinds(self):
+        assert parse_workload("filterbank").kind == "filterbank"
+        assert parse_workload("viterbi:states=32").label == (
+            "viterbi-decoder-s32-g48"
+        )
+        spec = parse_workload("filterbank:channels=12,taps=24")
+        assert dict(spec.params) == {"channels": 12, "taps": 24}
+
+    def test_parse_workload_rejects_bad_parameters(self):
+        with pytest.raises(Exception, match="bad parameters"):
+            parse_workload("filterbank:bogus=1")
+        with pytest.raises(Exception, match="bad parameters"):
+            parse_workload("viterbi:trellis=9")
+        with pytest.raises(Exception, match="integer"):
+            parse_workload("synthetic:many")
+        with pytest.raises(Exception, match="key=value"):
+            parse_workload("synthetic:8:seed")
+
     def test_parse_algorithm_with_params(self):
         assert parse_algorithm("greedy") == AlgorithmSpec.greedy()
         spec = parse_algorithm("annealing:seed=7,cooling=0.8")
@@ -80,6 +98,42 @@ class TestPartitionCommand:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_unknown_workload_via_main_exits_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["partition", "--workload", "mp3", "--fraction", "0.5"])
+        assert excinfo.value.code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_unknown_algorithm_via_main_exits_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "partition", "--workload", "ofdm",
+                    "--fraction", "0.5", "--algorithm", "tabu",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_bad_workload_parameter_value_is_rejected(self, capsys):
+        # Parameter *names* fail at parse time; bad *values* surface at
+        # build time and must exit 2, not crash.
+        code = main(
+            [
+                "partition", "--workload", "viterbi:states=3",
+                "--fraction", "0.5",
+            ]
+        )
+        assert code == 2
+        assert "power of two" in capsys.readouterr().err
+
+    def test_negative_fraction_is_rejected(self, capsys):
+        code = main(
+            ["partition", "--workload", "ofdm", "--fraction", "-0.5"]
+        )
+        assert code == 2
+        assert "positive" in capsys.readouterr().err
+
 
 class TestExploreCommand:
     def test_explore_writes_csv_and_json(self, capsys, tmp_path):
@@ -106,3 +160,22 @@ class TestExploreCommand:
         assert {row["algorithm"] for row in rows} == {"greedy", "multi_start"}
         payload = json.loads(json_path.read_text())
         assert payload["summary"]["points"] == 2
+
+    def test_bad_export_path_reports_instead_of_crashing(
+        self, capsys, tmp_path
+    ):
+        code = main(
+            [
+                "explore",
+                "--workloads", "viterbi",
+                "--afpga", "1500",
+                "--cgcs", "2",
+                "--fractions", "0.5",
+                "--csv", str(tmp_path / "no" / "such" / "dir" / "grid.csv"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot write exploration CSV" in captured.err
+        # The grid itself still printed before the export failed.
+        assert "viterbi-decoder" in captured.out

@@ -5,7 +5,6 @@ workload — same return values, step counts, block counts, array state,
 global state, block frequencies and raised exceptions.
 """
 
-import numpy as np
 import pytest
 
 from repro.frontend.ast_nodes import ArrayType, Type

@@ -110,13 +110,13 @@ class TestLoops:
     def test_innermost_loop_smallest(self, loopy_cfg):
         forest = LoopForest(loopy_cfg)
         inner_body = next(
-            l for l, d in (
+            lab for lab, d in (
                 (label, forest.loop_depth(label)) for label in loopy_cfg.blocks
             ) if d == 2
         )
         loop = forest.innermost_loop(inner_body)
         assert loop is not None
-        sizes = [l.size for l in forest.loops if l.contains(inner_body)]
+        sizes = [x.size for x in forest.loops if x.contains(inner_body)]
         assert loop.size == min(sizes)
 
     def test_entry_not_in_loop(self, loopy_cfg):

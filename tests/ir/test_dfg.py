@@ -11,7 +11,6 @@ from repro.ir import (
     Opcode,
     Temp,
     VarRef,
-    cdfg_from_source,
 )
 
 

@@ -1,7 +1,5 @@
 """AST -> CFG lowering tests."""
 
-import pytest
-
 from repro.frontend import parse_program, analyze_program
 from repro.ir import (
     ArrayBase,
@@ -44,14 +42,14 @@ class TestStructure:
     def test_while_structure(self):
         cfg = lower("void f(int n) { while (n) { n = n - 1; } }")["f"]
         labels = set(cfg.blocks)
-        assert any("while_header" in l for l in labels)
-        assert any("while_body" in l for l in labels)
-        assert any("while_exit" in l for l in labels)
+        assert any("while_header" in lab for lab in labels)
+        assert any("while_body" in lab for lab in labels)
+        assert any("while_exit" in lab for lab in labels)
 
     def test_for_structure(self):
         cfg = lower("void f() { for (int i = 0; i < 3; i++) { } }")["f"]
         labels = set(cfg.blocks)
-        assert any("for_step" in l for l in labels)
+        assert any("for_step" in lab for lab in labels)
 
     def test_do_while_executes_body_first(self):
         cfg = lower("void f(int n) { do { n = n - 1; } while (n); }")["f"]
@@ -61,7 +59,7 @@ class TestStructure:
 
     def test_break_branches_to_exit(self):
         cfg = lower("void f() { while (1) { break; } }")["f"]
-        body = next(l for l in cfg.blocks if "while_body" in l)
+        body = next(lab for lab in cfg.blocks if "while_body" in lab)
         (target,) = cfg.successors(body)
         assert "while_exit" in target
 
@@ -69,7 +67,7 @@ class TestStructure:
         cfg = lower(
             "void f(int n) { while (n) { continue; } }"
         )["f"]
-        body = next(l for l in cfg.blocks if "while_body" in l)
+        body = next(lab for lab in cfg.blocks if "while_body" in lab)
         (target,) = cfg.successors(body)
         assert "while_header" in target
 

@@ -1,6 +1,5 @@
 """Optimization pass and opcode-semantics tests."""
 
-import math
 
 import pytest
 

@@ -90,7 +90,7 @@ class TestWorkload:
         workload = workload_from_cdfg(cdfg, profile_cdfg(cdfg, "f", 5), "app")
         kernels = workload.kernel_candidates(WeightModel())
         labels = {cdfg.key_for_id(k.bb_id).label for k in kernels}
-        assert all("while" in l for l in labels)
+        assert all("while" in lab for lab in labels)
 
     def test_negative_freq_rejected(self):
         profile = make_profile(1, 1, 3)

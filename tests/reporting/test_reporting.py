@@ -48,7 +48,7 @@ class TestFormatting:
         text = format_grid(["a", "bb"], [["1", "2"], ["333", "4"]])
         lines = text.splitlines()
         assert len(lines) == 4
-        assert all(len(l) == len(lines[0]) for l in lines)
+        assert all(len(line) == len(lines[0]) for line in lines)
 
     def test_partition_table_renders(self):
         from repro.reporting import reproduce_table2

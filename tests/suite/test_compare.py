@@ -1,0 +1,165 @@
+"""Tests for the comparison / regression-gating layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.suite import (
+    RegressionThresholds,
+    SuiteRun,
+    assert_no_regressions,
+    compare_runs,
+)
+from test_store import make_result, make_run
+
+
+def with_cycles(run: SuiteRun, scenario: str, cycles: int) -> SuiteRun:
+    """A copy of ``run`` with one scenario's total_cycles replaced."""
+    results = [
+        dataclasses.replace(r, total_cycles=cycles)
+        if r.scenario == scenario
+        else r
+        for r in run.results
+    ]
+    return dataclasses.replace(run, results=results)
+
+
+class TestCycleGating:
+    def test_identical_runs_have_no_regressions(self):
+        run = make_run()
+        comparison = compare_runs(run, run)
+        assert not comparison.has_regressions
+        assert all(d.status in ("ok",) for d in comparison.deltas)
+
+    def test_doubled_cycles_is_detected(self):
+        baseline = make_run()
+        candidate = with_cycles(
+            baseline, "s1", baseline.results[0].total_cycles * 2
+        )
+        comparison = compare_runs(baseline, candidate)
+        (regression,) = comparison.regressions()
+        assert regression.scenario == "s1"
+        assert regression.status == "regressed"
+        assert regression.cycle_delta_percent == pytest.approx(100.0)
+        with pytest.raises(AssertionError, match="total_cycles"):
+            assert_no_regressions(comparison)
+
+    def test_growth_below_threshold_is_ok(self):
+        baseline = make_run()
+        candidate = with_cycles(
+            baseline, "s1", round(baseline.results[0].total_cycles * 1.1)
+        )
+        comparison = compare_runs(
+            baseline, candidate, RegressionThresholds(cycle_percent=20.0)
+        )
+        assert not comparison.has_regressions
+
+    def test_threshold_is_configurable(self):
+        baseline = make_run()
+        candidate = with_cycles(
+            baseline, "s1", round(baseline.results[0].total_cycles * 1.1)
+        )
+        comparison = compare_runs(
+            baseline, candidate, RegressionThresholds(cycle_percent=5.0)
+        )
+        assert comparison.has_regressions
+
+    def test_improvement_is_labelled(self):
+        baseline = make_run()
+        candidate = with_cycles(baseline, "s1", 1)
+        comparison = compare_runs(baseline, candidate)
+        assert comparison.deltas[0].status == "improved"
+        assert not comparison.has_regressions
+
+
+class TestStructuralGating:
+    def test_missing_scenario_gates(self):
+        baseline = make_run()
+        candidate = dataclasses.replace(
+            baseline, results=baseline.results[1:]
+        )
+        comparison = compare_runs(baseline, candidate)
+        (regression,) = comparison.regressions()
+        assert regression.status == "removed"
+
+    def test_added_scenario_does_not_gate(self):
+        baseline = make_run()
+        candidate = dataclasses.replace(
+            baseline,
+            results=baseline.results + [make_result("s3")],
+        )
+        comparison = compare_runs(baseline, candidate)
+        assert not comparison.has_regressions
+        assert comparison.deltas[-1].status == "added"
+
+    def test_newly_missed_constraint_gates(self):
+        baseline = make_run()
+        results = [
+            dataclasses.replace(r, constraint_met=False)
+            if r.scenario == "s1"
+            else r
+            for r in baseline.results
+        ]
+        candidate = dataclasses.replace(baseline, results=results)
+        comparison = compare_runs(baseline, candidate)
+        assert comparison.has_regressions
+        assert "constraint" in comparison.regressions()[0].reasons[0]
+
+
+class TestWallGating:
+    def test_wall_gating_is_off_by_default(self):
+        baseline = make_run()
+        results = [
+            dataclasses.replace(r, wall_time_seconds=100.0)
+            for r in baseline.results
+        ]
+        candidate = dataclasses.replace(baseline, results=results)
+        assert not compare_runs(baseline, candidate).has_regressions
+
+    def test_wall_gating_when_enabled(self):
+        baseline = make_run()
+        results = [
+            dataclasses.replace(r, wall_time_seconds=100.0)
+            for r in baseline.results
+        ]
+        candidate = dataclasses.replace(baseline, results=results)
+        comparison = compare_runs(
+            baseline,
+            candidate,
+            RegressionThresholds(wall_percent=20.0),
+        )
+        assert comparison.has_regressions
+
+    def test_noise_floor_suppresses_fast_scenarios(self):
+        # 0.001s -> 0.01s is +900% but far below the floor: not gated.
+        baseline = dataclasses.replace(
+            make_run(),
+            results=[make_result("s1", wall_time_seconds=0.001)],
+        )
+        candidate = dataclasses.replace(
+            baseline,
+            results=[make_result("s1", wall_time_seconds=0.01)],
+        )
+        comparison = compare_runs(
+            baseline,
+            candidate,
+            RegressionThresholds(wall_percent=20.0, min_wall_seconds=0.25),
+        )
+        assert not comparison.has_regressions
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            RegressionThresholds(cycle_percent=-1.0)
+        with pytest.raises(ValueError):
+            RegressionThresholds(wall_percent=-5.0)
+
+
+class TestSummary:
+    def test_summary_counts_statuses(self):
+        baseline = make_run()
+        candidate = with_cycles(
+            baseline, "s1", baseline.results[0].total_cycles * 2
+        )
+        summary = compare_runs(baseline, candidate).summary()
+        assert "1 regression(s)" in summary
+        assert "1 ok" in summary

@@ -1,0 +1,48 @@
+"""Tests for the code-version fingerprint."""
+
+from pathlib import Path
+
+from repro.suite import content_fingerprint, repo_fingerprint
+from repro.suite.fingerprint import CONTENT_HASH_LENGTH, package_root
+
+
+class TestContentFingerprint:
+    def test_stable_for_unchanged_tree(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.py").write_text("y = 2\n")
+        assert content_fingerprint(tmp_path) == content_fingerprint(tmp_path)
+
+    def test_changes_when_source_changes(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        before = content_fingerprint(tmp_path)
+        (tmp_path / "a.py").write_text("x = 2\n")
+        assert content_fingerprint(tmp_path) != before
+
+    def test_changes_when_file_moves(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        before = content_fingerprint(tmp_path)
+        (tmp_path / "a.py").rename(tmp_path / "b.py")
+        assert content_fingerprint(tmp_path) != before
+
+    def test_length_and_charset(self):
+        digest = content_fingerprint()
+        assert len(digest) == CONTENT_HASH_LENGTH
+        assert all(c in "0123456789abcdef" for c in digest)
+
+
+class TestRepoFingerprint:
+    def test_contains_content_hash(self):
+        fingerprint = repo_fingerprint()
+        assert content_fingerprint() in fingerprint
+
+    def test_package_root_is_the_repro_package(self):
+        root = package_root()
+        assert isinstance(root, Path)
+        assert (root / "__init__.py").is_file()
+        assert root.name == "repro"
+
+    def test_no_git_falls_back_to_content_hash(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        fingerprint = repo_fingerprint(tmp_path)
+        assert fingerprint == content_fingerprint(tmp_path)

@@ -1,0 +1,62 @@
+"""Tests for the scenario registry."""
+
+import pytest
+
+from repro.suite import (
+    SCENARIOS,
+    Scenario,
+    default_suite,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    select_scenarios,
+)
+from repro.explore import WorkloadSpec
+
+
+class TestRegistry:
+    def test_default_suite_covers_the_required_families(self):
+        names = scenario_names()
+        workloads = {s.workload.kind for s in default_suite()}
+        assert {"ofdm", "jpeg", "synthetic", "filterbank", "viterbi"} <= (
+            workloads
+        )
+        assert len(names) >= 10
+        assert len(set(names)) == len(names)
+
+    def test_axes_are_represented(self):
+        tags = {tag for s in default_suite() for tag in s.tags}
+        assert {"skew", "comm", "size", "new-workload"} <= tags
+
+    def test_get_scenario_unknown_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="ofdm-greedy"):
+            get_scenario("nope")
+
+    def test_select_by_names_preserves_order(self):
+        chosen = select_scenarios(["viterbi-greedy", "ofdm-greedy"])
+        assert [s.name for s in chosen] == ["viterbi-greedy", "ofdm-greedy"]
+
+    def test_select_by_tag(self):
+        chosen = select_scenarios(tag="new-workload")
+        assert chosen
+        assert all("new-workload" in s.tags for s in chosen)
+
+    def test_register_rejects_duplicates(self):
+        existing = next(iter(SCENARIOS.values()))
+        with pytest.raises(ValueError, match="duplicate"):
+            register_scenario(existing)
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(name="", workload=WorkloadSpec.ofdm())
+        with pytest.raises(ValueError):
+            Scenario(
+                name="x",
+                workload=WorkloadSpec.ofdm(),
+                constraint_fraction=0.0,
+            )
+
+    def test_scenarios_are_hashable_and_describable(self):
+        for scenario in default_suite():
+            hash(scenario)
+            assert scenario.workload.label in scenario.describe()

@@ -1,0 +1,142 @@
+"""Tests for the SQLite result store and the JSON run format."""
+
+import dataclasses
+
+import pytest
+
+from repro.suite import (
+    ResultStore,
+    ScenarioResult,
+    SuiteRun,
+    read_run_json,
+)
+
+
+def make_result(scenario="s1", cycles=1000, **overrides) -> ScenarioResult:
+    base = dict(
+        scenario=scenario,
+        workload="w",
+        platform="p",
+        algorithm="greedy",
+        constraint_fraction=0.5,
+        timing_constraint=500,
+        initial_cycles=2000,
+        total_cycles=cycles,
+        reduction_percent=50.0,
+        kernels_moved=2,
+        moved_bb_ids=(3, 7),
+        rows_used=2,
+        constraint_met=True,
+        wall_time_seconds=0.125,
+    )
+    base.update(overrides)
+    return ScenarioResult(**base)
+
+
+def make_run(label="", results=None) -> SuiteRun:
+    return SuiteRun(
+        fingerprint="deadbeef",
+        label=label,
+        results=results or [make_result("s1"), make_result("s2", 4321)],
+    )
+
+
+class TestResultStore:
+    def test_record_and_load_round_trip(self):
+        with ResultStore(":memory:") as store:
+            run = make_run(label="nightly")
+            run_id = store.record_run(run)
+            assert run.run_id == run_id
+            assert run.created_at  # stamped by the store
+            loaded = store.load_run(run_id)
+        assert loaded.label == "nightly"
+        assert loaded.fingerprint == "deadbeef"
+        assert loaded.results == run.results
+
+    def test_persists_across_connections(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        with ResultStore(path) as store:
+            store.record_run(make_run(label="a"))
+        with ResultStore(path) as store:
+            store.record_run(make_run(label="b"))
+            assert store.run_ids() == [1, 2]
+            assert store.latest_run_id(label="a") == 1
+            latest = store.load_latest()
+        assert latest is not None and latest.label == "b"
+
+    def test_load_missing_run_raises(self):
+        with ResultStore(":memory:") as store:
+            with pytest.raises(KeyError):
+                store.load_run(99)
+            assert store.load_latest() is None
+
+    def test_scenario_history_is_longitudinal(self):
+        with ResultStore(":memory:") as store:
+            store.record_run(make_run(results=[make_result("s1", 1000)]))
+            store.record_run(make_run(results=[make_result("s1", 900)]))
+            history = store.scenario_history("s1")
+        assert [cycles for (_, _, cycles, _) in history] == [1000, 900]
+
+    def test_runs_summary_counts_scenarios(self):
+        with ResultStore(":memory:") as store:
+            store.record_run(make_run(label="x"))
+            (summary,) = store.runs_summary()
+        assert summary["label"] == "x"
+        assert summary["scenarios"] == 2
+
+    def test_failed_record_leaves_no_orphan_run(self):
+        # Duplicate scenario names violate the (run_id, scenario) primary
+        # key mid-insert; the whole run must roll back atomically.
+        import sqlite3
+
+        with ResultStore(":memory:") as store:
+            bad = make_run(results=[make_result("s1"), make_result("s1")])
+            with pytest.raises(sqlite3.IntegrityError):
+                store.record_run(bad)
+            assert bad.run_id is None  # nothing was assigned
+            store.record_run(make_run(label="good"))
+            assert len(store.run_ids()) == 1
+            (summary,) = store.runs_summary()
+        assert summary["label"] == "good"
+        assert summary["scenarios"] == 2
+
+    def test_empty_moved_bb_ids_round_trip(self):
+        with ResultStore(":memory:") as store:
+            run = make_run(
+                results=[make_result(moved_bb_ids=(), kernels_moved=0)]
+            )
+            run_id = store.record_run(run)
+            loaded = store.load_run(run_id)
+        assert loaded.results[0].moved_bb_ids == ()
+
+
+class TestJsonFormat:
+    def test_write_and_read_round_trip(self, tmp_path):
+        run = make_run(label="baseline")
+        path = run.write_json(tmp_path / "run.json")
+        loaded = read_run_json(path)
+        assert loaded.fingerprint == run.fingerprint
+        assert loaded.label == "baseline"
+        assert loaded.results == run.results
+
+    def test_result_dict_round_trip(self):
+        result = make_result()
+        assert ScenarioResult.from_dict(result.to_dict()) == result
+
+    def test_result_for(self):
+        run = make_run()
+        assert run.result_for("s2") is run.results[1]
+        assert run.result_for("nope") is None
+
+    def test_json_rejects_malformed_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"fingerprint": "x"}')
+        with pytest.raises(KeyError):
+            read_run_json(path)
+
+
+class TestDataclassHygiene:
+    def test_results_are_frozen(self):
+        result = make_result()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.total_cycles = 1  # type: ignore[misc]

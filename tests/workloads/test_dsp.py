@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.workloads.dsp import (
-    LUMA_QUANT_TABLE,
     bit_reverse_indices,
     code_length,
     dct2d_fixed,

@@ -1,0 +1,114 @@
+"""Tests for the filter-bank and Viterbi workloads and their specs."""
+
+import pytest
+
+from repro.explore import PlatformSpec, WorkloadSpec
+from repro.search import AlgorithmSpec, make_partitioner
+from repro.workloads import (
+    filterbank_profiles,
+    filterbank_workload,
+    filterbank_workload_name,
+    viterbi_profiles,
+    viterbi_workload,
+    viterbi_workload_name,
+)
+
+
+class TestFilterbank:
+    def test_block_statistics_derived_from_taps(self):
+        profiles = {p.name: p for p in filterbank_profiles(taps=16)}
+        fir = profiles["fb_fir_ch0"]
+        # A 16-tap direct-form FIR: exactly taps multiplies and
+        # taps-1 accumulator adds (+4 index updates).
+        assert fir.mul_ops == 16
+        assert fir.alu_ops == 16 - 1 + 4
+        biquad = profiles["fb_biquad0"]
+        # Direct Form II: 5 muls / 4 adds per section, serial recurrence.
+        assert biquad.mul_ops == 5 * 3
+        assert biquad.alu_ops == 4 * 3
+        assert biquad.width == 1.0
+
+    def test_workload_is_deterministic_and_kernel_rich(self):
+        first = filterbank_workload()
+        second = filterbank_workload()
+        assert first.name == "filterbank-pipeline"
+        assert first.block_count == second.block_count >= 12
+        assert [b.bb_id for b in first.blocks] == [
+            b.bb_id for b in second.blocks
+        ]
+
+    def test_partitions_with_positive_reduction(self):
+        workload = filterbank_workload()
+        platform = PlatformSpec().build()
+        partitioner = make_partitioner(
+            AlgorithmSpec.greedy(), workload, platform
+        )
+        result = partitioner.run(
+            max(1, round(partitioner.initial_cycles() * 0.55))
+        )
+        assert result.reduction_percent > 0
+        assert result.kernels_moved >= 2
+
+    def test_name_encodes_non_default_params(self):
+        assert filterbank_workload_name() == "filterbank-pipeline"
+        assert "c12" in filterbank_workload_name(channels=12)
+        assert filterbank_workload(channels=12).name != (
+            filterbank_workload().name
+        )
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            filterbank_profiles(channels=0)
+        with pytest.raises(ValueError):
+            filterbank_profiles(taps=1)
+
+
+class TestViterbi:
+    def test_acs_statistics_derived_from_states(self):
+        profiles = {p.name: p for p in viterbi_profiles(states=16)}
+        acs = profiles["vit_acs"]
+        # Per state: two adds, one compare, one select (+ decision pack).
+        assert acs.alu_ops == 4 * 16 + 8
+        assert acs.mul_ops == 0
+        traceback = profiles["vit_traceback"]
+        assert traceback.serial_memory
+        assert traceback.width == 1.0
+
+    def test_partitions_and_moves_the_acs_kernel(self):
+        workload = viterbi_workload()
+        platform = PlatformSpec().build()
+        partitioner = make_partitioner(
+            AlgorithmSpec.greedy(), workload, platform
+        )
+        result = partitioner.run(
+            max(1, round(partitioner.initial_cycles() * 0.5))
+        )
+        assert 3 in result.moved_bb_ids  # vit_acs is BB 3
+        assert result.reduction_percent > 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            viterbi_profiles(states=12)  # not a power of two
+        with pytest.raises(ValueError):
+            viterbi_profiles(stages=0)
+
+    def test_name_encodes_non_default_params(self):
+        assert viterbi_workload_name() == "viterbi-decoder"
+        assert "s32" in viterbi_workload_name(states=32)
+
+
+class TestWorkloadSpecs:
+    def test_spec_labels_match_built_names(self):
+        for spec in (
+            WorkloadSpec.filterbank(),
+            WorkloadSpec.filterbank(channels=12, taps=24),
+            WorkloadSpec.viterbi(),
+            WorkloadSpec.viterbi(states=32, stages=96),
+        ):
+            assert spec.build().name == spec.label
+
+    def test_specs_are_hashable_and_cacheable(self):
+        assert WorkloadSpec.viterbi() == WorkloadSpec.viterbi()
+        assert hash(WorkloadSpec.filterbank()) == hash(
+            WorkloadSpec.filterbank()
+        )

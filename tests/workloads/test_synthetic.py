@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import WeightModel
-from repro.ir import DataFlowGraph, OpClass
 from repro.workloads import (
     SyntheticBlockProfile,
     generate_block,
@@ -97,7 +96,7 @@ class TestGeneration:
             load_ops=4, store_ops=2, serial_memory=True,
         )
         block = generate_block(profile)
-        from repro.ir import ArrayBase, Opcode
+        from repro.ir import Opcode
 
         for ins in block.body:
             if ins.opcode in (Opcode.LOAD, Opcode.STORE):

@@ -43,6 +43,9 @@ def test_suite_runs_green_and_matches_baseline(capsys):
         assert result.total_cycles <= result.initial_cycles
         assert result.reduction_percent >= 0.0
         assert result.wall_time_seconds > 0.0
+        # Evaluation throughput is recorded per scenario so it can gate
+        # longitudinally like cycles do.
+        assert result.configs_per_second > 0.0
 
     # The two new workloads are on the board.
     workloads = {result.workload for result in run.results}
@@ -118,6 +121,37 @@ def test_injected_regression_is_detected():
     assert comparison.has_regressions
     (regression,) = comparison.regressions()
     assert regression.cycle_delta_percent == 100.0
+
+
+def test_injected_throughput_regression_is_detected():
+    """A 100x configs_per_second collapse must trip the (opt-in)
+    throughput gate — evaluation-speed regressions gate like cycle
+    regressions."""
+    baseline = read_run_json(BASELINE_PATH)
+    payload = baseline.to_json_dict()
+    gated = [
+        entry
+        for entry in payload["results"]
+        if entry["configs_per_second"] >= 1000.0
+    ]
+    assert gated, "baseline predates throughput recording"
+    doctored_payload = dict(payload)
+    doctored_payload["results"] = [
+        {**entry, "configs_per_second": entry["configs_per_second"] / 100}
+        for entry in payload["results"]
+    ]
+    from repro.suite import SuiteRun
+
+    doctored = SuiteRun.from_json_dict(doctored_payload)
+    comparison = compare_runs(
+        baseline, doctored, RegressionThresholds(throughput_percent=50.0)
+    )
+    assert comparison.has_regressions
+    assert any(
+        "configs_per_second" in reason
+        for delta in comparison.regressions()
+        for reason in delta.reasons
+    )
 
 
 def test_bench_artifact_is_readable():

@@ -88,7 +88,7 @@ def compare(workload, platform, specs, *, move_budget=None, fraction=0.5):
                 str(result.final_cycles),
                 f"{result.reduction_percent:.1f}",
                 str(result.kernels_moved),
-                str(len(partitioner.visited)),
+                str(partitioner.visited_count),
                 "yes" if result.constraint_met else "no",
             ]
         )

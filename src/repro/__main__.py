@@ -194,6 +194,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="move budget (EngineConfig.max_kernels_moved)",
     )
     part.add_argument(
+        "--substrate", choices=("packed", "object"), default="packed",
+        help="pricing substrate: packed cost tables (fast, default) or "
+        "the object-model differential reference",
+    )
+    part.add_argument(
         "--pareto", action="store_true",
         help="also print the Pareto front of visited configurations",
     )
@@ -213,6 +218,10 @@ def _build_parser() -> argparse.ArgumentParser:
     expl.add_argument(
         "--algorithms", type=parse_algorithm, nargs="+",
         default=[AlgorithmSpec.greedy()],
+    )
+    expl.add_argument(
+        "--substrate", choices=("packed", "object"), default="packed",
+        help="pricing substrate for every grid cell (default packed)",
     )
     expl.add_argument("--workers", type=int, default=1)
     expl.add_argument("--csv", help="write the grid as CSV to this path")
@@ -288,6 +297,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="wall gating noise floor in seconds (default 0.25)",
     )
     scmp.add_argument(
+        "--throughput-threshold", type=float, default=None,
+        help="also fail on configs_per_second drops beyond this percent "
+        "(off by default: throughput is machine-dependent)",
+    )
+    scmp.add_argument(
+        "--min-throughput", type=float, default=1000.0,
+        help="throughput gating noise floor in configs/second "
+        "(default 1000)",
+    )
+    scmp.add_argument(
         "--save-candidate",
         help="also write the candidate run as baseline-format JSON "
         "(baseline refresh)",
@@ -336,7 +355,9 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         clock_ratio=args.clock_ratio,
         reconfig_cycles=args.reconfig_cycles,
     )
-    config = EngineConfig(max_kernels_moved=args.max_kernels)
+    config = EngineConfig(
+        max_kernels_moved=args.max_kernels, substrate=args.substrate
+    )
     partitioner = make_partitioner(
         args.algorithm, workload, platform, config=config
     )
@@ -371,7 +392,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         algorithms=tuple(args.algorithms),
     )
     try:
-        report = explore(space, max_workers=args.workers)
+        report = explore(
+            space,
+            max_workers=args.workers,
+            engine_config=EngineConfig(substrate=args.substrate),
+        )
     except ValueError as error:
         print(f"error: cannot explore the grid: {error}", file=sys.stderr)
         return 2
@@ -526,6 +551,8 @@ def _cmd_suite_compare(args: argparse.Namespace) -> int:
             cycle_percent=args.cycle_threshold,
             wall_percent=args.wall_threshold,
             min_wall_seconds=args.min_wall,
+            throughput_percent=args.throughput_threshold,
+            min_configs_per_second=args.min_throughput,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -97,6 +97,7 @@ class ExplorationReport:
     elapsed_seconds: float = 0.0
     #: Aggregated engine work counters across every worker.
     block_cost_evaluations: int = 0
+    contribution_lookups: int = 0
     blocks_mapped: int = 0
 
     @property
@@ -204,6 +205,7 @@ class ExplorationReport:
             f"explored {self.size} points over {self.tasks_run} tasks "
             f"({self.workers_used} workers) in {self.elapsed_seconds:.2f}s; "
             f"{met}/{self.size} constraints met; "
-            f"{self.block_cost_evaluations} block-cost evaluations, "
+            f"{self.block_cost_evaluations} block-cost evaluations "
+            f"({self.contribution_lookups} lookups), "
             f"{self.blocks_mapped} blocks mapped"
         )

@@ -1,12 +1,17 @@
 """Parallel grid-sweep runner.
 
-Work is split at (workload, platform, algorithm) granularity: one task
-runs the whole constraint sweep for a triple on a single partitioner, so
-the per-block cost cache and any constraint-independent search state
-(the greedy move trajectory, a cached annealing walk) are shared across
-every constraint of that triple.  Within a worker process,
-built workloads are additionally cached by spec, so every platform the
-worker prices against the same workload reuses its DFGs.
+Work is split at (workload, platform, algorithm) granularity so every
+grid axis fans out across worker processes, but pricing is shared at
+(workload, platform) granularity: on the packed substrate a single
+:class:`~repro.partition.packed.PackedCostTable` is derived per pair,
+cached per worker process (per call when serial), and injected into
+every partitioner the worker builds for that pair — so the algorithm
+and constraint axes never remap a block a sibling cell already priced.
+Constraint-independent search state (the greedy move trajectory, a
+cached annealing walk) is shared across the constraints of each
+algorithm as before.  Within a worker process, built workloads are
+additionally cached by spec, so every platform the worker prices
+against the same workload reuses its DFGs.
 
 Tasks fan out over ``concurrent.futures.ProcessPoolExecutor``; with
 ``max_workers=1`` (or a single task) everything runs in-process, which is
@@ -22,15 +27,58 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..interp.cache import ProfileCache
+from ..partition.costs import CostModel, CostStats
 from ..partition.engine import EngineConfig
+from ..partition.packed import PackedCostTable
 from ..partition.workload import ApplicationWorkload
 from ..search import make_partitioner
 from .results import ExplorationReport, ExplorationResult
-from .space import DesignSpace, ExplorationTask, WorkloadSpec
+from .space import DesignSpace, ExplorationTask, PlatformSpec, WorkloadSpec
 
 #: Per-process cache of built workloads (DFG generation is the expensive
 #: part of a spec); worker processes each grow their own copy.
 _WORKLOAD_CACHE: dict[WorkloadSpec, ApplicationWorkload] = {}
+
+#: Per-process cache of packed cost tables, keyed by the (workload,
+#: platform) pair plus the one pricing flag that changes the numbers.
+#: One pricing pass per pair serves every algorithm and constraint of
+#: every grid cell the worker executes — the tables themselves are tiny
+#: tuples of ints (they pickle in microseconds), so callers can equally
+#: ship one across processes via ``packed_table``.
+_TableKey = tuple[WorkloadSpec, PlatformSpec, bool]
+_TABLE_CACHE: dict[_TableKey, PackedCostTable] = {}
+
+
+def _cached_table(
+    task: ExplorationTask,
+    workload: ApplicationWorkload,
+    platform,
+    config: EngineConfig,
+    stats: CostStats,
+    cache: dict[_TableKey, PackedCostTable] | None = None,
+) -> PackedCostTable:
+    """Derive (or reuse) the pair's packed table; pricing work on a
+    cache miss is charged to ``stats``."""
+    if cache is None:
+        cache = _TABLE_CACHE
+    key = (
+        task.workload,
+        task.platform,
+        config.charge_single_partition_reconfig,
+    )
+    table = cache.get(key)
+    if table is None:
+        model = CostModel(
+            workload,
+            platform,
+            charge_single_partition_reconfig=(
+                config.charge_single_partition_reconfig
+            ),
+            stats=stats,
+        )
+        table = PackedCostTable.from_model(model)
+        cache[key] = table
+    return table
 
 #: Per-process profile caches keyed by on-disk directory (None = memory
 #: only).  Measured workload specs profile real programs; the
@@ -70,40 +118,70 @@ class _TaskOutcome:
 
     results: list[ExplorationResult] = field(default_factory=list)
     block_cost_evaluations: int = 0
+    contribution_lookups: int = 0
     blocks_mapped: int = 0
+
+    def absorb(self, stats: CostStats) -> None:
+        self.block_cost_evaluations += stats.block_cost_evaluations
+        self.contribution_lookups += stats.contribution_lookups
+        self.blocks_mapped += stats.blocks_mapped
 
 
 def _run_task(
     task: ExplorationTask,
     workload_cache: dict[WorkloadSpec, ApplicationWorkload] | None = None,
+    table_cache: dict[_TableKey, PackedCostTable] | None = None,
 ) -> _TaskOutcome:
-    """Execute one (workload, platform, algorithm) constraint sweep."""
+    """Execute one (workload, platform) pair's (algorithm × constraint)
+    sweep.
+
+    On the packed substrate the pair is priced once — the shared packed
+    table is derived (or fetched from the per-process cache) up front
+    and injected into every algorithm's partitioner, so the algorithm
+    and constraint axes add zero block-mapping work.  The object
+    substrate keeps one model per algorithm (the reference behaviour).
+    """
     workload = _cached_workload(
         task.workload, workload_cache, task.profile_cache_dir
     )
     platform = task.platform.build()
     config = task.engine_config or EngineConfig()
-    partitioner = make_partitioner(
-        task.algorithm, workload, platform, config=config
-    )
-    initial = partitioner.initial_cycles()
     outcome = _TaskOutcome()
-    for fraction in task.constraint_fractions:
-        constraint = max(1, round(initial * fraction))
-        result = partitioner.run(constraint)
-        outcome.results.append(
-            ExplorationResult.from_partition_result(
-                result,
-                afpga=task.platform.afpga,
-                cgc_count=task.platform.cgc_count,
-                clock_ratio=task.platform.clock_ratio,
-                reconfig_cycles=task.platform.reconfig_cycles,
-                constraint_fraction=fraction,
-                algorithm=task.algorithm.label,
-            )
+    table = None
+    # Derive the shared table only when some algorithm will actually run
+    # on it: greedy with incremental=False delegates to the full-rescan
+    # engine regardless of substrate, so an all-greedy reference task
+    # must not pay (or count) a dead pricing pass.
+    needs_table = config.substrate == "packed" and (
+        config.incremental
+        or any(algorithm.name != "greedy" for algorithm in task.algorithms)
+    )
+    if needs_table:
+        pricing_stats = CostStats()
+        table = _cached_table(
+            task, workload, platform, config, pricing_stats, table_cache
         )
-    outcome.block_cost_evaluations = partitioner.stats.block_cost_evaluations
-    outcome.blocks_mapped = partitioner.stats.blocks_mapped
+        outcome.absorb(pricing_stats)
+    for algorithm in task.algorithms:
+        partitioner = make_partitioner(
+            algorithm, workload, platform, config=config, packed_table=table
+        )
+        initial = partitioner.initial_cycles()
+        for fraction in task.constraint_fractions:
+            constraint = max(1, round(initial * fraction))
+            result = partitioner.run(constraint)
+            outcome.results.append(
+                ExplorationResult.from_partition_result(
+                    result,
+                    afpga=task.platform.afpga,
+                    cgc_count=task.platform.cgc_count,
+                    clock_ratio=task.platform.clock_ratio,
+                    reconfig_cycles=task.platform.reconfig_cycles,
+                    constraint_fraction=fraction,
+                    algorithm=algorithm.label,
+                )
+            )
+        outcome.absorb(partitioner.stats)
     return outcome
 
 
@@ -132,10 +210,11 @@ def explore(
     workers = max(1, workers)
 
     def run_serially() -> list[_TaskOutcome]:
-        # Cache scoped to this call: the coordinating process is long
+        # Caches scoped to this call: the coordinating process is long
         # lived and must not accumulate every workload ever explored.
-        cache: dict[WorkloadSpec, ApplicationWorkload] = {}
-        return [_run_task(task, cache) for task in tasks]
+        workloads: dict[WorkloadSpec, ApplicationWorkload] = {}
+        tables: dict[_TableKey, PackedCostTable] = {}
+        return [_run_task(task, workloads, tables) for task in tasks]
 
     outcomes: list[_TaskOutcome]
     if workers == 1 or len(tasks) == 1:
@@ -181,5 +260,6 @@ def explore(
     for outcome in outcomes:
         report.results.extend(outcome.results)
         report.block_cost_evaluations += outcome.block_cost_evaluations
+        report.contribution_lookups += outcome.contribution_lookups
         report.blocks_mapped += outcome.blocks_mapped
     return report

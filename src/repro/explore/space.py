@@ -211,10 +211,18 @@ class PlatformSpec:
 
 @dataclass(frozen=True)
 class ExplorationTask:
-    """One worker unit: a full constraint sweep of one (workload,
-    platform, algorithm) triple, so the partitioner's cost cache and any
-    constraint-independent search state are shared across every
-    constraint of the triple.
+    """One worker unit: the (algorithm × constraint) sweep its
+    ``algorithms`` tuple names for one (workload, platform) pair.
+
+    The grid emits one task per (workload, platform, algorithm) triple
+    (singleton ``algorithms``) so the algorithm axis still fans out
+    across worker processes; the runner's per-process packed-table
+    cache keys on the (workload, platform) pair, so however the triples
+    are scheduled, each worker prices a pair at most **once** — no grid
+    cell remaps a block another cell of the same pair already priced.
+    Constraint-independent search state (the greedy move trajectory, a
+    cached annealing walk) is additionally shared across the
+    constraints of each algorithm.
 
     ``profile_cache_dir`` points measured workload specs at a shared
     on-disk profile cache so parallel workers (and later runs) profile
@@ -226,7 +234,7 @@ class ExplorationTask:
     constraint_fractions: tuple[float, ...]
     engine_config: EngineConfig | None = None
     profile_cache_dir: str | None = None
-    algorithm: AlgorithmSpec = AlgorithmSpec.greedy()
+    algorithms: tuple[AlgorithmSpec, ...] = (AlgorithmSpec.greedy(),)
 
 
 @dataclass(frozen=True)
@@ -277,7 +285,7 @@ class DesignSpace:
                 constraint_fractions=self.constraint_fractions,
                 engine_config=engine_config,
                 profile_cache_dir=profile_cache_dir,
-                algorithm=algorithm,
+                algorithms=(algorithm,),
             )
             for workload, platform, algorithm in itertools.product(
                 self.workloads, self.platforms, self.algorithms

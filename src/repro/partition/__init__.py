@@ -18,6 +18,13 @@ from .engine import (
     PartitioningEngine,
     partition_application,
 )
+from .packed import (
+    SUBSTRATE_NAMES,
+    PackedCostState,
+    PackedCostTable,
+    PackedGreedyTrajectory,
+    PackedVisitLog,
+)
 from .result import PartitionResult, PartitionStep
 from .workload import (
     ApplicationWorkload,
@@ -36,9 +43,14 @@ __all__ = [
     "CostStats",
     "EngineConfig",
     "EngineStats",
+    "PackedCostState",
+    "PackedCostTable",
+    "PackedGreedyTrajectory",
+    "PackedVisitLog",
     "PartitionResult",
     "PartitionStep",
     "PartitioningEngine",
+    "SUBSTRATE_NAMES",
     "kernel_communication",
     "partition_application",
     "total_communication_cycles",

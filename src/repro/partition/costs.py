@@ -37,16 +37,49 @@ from .comm import CommunicationCost, kernel_communication
 from .workload import ApplicationWorkload, BlockWorkload
 
 
+def ceil_ticks_to_cycles(ticks: int, ratio: int) -> int:
+    """CGC ticks -> FPGA cycles, rounded up once at the boundary."""
+    return -(-ticks // ratio)
+
+
+def split_ticks_single_rounding(
+    ratio: int, fpga_t: int, cgc_t: int, comm_t: int
+) -> tuple[int, int, int, int]:
+    """(fpga, cgc, comm, total) FPGA cycles, rounded *once*.
+
+    The total is the ceiling of the summed ticks; the three component
+    cycle counts are apportioned so they always sum exactly to it
+    (largest-remainder rounding), instead of ceiling each term
+    independently and drifting from the total.  THE single
+    implementation — :class:`CostModel` and
+    :class:`~repro.partition.packed.PackedCostTable` both delegate
+    here, so the substrates cannot drift on the rounding that every
+    reported cycle split depends on.
+    """
+    total_cycles = ceil_ticks_to_cycles(fpga_t + cgc_t + comm_t, ratio)
+    parts = [fpga_t // ratio, cgc_t // ratio, comm_t // ratio]
+    remainders = [fpga_t % ratio, cgc_t % ratio, comm_t % ratio]
+    leftover = total_cycles - sum(parts)
+    for index in sorted(range(3), key=lambda i: (-remainders[i], i))[:leftover]:
+        parts[index] += 1
+    return parts[0], parts[1], parts[2], total_cycles
+
+
 @dataclass
 class CostStats:
     """Work counters shared by everything pricing blocks on a model.
 
-    Any object with these two attributes works as a sink (the engine
+    Any object with these three attributes works as a sink (the engine
     passes its :class:`~repro.partition.engine.EngineStats`).
     """
 
-    #: Per-block cost lookups performed for Eq. 2-4 aggregation.
+    #: Per-block contributions actually *computed* (contribution-cache
+    #: misses) — the real Eq. 2-4 pricing work.
     block_cost_evaluations: int = 0
+    #: Per-block contribution lookups, hits included (every
+    #: :meth:`CostModel.contribution` call) — how often the aggregation
+    #: layer consulted the model.
+    contribution_lookups: int = 0
     #: Blocks actually mapped onto both fabrics (cache misses).
     blocks_mapped: int = 0
 
@@ -126,11 +159,18 @@ class CostModel:
         return costs
 
     def contribution(self, block: BlockWorkload) -> BlockContribution:
-        """The block's Eq. 2 terms in ticks (counts one cost evaluation)."""
-        self.stats.block_cost_evaluations += 1
+        """The block's Eq. 2 terms in ticks.
+
+        Every call counts as a ``contribution_lookups``; only cache
+        misses — contributions actually computed — count as
+        ``block_cost_evaluations``, so cache hits no longer inflate the
+        evaluation counter.
+        """
+        self.stats.contribution_lookups += 1
         cached = self._contribs.get(block.bb_id)
         if cached is not None:
             return cached
+        self.stats.block_cost_evaluations += 1
         ratio = self.platform.clock_ratio
         costs = self.block_costs(block)
         contribution = BlockContribution(
@@ -174,27 +214,16 @@ class CostModel:
     # Tick -> cycle conversion
     # ------------------------------------------------------------------
     def ticks_to_cycles(self, ticks: int) -> int:
-        ratio = self.platform.clock_ratio
-        return -(-ticks // ratio)  # ceil
+        return ceil_ticks_to_cycles(ticks, self.platform.clock_ratio)
 
     def split_ticks(
         self, fpga_t: int, cgc_t: int, comm_t: int
     ) -> tuple[int, int, int, int]:
-        """(fpga, cgc, comm, total) FPGA cycles, rounded *once*.
-
-        The total is the ceiling of the summed ticks; the three component
-        cycle counts are apportioned so they always sum exactly to it
-        (largest-remainder rounding), instead of ceiling each term
-        independently and drifting from the total.
-        """
-        ratio = self.platform.clock_ratio
-        total_cycles = self.ticks_to_cycles(fpga_t + cgc_t + comm_t)
-        parts = [fpga_t // ratio, cgc_t // ratio, comm_t // ratio]
-        remainders = [fpga_t % ratio, cgc_t % ratio, comm_t % ratio]
-        leftover = total_cycles - sum(parts)
-        for index in sorted(range(3), key=lambda i: (-remainders[i], i))[:leftover]:
-            parts[index] += 1
-        return parts[0], parts[1], parts[2], total_cycles
+        """(fpga, cgc, comm, total) FPGA cycles, rounded *once*
+        (:func:`split_ticks_single_rounding`)."""
+        return split_ticks_single_rounding(
+            self.platform.clock_ratio, fpga_t, cgc_t, comm_t
+        )
 
 
 class CostState:
@@ -211,6 +240,10 @@ class CostState:
         self.cgc_ticks = 0
         self.comm_ticks = 0
         self.moved: set[int] = set()
+        # Multiset of the moved kernels' row footprints plus the running
+        # max, so cgc_rows_used() is O(1) instead of O(moved) per call.
+        self._row_counts: dict[int, int] = {}
+        self._rows_used = 0
 
     # ------------------------------------------------------------------
     # Transitions
@@ -237,6 +270,10 @@ class CostState:
         self.cgc_ticks += contribution.cgc_ticks
         self.comm_ticks += contribution.comm_ticks
         self.moved.add(bb_id)
+        rows = contribution.cgc_rows
+        self._row_counts[rows] = self._row_counts.get(rows, 0) + 1
+        if rows > self._rows_used:
+            self._rows_used = rows
         return contribution.move_delta
 
     def revert_move(self, bb_id: int) -> int:
@@ -249,6 +286,14 @@ class CostState:
         self.cgc_ticks -= contribution.cgc_ticks
         self.comm_ticks -= contribution.comm_ticks
         self.moved.discard(bb_id)
+        rows = contribution.cgc_rows
+        remaining = self._row_counts[rows] - 1
+        if remaining:
+            self._row_counts[rows] = remaining
+        else:
+            del self._row_counts[rows]
+            if rows == self._rows_used:
+                self._rows_used = max(self._row_counts, default=0)
         return -contribution.move_delta
 
     # ------------------------------------------------------------------
@@ -273,12 +318,7 @@ class CostState:
         """Peak CGC rows any moved kernel's schedule occupies.
 
         Kernels run sequentially (the program has one thread of control),
-        so the configuration's row footprint is the max, not the sum.
+        so the configuration's row footprint is the max, not the sum —
+        maintained incrementally by apply/revert, so this is O(1).
         """
-        return max(
-            (
-                self.model.contribution_by_id(bb_id).cgc_rows
-                for bb_id in self.moved
-            ),
-            default=0,
-        )
+        return self._rows_used

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from ..analysis.weights import WeightModel
 from ..platform.soc import HybridPlatform
 from .costs import CostModel
+from .packed import SUBSTRATE_NAMES
 from .result import PartitionResult
 from .trajectory import GreedyTrajectory, commit_step
 from .workload import ApplicationWorkload
@@ -70,16 +71,33 @@ class EngineConfig:
     #: trajectory.  ``False`` falls back to the seed engine's full rescan
     #: of every block after every move (differential-testing reference).
     incremental: bool = True
+    #: Pricing substrate the :mod:`repro.search` algorithms run on:
+    #: ``"packed"`` evaluates configurations on a
+    #: :class:`~repro.partition.packed.PackedCostTable` (flat columns,
+    #: bitmask subsets — the fast path), ``"object"`` on the
+    #: :class:`CostModel`/:class:`CostState` object substrate (the
+    #: differential reference).  The engine itself always runs on the
+    #: object substrate; this flag steers the search layer.
+    substrate: str = "packed"
+
+    def __post_init__(self) -> None:
+        if self.substrate not in SUBSTRATE_NAMES:
+            raise ValueError(
+                f"unknown substrate {self.substrate!r}; expected one of "
+                f"{SUBSTRATE_NAMES}"
+            )
 
 
 @dataclass
 class EngineStats:
     """Work counters for one engine instance (all runs accumulated)."""
 
-    #: Per-block cost lookups performed for Eq. 2-4 aggregation.  The
-    #: full-rescan mode pays O(blocks) of these per move; the incremental
-    #: mode pays O(blocks) once plus O(1) per move.
+    #: Per-block contributions actually computed (cache misses).
     block_cost_evaluations: int = 0
+    #: Per-block contribution lookups, hits included.  The full-rescan
+    #: mode pays O(blocks) of these per move; the incremental mode pays
+    #: O(blocks) once plus O(1) per move.
+    contribution_lookups: int = 0
     #: Blocks actually mapped onto both fabrics (cache misses).
     blocks_mapped: int = 0
     moves_committed: int = 0

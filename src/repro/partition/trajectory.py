@@ -133,33 +133,67 @@ class GreedyTrajectory:
         on_committed: Callable[[TrajectoryEntry], None] | None = None,
     ) -> None:
         """Fill ``result`` by replaying decisions against one constraint."""
-        for entry in self.iter_entries():
-            if (
-                max_kernels_moved is not None
-                and len(result.moved_bb_ids) >= max_kernels_moved
-            ):
-                break
-            if entry.action == SKIPPED:
-                result.skipped_bb_ids.append(entry.bb_id)
-                if on_skipped is not None:
-                    on_skipped(entry)
-                continue
-            if entry.action == REVERTED:
-                result.reverted_bb_ids.append(entry.bb_id)
-                if on_reverted is not None:
-                    on_reverted(entry)
-                continue
-            met = commit_step(
-                self.model, result, entry.bb_id, entry.ticks, timing_constraint
-            )
-            if on_committed is not None:
-                on_committed(entry)
-            if met and stop_at_constraint:
-                break
+        replay_entries(
+            self.model,
+            self.iter_entries(),
+            result,
+            timing_constraint,
+            max_kernels_moved=max_kernels_moved,
+            stop_at_constraint=stop_at_constraint,
+            on_skipped=on_skipped,
+            on_reverted=on_reverted,
+            on_committed=on_committed,
+        )
+
+
+def replay_entries(
+    pricer,
+    entries,
+    result: PartitionResult,
+    timing_constraint: int,
+    *,
+    max_kernels_moved: int | None,
+    stop_at_constraint: bool,
+    on_skipped: Callable[[TrajectoryEntry], None] | None = None,
+    on_reverted: Callable[[TrajectoryEntry], None] | None = None,
+    on_committed: Callable[[TrajectoryEntry], None] | None = None,
+) -> None:
+    """Replay a greedy decision sequence against one constraint.
+
+    ``pricer`` is anything with the ``split_ticks`` single-rounding
+    cycle split (a :class:`CostModel` or a
+    :class:`~repro.partition.packed.PackedCostTable`), so the object and
+    packed greedy substrates share the exact replay semantics — budget
+    check *before* each entry, skip/revert bookkeeping, early stop at
+    the constraint.
+    """
+    for entry in entries:
+        if (
+            max_kernels_moved is not None
+            and len(result.moved_bb_ids) >= max_kernels_moved
+        ):
+            break
+        if entry.action == SKIPPED:
+            result.skipped_bb_ids.append(entry.bb_id)
+            if on_skipped is not None:
+                on_skipped(entry)
+            continue
+        if entry.action == REVERTED:
+            result.reverted_bb_ids.append(entry.bb_id)
+            if on_reverted is not None:
+                on_reverted(entry)
+            continue
+        met = commit_step(
+            pricer, result, entry.bb_id, entry.ticks, timing_constraint
+        )
+        if on_committed is not None:
+            on_committed(entry)
+        if met and stop_at_constraint:
+            break
 
 
 def commit_step(
-    model: CostModel,
+    pricer,
     result: PartitionResult,
     bb_id: int,
     ticks: tuple[int, int, int],
@@ -169,9 +203,10 @@ def commit_step(
 
     One shared implementation of the step bookkeeping (single-rounding
     cycle split, running result fields) for the engine and every search
-    algorithm.
+    algorithm.  ``pricer`` is anything exposing ``split_ticks`` — a
+    :class:`CostModel` or a packed cost table.
     """
-    fpga_c, cgc_c, comm_c, total_c = model.split_ticks(*ticks)
+    fpga_c, cgc_c, comm_c, total_c = pricer.split_ticks(*ticks)
     met = total_c <= timing_constraint
     result.steps.append(
         PartitionStep(

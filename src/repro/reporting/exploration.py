@@ -114,6 +114,7 @@ def write_exploration_json(
             "workers_used": report.workers_used,
             "elapsed_seconds": round(report.elapsed_seconds, 6),
             "block_cost_evaluations": report.block_cost_evaluations,
+            "contribution_lookups": report.contribution_lookups,
             "blocks_mapped": report.blocks_mapped,
             "constraints_met": len(report.met()),
         },

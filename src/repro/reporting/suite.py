@@ -26,6 +26,7 @@ SUITE_CSV_FIELDS = (
     "rows_used",
     "constraint_met",
     "wall_time_seconds",
+    "configs_per_second",
 )
 
 
@@ -43,6 +44,7 @@ def render_suite(run: SuiteRun) -> str:
         "rows",
         "met",
         "wall s",
+        "cfg/s",
     ]
     rows = []
     for result in run.results:
@@ -59,6 +61,7 @@ def render_suite(run: SuiteRun) -> str:
                 str(result.rows_used),
                 "yes" if result.constraint_met else "no",
                 f"{result.wall_time_seconds:.3f}",
+                f"{result.configs_per_second:.0f}",
             ]
         )
     table = format_grid(headers, rows)

@@ -48,7 +48,12 @@ from .base import (
 from .exhaustive import ExhaustivePartitioner
 from .greedy import GreedyPartitioner
 from .multi_start import MultiStartPartitioner
-from .pareto import VisitedConfiguration, front_of_results, pareto_front
+from .pareto import (
+    VisitedConfiguration,
+    front_of_results,
+    pareto_front,
+    pareto_front_from_columns,
+)
 
 __all__ = [
     "ALGORITHM_NAMES",
@@ -62,5 +67,6 @@ __all__ = [
     "front_of_results",
     "make_partitioner",
     "pareto_front",
+    "pareto_front_from_columns",
     "register_algorithm",
 ]

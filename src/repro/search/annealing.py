@@ -56,6 +56,7 @@ class AnnealingPartitioner(Partitioner):
         self.temp_levels = temp_levels
         self.steps_per_temp = steps_per_temp
         self._best: tuple[tuple, frozenset[int], list[int]] | None = None
+        self._best_mask: int | None = None
 
     # ------------------------------------------------------------------
     def _start_temperature(self, deltas: list[int]) -> float:
@@ -132,9 +133,115 @@ class AnnealingPartitioner(Partitioner):
         self._best = (best_key, best_subset, skipped)
         return self._best
 
+    def _anneal_packed(self) -> int:
+        """The identical annealing walk on packed columns.
+
+        RNG consumption mirrors the object walk step for step — same
+        seed transform, same candidate indexing, same accept calls on
+        the same integer deltas — so both substrates take the same
+        trajectory and settle on the same best subset.
+        """
+        if self._best_mask is not None:
+            return self._best_mask
+        table = self._packed_table_checked()
+        n = len(table)
+        budget = self.move_budget
+        deltas = table.move_delta
+        rng = random.Random((self.seed * 0x5DEECE66D + 0xB) & 0xFFFFFFFFFFFF)
+        log = self._packed_log
+        total = table.initial_ticks
+        mask = 0
+        count = 0
+        # Greedy warm start (Eq. 1 order = packed index order).
+        for index in range(n):
+            if budget is not None and count >= budget:
+                break
+            if deltas[index] <= 0:
+                total += deltas[index]
+                mask |= 1 << index
+                count += 1
+        log.record(total, mask)
+        best_total, best_mask, best_count = total, mask, count
+        best_ids: tuple[int, ...] | None = None
+
+        if n == 0 or (budget is not None and budget <= 0):
+            self._best_mask = best_mask
+            return best_mask
+        temperature = self._start_temperature(list(deltas))
+        steps = self.steps_per_temp or max(8, 4 * n)
+
+        # Hot loop: bound locals, an inlined accept test, and an inlined
+        # ``randrange`` (CPython's ``_randbelow_with_getrandbits``
+        # verbatim, so the random stream is bit-identical to the object
+        # walk's ``rng.randrange`` calls while skipping two Python call
+        # layers per step).  The RNG call sequence (randrange per step,
+        # random only on positive deltas) matches the object walk
+        # exactly.
+        getrandbits = rng.getrandbits
+        uniform = rng.random
+        exp = math.exp
+        record = log.record
+        bb_ids_of = table.bb_ids_of
+        index_of = table.index_of
+        n_bits = n.bit_length()
+        for _level in range(self.temp_levels):
+            for _step in range(steps):
+                index = getrandbits(n_bits)
+                while index >= n:
+                    index = getrandbits(n_bits)
+                bit = 1 << index
+                if mask & bit:
+                    delta = -deltas[index]
+                    if delta <= 0 or uniform() < exp(-delta / temperature):
+                        total += delta
+                        mask ^= bit
+                        count -= 1
+                    else:
+                        continue
+                elif budget is not None and count >= budget:
+                    # At the budget boundary toggling in is illegal, so
+                    # propose a swap: one kernel out, this one in.
+                    out = getrandbits(count.bit_length())
+                    while out >= count:
+                        out = getrandbits(count.bit_length())
+                    out_index = index_of(bb_ids_of(mask)[out])
+                    delta = deltas[index] - deltas[out_index]
+                    if delta <= 0 or uniform() < exp(-delta / temperature):
+                        total += delta
+                        mask ^= bit | (1 << out_index)
+                    else:
+                        continue
+                else:
+                    delta = deltas[index]
+                    if delta <= 0 or uniform() < exp(-delta / temperature):
+                        total += delta
+                        mask |= bit
+                        count += 1
+                    else:
+                        continue
+                record(total, mask)
+                if total > best_total:
+                    continue
+                if total < best_total or count < best_count:
+                    best_total, best_mask, best_count = total, mask, count
+                    best_ids = None
+                elif count == best_count:
+                    if best_ids is None:
+                        best_ids = bb_ids_of(best_mask)
+                    candidate_ids = bb_ids_of(mask)
+                    if candidate_ids < best_ids:
+                        best_mask, best_ids = mask, candidate_ids
+            temperature *= self.cooling
+        self._best_mask = best_mask
+        return best_mask
+
     def _search(
         self, timing_constraint: int, result: PartitionResult
     ) -> None:
+        if self._uses_packed_substrate():
+            mask = self._anneal_packed()
+            self._fill_result_from_mask(result, mask, timing_constraint)
+            return
         __, subset, skipped = self._anneal()
         self._fill_result_from_subset(
             result, subset, timing_constraint, skipped

@@ -28,11 +28,20 @@ from dataclasses import dataclass
 from ..analysis.weights import WeightModel
 from ..partition.costs import CostModel, CostState, CostStats
 from ..partition.engine import EngineConfig
+from ..partition.packed import (
+    SUBSTRATE_NAMES,
+    PackedCostTable,
+    PackedVisitLog,
+)
 from ..partition.result import PartitionResult
 from ..partition.trajectory import commit_step
 from ..partition.workload import ApplicationWorkload, BlockWorkload
 from ..platform.soc import HybridPlatform
-from .pareto import VisitedConfiguration, pareto_front
+from .pareto import (
+    VisitedConfiguration,
+    pareto_front,
+    pareto_front_from_columns,
+)
 
 #: Algorithm name -> partitioner class; populated by @register_algorithm.
 _REGISTRY: dict[str, type["Partitioner"]] = {}
@@ -75,8 +84,16 @@ class AlgorithmSpec:
         return cls(name="greedy")
 
     @classmethod
-    def exhaustive(cls, max_candidates: int = 16) -> "AlgorithmSpec":
-        """Optimal over all kernel subsets (ground truth, small inputs)."""
+    def exhaustive(cls, max_candidates: int | None = None) -> "AlgorithmSpec":
+        """Optimal over all kernel subsets (ground truth, small inputs).
+
+        ``max_candidates=None`` resolves per substrate: 24 on the packed
+        Gray-code enumeration (one integer toggle per configuration, so
+        16M subsets stay cheap) and the historical 16 on the object
+        reference (whose per-subset object churn makes 2^24 a
+        minutes-to-hours mistake, not a default).  Pass an explicit cap
+        to apply it to either substrate.
+        """
         return cls(
             name="exhaustive", params=(("max_candidates", max_candidates),)
         )
@@ -127,8 +144,15 @@ class AlgorithmSpec:
         platform: HybridPlatform,
         weight_model: WeightModel | None = None,
         config: EngineConfig | None = None,
+        packed_table: PackedCostTable | None = None,
     ) -> "Partitioner":
-        """Construct the concrete partitioner for one (workload, platform)."""
+        """Construct the concrete partitioner for one (workload, platform).
+
+        ``packed_table`` injects a pre-derived
+        :class:`~repro.partition.packed.PackedCostTable` so grids /
+        suites price a (workload, platform) pair once and share the
+        table across every algorithm and constraint.
+        """
         cls = _REGISTRY.get(self.name)
         if cls is None:  # pragma: no cover - registry is import-complete
             raise ValueError(f"algorithm {self.name!r} is not registered")
@@ -137,6 +161,7 @@ class AlgorithmSpec:
             platform,
             weight_model=weight_model,
             config=config,
+            packed_table=packed_table,
             **dict(self.params),
         )
 
@@ -145,7 +170,7 @@ class AlgorithmSpec:
 #: default-valued parameter never changes the label.
 _SPEC_DEFAULTS: dict[str, dict[str, object]] = {
     "greedy": {},
-    "exhaustive": {"max_candidates": 16},
+    "exhaustive": {"max_candidates": None},
     "multi_start": {"restarts": 8, "seed": 0, "jitter": 0.75},
     "annealing": {
         "seed": 0,
@@ -163,9 +188,10 @@ def make_partitioner(
     platform: HybridPlatform,
     weight_model: WeightModel | None = None,
     config: EngineConfig | None = None,
+    packed_table: PackedCostTable | None = None,
 ) -> "Partitioner":
     """Convenience wrapper around :meth:`AlgorithmSpec.build`."""
-    return spec.build(workload, platform, weight_model, config)
+    return spec.build(workload, platform, weight_model, config, packed_table)
 
 
 class Partitioner(ABC):
@@ -173,10 +199,21 @@ class Partitioner(ABC):
 
     Subclasses implement :meth:`_search`, which fills a pre-initialized
     all-FPGA :class:`PartitionResult` for one timing constraint.  The
-    base class owns the shared pricing substrate, the early exit when the
-    all-FPGA mapping already meets the constraint, the visited-
+    base class owns the shared pricing substrates, the early exit when
+    the all-FPGA mapping already meets the constraint, the visited-
     configuration log, and the config freeze (algorithm state caches bake
     the config in, exactly like the engine's move trajectory).
+
+    Two substrates price configurations (``EngineConfig.substrate``):
+
+    * ``"packed"`` (default) — a
+      :class:`~repro.partition.packed.PackedCostTable` of flat tick
+      columns; subsets are int bitmasks and the visited log is a column
+      store materialized lazily.  A pre-derived table can be injected
+      via ``packed_table`` so one pricing pass serves a whole
+      (algorithm × constraint) grid.
+    * ``"object"`` — the :class:`CostModel` / :class:`CostState` object
+      substrate, kept as the bit-identical differential reference.
     """
 
     #: Registry / report key; subclasses override.
@@ -188,6 +225,7 @@ class Partitioner(ABC):
         platform: HybridPlatform,
         weight_model: WeightModel | None = None,
         config: EngineConfig | None = None,
+        packed_table: PackedCostTable | None = None,
     ):
         self.workload = workload
         self.platform = platform
@@ -195,8 +233,15 @@ class Partitioner(ABC):
         self.config = config or EngineConfig()
         self.stats = CostStats()
         self._model: CostModel | None = None
-        self.visited: list[VisitedConfiguration] = []
+        #: Injected or lazily derived packed table.  An injected table
+        #: must have been derived with the same weight model and pricing
+        #: flags this partitioner runs under (the explore/suite layers
+        #: guarantee that by keying their caches on them).
+        self._table = packed_table
+        self._visited_objects: list[VisitedConfiguration] = []
         self._visited_subsets: set[frozenset[int]] = set()
+        self._packed_log = PackedVisitLog()
+        self._materialized: list[VisitedConfiguration] | None = None
         self._config_snapshot: EngineConfig | None = None
 
     @property
@@ -215,12 +260,38 @@ class Partitioner(ABC):
             )
         return self._model
 
+    @property
+    def table(self) -> PackedCostTable:
+        """The packed cost table (derived from :attr:`model` on first
+        use unless one was injected)."""
+        if self._table is None:
+            self._table = PackedCostTable.from_model(
+                self.model, self.weight_model
+            )
+        return self._table
+
+    def _uses_packed_substrate(self) -> bool:
+        """Whether this partitioner's hot loops run on the packed table.
+
+        Resolved from the live config (frozen at the first run, so the
+        answer is stable from then on).
+        """
+        substrate = self.config.substrate
+        if substrate not in SUBSTRATE_NAMES:
+            raise ValueError(
+                f"unknown substrate {substrate!r}; expected one of "
+                f"{SUBSTRATE_NAMES}"
+            )
+        return substrate == "packed"
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def initial_cycles(self) -> int:
         """All-FPGA execution time in FPGA cycles."""
         self._freeze_config()
+        if self._uses_packed_substrate():
+            return self.table.initial_cycles()
         return self.model.initial_cycles()
 
     def run(self, timing_constraint: int) -> PartitionResult:
@@ -235,7 +306,10 @@ class Partitioner(ABC):
         )
         # The all-FPGA corner is a configuration every algorithm prices
         # (minimal moves, minimal rows — always on the Pareto front).
-        self._record_visited(CostState(self.model))
+        if self._uses_packed_substrate():
+            self._packed_log.record(self.table.initial_ticks, 0)
+        else:
+            self._record_visited(CostState(self.model))
         if result.constraint_met:
             return result
         self._search(timing_constraint, result)
@@ -246,9 +320,64 @@ class Partitioner(ABC):
         """Run at several constraints, sharing all cached state."""
         return [self.run(constraint) for constraint in constraints]
 
+    @property
+    def visited(self) -> list[VisitedConfiguration]:
+        """Every distinct configuration priced so far.
+
+        On the packed substrate this materializes the column log to
+        :class:`VisitedConfiguration` records on demand (cached until
+        new configurations are recorded); prefer :attr:`visited_count`
+        or :meth:`pareto_front` when the records themselves are not
+        needed.
+        """
+        if not self._uses_packed_substrate():
+            return self._visited_objects
+        log = self._packed_log
+        if self._materialized is None or len(self._materialized) != len(log):
+            table = self.table
+            ratio = table.clock_ratio
+            rows_used = table.rows_used
+            bb_ids_of = table.bb_ids_of
+            algorithm = self.algorithm
+            self._materialized = [
+                VisitedConfiguration(
+                    total_cycles=-(-ticks // ratio),
+                    moved_kernel_count=mask.bit_count(),
+                    cgc_rows_used=rows_used(mask),
+                    moved_bb_ids=bb_ids_of(mask),
+                    algorithm=algorithm,
+                )
+                for ticks, mask in log.entries()
+            ]
+        return self._materialized
+
+    @property
+    def visited_count(self) -> int:
+        """``len(visited)`` without materializing the packed log."""
+        if self._uses_packed_substrate():
+            return len(self._packed_log)
+        return len(self._visited_objects)
+
     def pareto_front(self) -> list[VisitedConfiguration]:
         """Non-dominated subset of everything visited so far."""
+        if self._uses_packed_substrate():
+            log = self._packed_log
+            return pareto_front_from_columns(
+                log.ticks, log.masks, self.table, self.algorithm
+            )
         return pareto_front(self.visited)
+
+    def subset_rows_used(self, bb_ids) -> int:
+        """Peak CGC rows of a kernel subset (already-priced kernels)."""
+        if self._uses_packed_substrate():
+            return self.table.rows_used(self.table.mask_of(bb_ids))
+        return max(
+            (
+                self.model.contribution_by_id(bb_id).cgc_rows
+                for bb_id in bb_ids
+            ),
+            default=0,
+        )
 
     # ------------------------------------------------------------------
     # Subclass interface
@@ -296,7 +425,11 @@ class Partitioner(ABC):
         return supported, skipped
 
     def _record_visited(self, state: CostState) -> VisitedConfiguration:
-        """Log the state's configuration (deduplicated by kernel subset)."""
+        """Log the state's configuration (deduplicated by kernel subset).
+
+        ``state.cgc_rows_used()`` is the O(1) running row max the state
+        maintains through apply/revert — no per-visit recompute.
+        """
         subset = frozenset(state.moved)
         config = VisitedConfiguration(
             total_cycles=state.total_cycles(),
@@ -307,8 +440,23 @@ class Partitioner(ABC):
         )
         if subset not in self._visited_subsets:
             self._visited_subsets.add(subset)
-            self.visited.append(config)
+            self._visited_objects.append(config)
         return config
+
+    def _packed_table_checked(self) -> PackedCostTable:
+        """The packed table, after the strict unsupported-kernel check.
+
+        Mirrors :meth:`_split_candidates`: with
+        ``skip_unsupported_kernels=False`` the first unsupported kernel
+        in the Eq. 1 candidate order is rejected outright.
+        """
+        table = self.table
+        if table.skipped_bb_ids and not self.config.skip_unsupported_kernels:
+            raise ValueError(
+                f"kernel BB {table.skipped_bb_ids[0]} cannot execute on "
+                "the coarse-grain data-path"
+            )
+        return table
 
     def _commit_step(
         self,
@@ -351,6 +499,37 @@ class Partitioner(ABC):
             self._commit_step(
                 result, kernel.bb_id, state.ticks, timing_constraint
             )
+
+    def _fill_result_from_mask(
+        self,
+        result: PartitionResult,
+        mask: int,
+        timing_constraint: int,
+    ) -> None:
+        """Replay a final configuration bitmask as a move sequence.
+
+        The packed counterpart of :meth:`_fill_result_from_subset`:
+        packed indices already are the canonical Eq. 1 order, and
+        :func:`commit_step` prices through the table's identical
+        single-rounding split, so both substrates produce the same
+        step lists for the same subset.
+        """
+        table = self.table
+        result.skipped_bb_ids.extend(table.skipped_bb_ids)
+        fpga = table.initial_ticks
+        cgc = comm = 0
+        for index in range(len(table)):
+            if mask >> index & 1:
+                fpga -= table.fpga_ticks[index]
+                cgc += table.cgc_ticks[index]
+                comm += table.comm_ticks[index]
+                commit_step(
+                    table,
+                    result,
+                    table.bb_ids[index],
+                    (fpga, cgc, comm),
+                    timing_constraint,
+                )
 
     @staticmethod
     def _subset_key(

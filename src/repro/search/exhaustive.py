@@ -3,15 +3,25 @@ against.
 
 Eq. 2 prices any kernel subset in O(1) per inclusion, so for small
 candidate counts (the paper's applications have ≤ 8 meaningful kernels)
-every subset can be enumerated outright: a depth-first walk over the
-include/exclude tree with :class:`~repro.partition.costs.CostState`'s
-O(1) ``apply_move`` / ``revert_move`` at each branch.  The optimum —
-minimum total cycles, tie-broken by fewer moves then lexicographic BB
-ids — lower-bounds every heuristic, and the full visited log is the
-exact Pareto surface of the instance.
+every subset can be enumerated outright.  On the packed substrate the
+enumeration walks subsets in **Gray-code order**: consecutive codes
+differ in exactly one bit, so stepping from one configuration to the
+next is a single integer toggle — one addition to the running Eq. 2
+total, two appends to the visited column log, no recursion, no object
+churn.  That is what lets the packed default ``max_candidates`` cap sit
+at 24 (16.7M subsets); the object substrate keeps its historical
+default of 16 (its per-subset object churn makes 2^24 a
+minutes-to-hours mistake, not a default) — an explicit
+``max_candidates`` overrides either.  Under a move budget the packed
+walk switches to a budget-pruned depth-first enumeration (visiting only
+the subsets within the budget, like the object reference, instead of
+all 2^n codes).
 
-Guarded by ``max_candidates`` (default 16): 2^n subsets is the point of
-this algorithm, not an accident to stumble into.
+The object substrate keeps the original depth-first walk over
+:class:`~repro.partition.costs.CostState` as the differential
+reference.  Both substrates visit exactly the same subset set and pick
+the same optimum — minimum total cycles, tie-broken by fewer moves then
+lexicographic BB ids.
 """
 
 from __future__ import annotations
@@ -27,25 +37,43 @@ class ExhaustivePartitioner(Partitioner):
 
     algorithm = "exhaustive"
 
-    def __init__(self, *args, max_candidates: int = 16, **kwargs):
+    #: Default candidate caps when ``max_candidates`` is None, resolved
+    #: per substrate — 2^n is cheap on the Gray walk, not on the object
+    #: reference.
+    PACKED_DEFAULT_MAX_CANDIDATES = 24
+    OBJECT_DEFAULT_MAX_CANDIDATES = 16
+
+    def __init__(self, *args, max_candidates: int | None = None, **kwargs):
         super().__init__(*args, **kwargs)
-        if max_candidates < 1:
+        if max_candidates is not None and max_candidates < 1:
             raise ValueError("max_candidates must be >= 1")
         self.max_candidates = max_candidates
         #: (ordering key, subset, skipped ids) once enumerated; the
         #: optimum is constraint-independent so one enumeration serves
         #: every run() of a sweep.
         self._best: tuple[tuple, frozenset[int], list[int]] | None = None
+        #: Packed equivalent: the optimal configuration bitmask.
+        self._best_mask: int | None = None
 
+    def _candidate_cap(self) -> int:
+        if self.max_candidates is not None:
+            return self.max_candidates
+        if self._uses_packed_substrate():
+            return self.PACKED_DEFAULT_MAX_CANDIDATES
+        return self.OBJECT_DEFAULT_MAX_CANDIDATES
+
+    # ------------------------------------------------------------------
+    # Object substrate (differential reference)
     # ------------------------------------------------------------------
     def _enumerate(self) -> tuple[tuple, frozenset[int], list[int]]:
         if self._best is not None:
             return self._best
         supported, skipped = self._split_candidates()
-        if len(supported) > self.max_candidates:
+        cap = self._candidate_cap()
+        if len(supported) > cap:
             raise ValueError(
                 f"{len(supported)} kernel candidates exceed the exhaustive "
-                f"limit of {self.max_candidates} (2^n subsets); raise "
+                f"limit of {cap} (2^n subsets); raise "
                 "max_candidates explicitly if you really want this"
             )
         budget = self.move_budget
@@ -77,9 +105,129 @@ class ExhaustivePartitioner(Partitioner):
         self._best = (best_key, best_subset, skipped)
         return self._best
 
+    # ------------------------------------------------------------------
+    # Packed substrate
+    # ------------------------------------------------------------------
+    def _enumerate_packed(self) -> int:
+        if self._best_mask is not None:
+            return self._best_mask
+        table = self._packed_table_checked()
+        n = len(table)
+        cap = self._candidate_cap()
+        if n > cap:
+            raise ValueError(
+                f"{n} kernel candidates exceed the exhaustive "
+                f"limit of {cap} (2^n subsets); raise "
+                "max_candidates explicitly if you really want this"
+            )
+        budget = self.move_budget
+        if budget is None or budget >= n:
+            self._best_mask = self._gray_walk(n)
+        else:
+            self._best_mask = self._budgeted_walk(n, budget)
+        return self._best_mask
+
+    def _gray_walk(self, n: int) -> int:
+        """All 2^n subsets, one integer toggle per configuration.
+
+        The all-FPGA mask 0 is the walk's origin and was already logged
+        by ``run()``, so the loop records the remaining 2^n − 1 masks —
+        Gray codes never repeat, so the log needs no dedup checks.
+        """
+        table = self.table
+        deltas = table.move_delta
+        delta_by_bit = {1 << i: deltas[i] for i in range(n)}
+        log = self._packed_log
+        # 2^n entries of boxed Python ints would dominate the walk's
+        # memory (n=24 → ~1.3 GB); every value here fits int64 (n ≤ 62
+        # bits of mask, tick totals bounded by initial ± Σ|delta|), so
+        # swap the log's columns for packed int64 arrays up front.
+        max_total = table.initial_ticks + sum(abs(d) for d in deltas)
+        if n <= 62 and max_total < (1 << 62):
+            from array import array
+
+            log.ticks = array("q", log.ticks)
+            log.masks = array("q", log.masks)
+        append_ticks = log.ticks.append
+        append_masks = log.masks.append
+        total = table.initial_ticks
+        best_total = total
+        best_mask = 0
+        best_count = 0
+        best_ids: tuple[int, ...] | None = ()
+        mask = 0
+        for code in range(1, 1 << n):
+            bit = code & -code
+            if mask & bit:
+                total -= delta_by_bit[bit]
+            else:
+                total += delta_by_bit[bit]
+            mask ^= bit
+            append_ticks(total)
+            append_masks(mask)
+            if total > best_total:
+                continue
+            # Ties follow the object key: ticks, then fewer moves, then
+            # the lexicographically smallest BB tuple (decoded lazily —
+            # exact ties are rare).
+            count = mask.bit_count()
+            if total < best_total or count < best_count:
+                best_total, best_mask, best_count = total, mask, count
+                best_ids = None
+            elif count == best_count:
+                if best_ids is None:
+                    best_ids = table.bb_ids_of(best_mask)
+                candidate_ids = table.bb_ids_of(mask)
+                if candidate_ids < best_ids:
+                    best_mask, best_ids = mask, candidate_ids
+        return best_mask
+
+    def _budgeted_walk(self, n: int, budget: int) -> int:
+        """Depth-first enumeration of the subsets within the budget."""
+        table = self.table
+        deltas = table.move_delta
+        log = self._packed_log
+        best_total = table.initial_ticks
+        best_mask = 0
+        best_count = 0
+        best_ids: tuple[int, ...] | None = ()
+
+        def consider(total: int, mask: int, count: int) -> None:
+            nonlocal best_total, best_mask, best_count, best_ids
+            if total > best_total:
+                return
+            if total < best_total or count < best_count:
+                best_total, best_mask, best_count = total, mask, count
+                best_ids = None
+            elif count == best_count:
+                if best_ids is None:
+                    best_ids = table.bb_ids_of(best_mask)
+                candidate_ids = table.bb_ids_of(mask)
+                if candidate_ids < best_ids:
+                    best_mask, best_ids = mask, candidate_ids
+
+        def walk(index: int, total: int, mask: int, count: int) -> None:
+            if index == n:
+                return
+            walk(index + 1, total, mask, count)
+            if count >= budget:
+                return
+            total += deltas[index]
+            mask |= 1 << index
+            log.record_unchecked(total, mask)
+            consider(total, mask, count + 1)
+            walk(index + 1, total, mask, count + 1)
+
+        walk(0, table.initial_ticks, 0, 0)
+        return best_mask
+
     def _search(
         self, timing_constraint: int, result: PartitionResult
     ) -> None:
+        if self._uses_packed_substrate():
+            mask = self._enumerate_packed()
+            self._fill_result_from_mask(result, mask, timing_constraint)
+            return
         __, subset, skipped = self._enumerate()
         self._fill_result_from_subset(
             result, subset, timing_constraint, skipped

@@ -1,34 +1,51 @@
 """The paper's greedy kernel-move loop as a :class:`Partitioner`.
 
 This is the Figure 2 / §3.4 algorithm behind the pluggable-algorithm
-protocol.  The partitioner *delegates* to
-:class:`~repro.partition.engine.PartitioningEngine` — the engine IS the
-greedy algorithm — so results are bit-identical by construction, every
-``EngineConfig`` flag keeps working (including the ``incremental=False``
-full-rescan differential reference), and the constraint-independent
-trajectory cache warm-starts sweeps exactly as before.  On top, each
-committed configuration is logged for the Pareto analysis.
+protocol.  On the packed substrate it runs a
+:class:`~repro.partition.packed.PackedGreedyTrajectory` — the identical
+constraint-independent decision sequence computed on the packed columns
+and replayed through the same
+:func:`~repro.partition.trajectory.replay_entries` bookkeeping the
+engine uses, so results stay bit-identical to the engine by shared
+code, not by luck.  On the object substrate (or with
+``EngineConfig.incremental=False``, which selects the engine's
+full-rescan differential reference) the partitioner *delegates* to
+:class:`~repro.partition.engine.PartitioningEngine` outright — the
+engine IS the greedy algorithm — so every ``EngineConfig`` flag keeps
+working.  On top, each committed configuration is logged for the Pareto
+analysis.
 """
 
 from __future__ import annotations
 
 from ..partition.costs import CostModel, CostState
 from ..partition.engine import PartitioningEngine
+from ..partition.packed import PackedGreedyTrajectory
 from ..partition.result import PartitionResult
+from ..partition.trajectory import replay_entries
 from .base import Partitioner, register_algorithm
 from .pareto import VisitedConfiguration
 
 
 @register_algorithm
 class GreedyPartitioner(Partitioner):
-    """Figure 2 greedy loop (engine delegate) behind the protocol."""
+    """Figure 2 greedy loop behind the protocol (packed or engine)."""
 
     algorithm = "greedy"
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._engine: PartitioningEngine | None = None
+        self._packed_trajectory: PackedGreedyTrajectory | None = None
 
+    def _uses_packed_substrate(self) -> bool:
+        # incremental=False explicitly requests the engine's full-rescan
+        # reference loop, which only exists on the object substrate.
+        return super()._uses_packed_substrate() and self.config.incremental
+
+    # ------------------------------------------------------------------
+    # Object substrate: delegate to the engine
+    # ------------------------------------------------------------------
     @property
     def engine(self) -> PartitioningEngine:
         if self._engine is None:
@@ -44,12 +61,18 @@ class GreedyPartitioner(Partitioner):
 
     @property
     def model(self) -> CostModel:
+        if self._uses_packed_substrate():
+            return super().model
         return self.engine.cost_model
 
     def initial_cycles(self) -> int:
+        if self._uses_packed_substrate():
+            return super().initial_cycles()
         return self.engine.initial_cycles()
 
     def run(self, timing_constraint: int) -> PartitionResult:
+        if self._uses_packed_substrate():
+            return super().run(timing_constraint)
         # The engine owns constraint validation, the config freeze, the
         # early exit and the loop itself.
         result = self.engine.run(timing_constraint)
@@ -57,10 +80,49 @@ class GreedyPartitioner(Partitioner):
         self._record_steps(result)
         return result
 
+    # ------------------------------------------------------------------
+    # Packed substrate: trajectory on the table
+    # ------------------------------------------------------------------
+    @property
+    def packed_trajectory(self) -> PackedGreedyTrajectory:
+        if self._packed_trajectory is None:
+            self._packed_trajectory = PackedGreedyTrajectory(
+                self.table,
+                skip_unsupported_kernels=(
+                    self.config.skip_unsupported_kernels
+                ),
+                allow_regressing_moves=self.config.allow_regressing_moves,
+            )
+        return self._packed_trajectory
+
     def _search(
         self, timing_constraint: int, result: PartitionResult
-    ) -> None:  # pragma: no cover - run() delegates to the engine
-        raise NotImplementedError("GreedyPartitioner delegates run()")
+    ) -> None:
+        if not self._uses_packed_substrate():  # pragma: no cover
+            raise NotImplementedError("GreedyPartitioner delegates run()")
+        trajectory = self.packed_trajectory
+        log = self._packed_log
+        masks = trajectory.masks
+        position = [0]  # entry cursor shared by the replay callbacks
+
+        def advance(entry) -> None:
+            position[0] += 1
+
+        def committed(entry) -> None:
+            log.record(entry.total_ticks, masks[position[0]])
+            position[0] += 1
+
+        replay_entries(
+            self.table,
+            trajectory.iter_entries(),
+            result,
+            timing_constraint,
+            max_kernels_moved=self.config.max_kernels_moved,
+            stop_at_constraint=self.config.stop_at_constraint,
+            on_skipped=advance,
+            on_reverted=advance,
+            on_committed=committed,
+        )
 
     def _record_steps(self, result: PartitionResult) -> None:
         """Log each committed configuration prefix as visited."""
@@ -75,7 +137,7 @@ class GreedyPartitioner(Partitioner):
             if subset in self._visited_subsets:
                 continue
             self._visited_subsets.add(subset)
-            self.visited.append(
+            self._visited_objects.append(
                 VisitedConfiguration(
                     total_cycles=step.total_cycles,
                     moved_kernel_count=len(moved),

@@ -45,6 +45,7 @@ class MultiStartPartitioner(Partitioner):
         self.seed = seed
         self.jitter = jitter
         self._best: tuple[tuple, frozenset[int], list[int]] | None = None
+        self._best_mask: int | None = None
 
     # ------------------------------------------------------------------
     def _restart_order(
@@ -84,9 +85,66 @@ class MultiStartPartitioner(Partitioner):
         self._best = (best_key, best_subset, skipped)
         return self._best
 
+    def _explore_packed(self) -> int:
+        """The same jittered restarts on packed columns.
+
+        Restart ordering is bit-compatible with the object walk: packed
+        indices are the Eq. 1 order the object version iterates, the
+        jitter multiplies the same integer total weights with the same
+        seeded RNG stream, and ties sort by BB id — so both substrates
+        run every restart in the identical kernel order.
+        """
+        if self._best_mask is not None:
+            return self._best_mask
+        table = self._packed_table_checked()
+        n = len(table)
+        budget = self.move_budget
+        deltas = table.move_delta
+        bb_ids = table.bb_ids
+        weights = table.weights
+        log = self._packed_log
+        best_key: tuple | None = None
+        best_mask = 0
+        for restart in range(self.restarts):
+            if restart == 0:
+                order = range(n)
+            else:
+                rng = random.Random(
+                    (self.seed * 0x9E3779B1 + restart) & 0xFFFFFFFF
+                )
+                noisy = [
+                    weights[i]
+                    * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+                    for i in range(n)
+                ]
+                order = sorted(
+                    range(n), key=lambda i: (-noisy[i], bb_ids[i])
+                )
+            total = table.initial_ticks
+            mask = 0
+            count = 0
+            for index in order:
+                if budget is not None and count >= budget:
+                    break
+                if deltas[index] <= 0:
+                    total += deltas[index]
+                    mask |= 1 << index
+                    count += 1
+                    log.record(total, mask)
+            key = (total, count, table.bb_ids_of(mask))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_mask = mask
+        self._best_mask = best_mask
+        return best_mask
+
     def _search(
         self, timing_constraint: int, result: PartitionResult
     ) -> None:
+        if self._uses_packed_substrate():
+            mask = self._explore_packed()
+            self._fill_result_from_mask(result, mask, timing_constraint)
+            return
         __, subset, skipped = self._explore()
         self._fill_result_from_subset(
             result, subset, timing_constraint, skipped

@@ -86,6 +86,84 @@ def pareto_front(
     return front
 
 
+def pareto_front_from_columns(
+    ticks: Sequence[int],
+    masks: Sequence[int],
+    table,
+    algorithm: str,
+) -> list[VisitedConfiguration]:
+    """The staircase sweep run directly on a packed visited log.
+
+    ``ticks``/``masks`` are the parallel columns of a
+    :class:`~repro.partition.packed.PackedVisitLog` and ``table`` the
+    :class:`~repro.partition.packed.PackedCostTable` that encoded the
+    masks.  Only the front's members are materialized to
+    :class:`VisitedConfiguration` records — dominated configurations
+    (the overwhelming majority of an exhaustive enumeration) never
+    become Python objects.  Produces exactly what
+    :func:`pareto_front` produces for the same visited set, including
+    the smallest-moved-tuple tie-break between configurations with
+    identical objective vectors.
+    """
+    ratio = table.clock_ratio
+    rows_used = table.rows_used
+    decoded: dict[int, tuple[int, ...]] = {}
+
+    def bb_tuple(mask: int) -> tuple[int, ...]:
+        ids = decoded.get(mask)
+        if ids is None:
+            ids = table.bb_ids_of(mask)
+            decoded[mask] = ids
+        return ids
+
+    # Lossless reduction before the sweep: for a fixed (moved, rows)
+    # pair, any configuration with more cycles is dominated by that
+    # pair's min-cycles one, so only the per-pair minimum (with the
+    # smallest-tuple tie-break on exact cycle ties) can reach the
+    # front.  This keeps the working set at O(distinct (moved, rows)
+    # pairs) — a few dozen — while a 2^n enumeration log streams
+    # through in O(n) ints, instead of accumulating millions of
+    # objective-vector dict entries.
+    best: dict[tuple[int, int], tuple[int, int]] = {}
+    for total_ticks, mask in zip(ticks, masks):
+        cycles = -(-total_ticks // ratio)
+        key = (mask.bit_count(), rows_used(mask))
+        incumbent = best.get(key)
+        if incumbent is None or cycles < incumbent[0]:
+            best[key] = (cycles, mask)
+        elif (
+            cycles == incumbent[0]
+            and mask != incumbent[1]
+            and bb_tuple(mask) < bb_tuple(incumbent[1])
+        ):
+            best[key] = (cycles, mask)
+    # The staircase sweep of pareto_front, on bare objective triples.
+    candidates = sorted(
+        (cycles, moved, rows, mask)
+        for (moved, rows), (cycles, mask) in best.items()
+    )
+    front: list[VisitedConfiguration] = []
+    min_rows_by_moved: dict[int, int] = {}
+    for cycles, moved, rows, mask in candidates:
+        if any(
+            front_moved <= moved and front_rows <= rows
+            for front_moved, front_rows in min_rows_by_moved.items()
+        ):
+            continue
+        front.append(
+            VisitedConfiguration(
+                total_cycles=cycles,
+                moved_kernel_count=moved,
+                cgc_rows_used=rows,
+                moved_bb_ids=bb_tuple(mask),
+                algorithm=algorithm,
+            )
+        )
+        if min_rows_by_moved.get(moved, rows + 1) > rows:
+            min_rows_by_moved[moved] = rows
+    return front
+
+
 def front_of_results(
     fronts: Sequence[Sequence[VisitedConfiguration]],
 ) -> list[VisitedConfiguration]:

@@ -30,6 +30,14 @@ class RegressionThresholds:
     ``wall_percent`` (None = wall gating off) gates wall time, but only
     when the candidate also exceeds ``min_wall_seconds`` — sub-floor
     scenarios finish too fast for a percentage to mean anything.
+    ``throughput_percent`` (None = off) gates evaluation throughput: a
+    ``configs_per_second`` *drop* beyond the threshold fails, exactly
+    like a cycle growth would, so a change that silently slows the
+    search substrate gates next to one that worsens its answers.  Both
+    sides must have recorded a throughput (pre-v2 baselines carry 0.0)
+    and the baseline must clear ``min_configs_per_second``, the
+    throughput noise floor.  Machine-dependent metrics (wall,
+    throughput) are opt-in; compare runs from the same machine.
     A scenario present in the baseline but missing from the candidate
     always gates (history must not silently disappear).
     """
@@ -37,6 +45,8 @@ class RegressionThresholds:
     cycle_percent: float = 20.0
     wall_percent: float | None = None
     min_wall_seconds: float = 0.25
+    throughput_percent: float | None = None
+    min_configs_per_second: float = 1000.0
 
     def __post_init__(self) -> None:
         if self.cycle_percent < 0.0:
@@ -45,6 +55,12 @@ class RegressionThresholds:
             raise ValueError("wall_percent must be >= 0 (or None)")
         if self.min_wall_seconds < 0.0:
             raise ValueError("min_wall_seconds must be >= 0")
+        if self.throughput_percent is not None and (
+            self.throughput_percent < 0.0
+        ):
+            raise ValueError("throughput_percent must be >= 0 (or None)")
+        if self.min_configs_per_second < 0.0:
+            raise ValueError("min_configs_per_second must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -58,6 +74,7 @@ class ScenarioDelta:
     #: 100·(candidate−baseline)/baseline; None when either side is absent.
     cycle_delta_percent: float | None = None
     wall_delta_percent: float | None = None
+    throughput_delta_percent: float | None = None
     #: Human-readable reasons this delta gates (empty when it does not).
     reasons: tuple[str, ...] = ()
 
@@ -154,6 +171,9 @@ def compare_runs(
         wall_delta = _percent_delta(
             base.wall_time_seconds, cand.wall_time_seconds
         )
+        throughput_delta = _percent_delta(
+            base.configs_per_second, cand.configs_per_second
+        )
         reasons: list[str] = []
         if (
             cycle_delta is not None
@@ -178,6 +198,21 @@ def compare_runs(
                 f"{cand.wall_time_seconds:.3f}s, "
                 f"threshold {thresholds.wall_percent:g}%)"
             )
+        if (
+            thresholds.throughput_percent is not None
+            and throughput_delta is not None
+            and base.configs_per_second >= thresholds.min_configs_per_second
+            # A candidate recorded before schema v2 carries 0.0 — that
+            # is a missing metric, not a -100% collapse.
+            and cand.configs_per_second > 0.0
+            and -throughput_delta > thresholds.throughput_percent
+        ):
+            reasons.append(
+                f"configs_per_second {throughput_delta:.0f}% "
+                f"({base.configs_per_second:.0f}/s -> "
+                f"{cand.configs_per_second:.0f}/s, "
+                f"threshold -{thresholds.throughput_percent:g}%)"
+            )
 
         if reasons:
             status = STATUS_REGRESSED
@@ -193,6 +228,7 @@ def compare_runs(
                 status=status,
                 cycle_delta_percent=cycle_delta,
                 wall_delta_percent=wall_delta,
+                throughput_delta_percent=throughput_delta,
                 reasons=tuple(reasons),
             )
         )

@@ -20,7 +20,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 #: Bumped when the schema changes; stored via PRAGMA user_version.
-SCHEMA_VERSION = 1
+#: v2 added ``results.configs_per_second`` (evaluation throughput is a
+#: first-class longitudinal metric next to cycles and wall time).
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -46,6 +48,7 @@ CREATE TABLE IF NOT EXISTS results (
     rows_used INTEGER NOT NULL,
     constraint_met INTEGER NOT NULL,
     wall_time_seconds REAL NOT NULL,
+    configs_per_second REAL NOT NULL DEFAULT 0.0,
     PRIMARY KEY (run_id, scenario)
 );
 CREATE INDEX IF NOT EXISTS idx_results_scenario ON results(scenario);
@@ -70,6 +73,10 @@ class ScenarioResult:
     rows_used: int
     constraint_met: bool
     wall_time_seconds: float
+    #: Visited configurations per second of search time — the
+    #: evaluation-throughput metric the packed substrate is judged on.
+    #: 0.0 in records predating schema v2.
+    configs_per_second: float = 0.0
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -87,6 +94,7 @@ class ScenarioResult:
             "rows_used": self.rows_used,
             "constraint_met": self.constraint_met,
             "wall_time_seconds": round(self.wall_time_seconds, 6),
+            "configs_per_second": round(self.configs_per_second, 1),
         }
 
     @classmethod
@@ -106,6 +114,9 @@ class ScenarioResult:
             rows_used=int(payload["rows_used"]),
             constraint_met=bool(payload["constraint_met"]),
             wall_time_seconds=float(payload["wall_time_seconds"]),
+            # Absent in pre-v2 baselines; 0.0 disables throughput gating
+            # for the record.
+            configs_per_second=float(payload.get("configs_per_second", 0.0)),
         )
 
 
@@ -188,7 +199,24 @@ class ResultStore:
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_SCHEMA)
-        if self._conn.execute("PRAGMA user_version").fetchone()[0] == 0:
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if version == 1:
+            # v1 -> v2: evaluation throughput joins the result columns.
+            # sqlite3 auto-commits DDL, so a crash between the ALTER and
+            # the version bump leaves the column present at version 1 —
+            # guard on the actual column set, not the version, so the
+            # retry converges instead of failing on a duplicate column.
+            columns = {
+                row["name"]
+                for row in self._conn.execute("PRAGMA table_info(results)")
+            }
+            if "configs_per_second" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE results ADD COLUMN configs_per_second "
+                    "REAL NOT NULL DEFAULT 0.0"
+                )
+            version = 0
+        if version == 0:
             self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
         self._conn.commit()
 
@@ -224,7 +252,7 @@ class ResultStore:
             assert run_id is not None
             self._conn.executemany(
                 "INSERT INTO results VALUES "
-                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 [
                     (
                         run_id,
@@ -242,6 +270,7 @@ class ResultStore:
                         r.rows_used,
                         int(r.constraint_met),
                         r.wall_time_seconds,
+                        r.configs_per_second,
                     )
                     for r in run.results
                 ],
@@ -306,6 +335,7 @@ class ResultStore:
                     rows_used=record["rows_used"],
                     constraint_met=bool(record["constraint_met"]),
                     wall_time_seconds=record["wall_time_seconds"],
+                    configs_per_second=record["configs_per_second"],
                 )
             )
         return run
@@ -318,12 +348,13 @@ class ResultStore:
 
     def scenario_history(
         self, scenario: str
-    ) -> list[tuple[int, str, int, float]]:
-        """(run_id, created_at, total_cycles, wall_time) per run, oldest
-        first — the longitudinal view of one scenario."""
+    ) -> list[tuple[int, str, int, float, float]]:
+        """(run_id, created_at, total_cycles, wall_time,
+        configs_per_second) per run, oldest first — the longitudinal
+        view of one scenario."""
         rows = self._conn.execute(
             "SELECT r.run_id, runs.created_at, r.total_cycles,"
-            " r.wall_time_seconds"
+            " r.wall_time_seconds, r.configs_per_second"
             " FROM results r JOIN runs USING (run_id)"
             " WHERE r.scenario = ? ORDER BY r.run_id",
             (scenario,),
@@ -334,6 +365,7 @@ class ResultStore:
                 row["created_at"],
                 row["total_cycles"],
                 row["wall_time_seconds"],
+                row["configs_per_second"],
             )
             for row in rows
         ]

@@ -188,8 +188,8 @@ class TestExplore:
         )
         assert rescan.results == incremental.results
         assert (
-            rescan.block_cost_evaluations
-            > 2 * incremental.block_cost_evaluations
+            rescan.contribution_lookups
+            > 2 * incremental.contribution_lookups
         )
 
     def test_stats_aggregate(self, small_report):
@@ -197,11 +197,36 @@ class TestExplore:
         assert small_report.blocks_mapped > 0
         assert small_report.elapsed_seconds > 0.0
 
-    def test_task_shares_engine_across_constraints(self, small_space):
-        outcome = _run_task(small_space.tasks()[0])
-        # One engine priced every constraint of the pair, so each of the
-        # 18 OFDM blocks was mapped exactly once, not once per constraint.
+    def test_task_prices_each_pair_once(self, small_space):
+        workloads: dict = {}
+        tables: dict = {}
+        outcome = _run_task(small_space.tasks()[0], workloads, tables)
+        # One packed table priced every constraint cell of the pair, so
+        # each of the 18 OFDM blocks was mapped exactly once, not once
+        # per cell.
         assert outcome.blocks_mapped == 18
+        # Re-running the task against a warm table cache re-prices
+        # nothing at all.
+        warm = _run_task(small_space.tasks()[0], workloads, tables)
+        assert warm.blocks_mapped == 0
+        assert warm.results == outcome.results
+
+    def test_algorithm_cells_share_the_pair_table(self):
+        """Different algorithms on the same (workload, platform) pair
+        price it once between them (the tentpole sharing claim)."""
+        space = DesignSpace(
+            workloads=(WorkloadSpec.ofdm(),),
+            platforms=(PlatformSpec(afpga=1500, cgc_count=2),),
+            constraint_fractions=(0.5,),
+            algorithms=(AlgorithmSpec.greedy(), AlgorithmSpec.annealing()),
+        )
+        greedy_task, annealing_task = space.tasks()
+        workloads: dict = {}
+        tables: dict = {}
+        first = _run_task(greedy_task, workloads, tables)
+        assert first.blocks_mapped == 18
+        second = _run_task(annealing_task, workloads, tables)
+        assert second.blocks_mapped == 0
 
 
 class TestAlgorithmAxis:
@@ -224,7 +249,14 @@ class TestAlgorithmAxis:
 
     def test_size_includes_algorithm_axis(self, algo_space):
         assert algo_space.size == 3
-        assert len(algo_space.tasks()) == 3
+        # One task per (workload, platform, algorithm) triple, so the
+        # algorithm axis parallelizes; pricing is shared per pair by
+        # the runner's table cache, not by task granularity.
+        tasks = algo_space.tasks()
+        assert len(tasks) == 3
+        assert [t.algorithms for t in tasks] == [
+            (spec,) for spec in algo_space.algorithms
+        ]
 
     def test_default_axis_is_greedy_alone(self, small_space, small_report):
         assert small_space.algorithms == (AlgorithmSpec.greedy(),)

@@ -33,14 +33,29 @@ class TestCostModel:
         assert model.initial_ticks() == expected
 
     def test_contribution_cached_but_counted(self, workload, model):
-        before = model.stats.block_cost_evaluations
+        before_lookups = model.stats.contribution_lookups
+        before_evals = model.stats.block_cost_evaluations
         mapped = model.stats.blocks_mapped
         block = workload.blocks[0]
         model.contribution(block)
         model.contribution(block)
-        # Every lookup counts as an evaluation; mapping happens once.
-        assert model.stats.block_cost_evaluations == before + 2
+        # Every call counts as a lookup; evaluation/mapping happen at
+        # most once (cache hits must not inflate the evaluation count).
+        assert model.stats.contribution_lookups == before_lookups + 2
+        assert model.stats.block_cost_evaluations <= before_evals + 1
         assert model.stats.blocks_mapped <= mapped + 1
+
+    def test_cache_hits_do_not_count_as_evaluations(self, workload):
+        from repro.partition import CostModel
+        from repro.platform import paper_platform
+
+        fresh = CostModel(workload, paper_platform(1500, 2))
+        block = workload.blocks[0]
+        for _ in range(5):
+            fresh.contribution(block)
+        assert fresh.stats.contribution_lookups == 5
+        assert fresh.stats.block_cost_evaluations == 1
+        assert fresh.stats.blocks_mapped == 1
 
     def test_split_ticks_components_sum(self, model):
         for ticks in ((10, 11, 12), (1, 1, 1), (0, 0, 5), (7, 0, 0)):

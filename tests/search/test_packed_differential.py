@@ -1,0 +1,176 @@
+"""Packed vs. object substrate differential coverage.
+
+The acceptance contract of the packed refactor: on every registered
+workload (the paper apps, the filter bank and Viterbi decoder, and the
+synthetic skew / communication / size families) and every algorithm,
+both substrates produce identical :class:`PartitionResult` records and
+identical Pareto fronts.  The object substrate is the reference; the
+packed substrate is the one the defaults select.
+"""
+
+import pytest
+
+from repro.explore import WorkloadSpec
+from repro.partition import EngineConfig
+from repro.platform import paper_platform
+from repro.search import AlgorithmSpec, make_partitioner
+
+# Every registered workload family (suite registry coverage), built once
+# per module.  Exhaustive runs under a move budget on the larger ones so
+# the object reference enumeration stays tractable.
+WORKLOAD_SPECS = (
+    WorkloadSpec.ofdm(),
+    WorkloadSpec.jpeg(),
+    WorkloadSpec.filterbank(),
+    WorkloadSpec.viterbi(),
+    WorkloadSpec.synthetic(32, seed=1, weight_skew=3.0),   # skew axis
+    WorkloadSpec.synthetic(32, seed=1, weight_skew=1.0),
+    WorkloadSpec.synthetic(24, seed=2, comm_intensity=0.1),  # comm axis
+    WorkloadSpec.synthetic(24, seed=2, comm_intensity=1.5),
+    WorkloadSpec.synthetic(12, seed=4),                     # size axis
+    WorkloadSpec.synthetic(96, seed=4),
+)
+
+ALGORITHM_SPECS = (
+    AlgorithmSpec.greedy(),
+    # Explicit cap: the differential property is per-cap, and the
+    # substrate-resolved defaults deliberately differ (24 packed / 16
+    # object).  The move budget below keeps the object DFS pruned on
+    # kernel-rich workloads.
+    AlgorithmSpec.exhaustive(max_candidates=128),
+    AlgorithmSpec.multi_start(restarts=6, seed=3),
+    AlgorithmSpec.annealing(seed=7, temp_levels=10),
+)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {spec.label: spec.build() for spec in WORKLOAD_SPECS}
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return paper_platform(1500, 2)
+
+
+def _config(substrate: str, algorithm: AlgorithmSpec) -> EngineConfig:
+    # Exhaustive needs a budget on kernel-rich workloads: the object
+    # reference enumerates subsets one Python call at a time.
+    budget = 2 if algorithm.name == "exhaustive" else None
+    return EngineConfig(substrate=substrate, max_kernels_moved=budget)
+
+
+@pytest.mark.parametrize(
+    "workload_label", [spec.label for spec in WORKLOAD_SPECS]
+)
+@pytest.mark.parametrize(
+    "algorithm", ALGORITHM_SPECS, ids=[s.name for s in ALGORITHM_SPECS]
+)
+def test_substrates_are_bit_identical(
+    workloads, platform, workload_label, algorithm
+):
+    workload = workloads[workload_label]
+    packed = make_partitioner(
+        algorithm, workload, platform,
+        config=_config("packed", algorithm),
+    )
+    reference = make_partitioner(
+        algorithm, workload, platform,
+        config=_config("object", algorithm),
+    )
+    initial = packed.initial_cycles()
+    assert initial == reference.initial_cycles()
+    constraints = [1, max(1, initial // 2)]
+    packed_results = packed.sweep(constraints)
+    reference_results = reference.sweep(constraints)
+    assert packed_results == reference_results
+    for packed_result in packed_results:
+        assert packed_result.final_cycles <= packed_result.initial_cycles
+    assert packed.pareto_front() == reference.pareto_front()
+    assert packed.visited_count == reference.visited_count
+    assert packed.visited == reference.visited
+
+
+def test_exhaustive_default_cap_is_substrate_aware(workloads, platform):
+    """OFDM has 18 supported kernels: within the packed default cap of
+    24 (the Gray walk enumerates 2^18 cheaply), beyond the object
+    default of 16 (where 2^18 subsets of object churn is a guard-worthy
+    mistake).  An explicit cap applies to either substrate."""
+    workload = workloads["ofdm-transmitter"]
+    packed = make_partitioner(
+        AlgorithmSpec.exhaustive(), workload, platform,
+        config=EngineConfig(substrate="packed"),
+    )
+    assert packed.run(1).final_cycles <= packed.run(1).initial_cycles
+    reference = make_partitioner(
+        AlgorithmSpec.exhaustive(), workload, platform,
+        config=EngineConfig(substrate="object"),
+    )
+    with pytest.raises(ValueError, match="exceed the exhaustive limit"):
+        reference.run(1)
+    # Explicitly raised, the object reference enumerates (and agrees).
+    raised = make_partitioner(
+        AlgorithmSpec.exhaustive(max_candidates=18), workload, platform,
+        config=EngineConfig(substrate="object"),
+    )
+    assert raised.run(1) == packed.run(1)
+
+
+def test_unknown_substrate_rejected(workloads, platform):
+    with pytest.raises(ValueError, match="unknown substrate"):
+        EngineConfig(substrate="simd")
+    # A config mutated to a bad name after construction is caught at
+    # first use.
+    config = EngineConfig()
+    config.substrate = "simd"
+    partitioner = make_partitioner(
+        AlgorithmSpec.greedy(),
+        workloads["ofdm-transmitter"],
+        platform,
+        config=config,
+    )
+    with pytest.raises(ValueError, match="unknown substrate"):
+        partitioner.run(1)
+
+
+def test_injected_table_matches_derived(workloads, platform):
+    """A pre-derived (even pickled) table yields identical results."""
+    import pickle
+
+    from repro.partition import CostModel, PackedCostTable
+
+    workload = workloads["ofdm-transmitter"]
+    table = PackedCostTable.from_model(CostModel(workload, platform))
+    shipped = pickle.loads(pickle.dumps(table))
+    for algorithm in ALGORITHM_SPECS:
+        direct = make_partitioner(
+            algorithm, workload, platform,
+            config=_config("packed", algorithm),
+        )
+        injected = make_partitioner(
+            algorithm, workload, platform,
+            config=_config("packed", algorithm), packed_table=shipped,
+        )
+        assert injected.run(1) == direct.run(1)
+        assert injected.pareto_front() == direct.pareto_front()
+        # The injected-table partitioner never had to price a block.
+        assert injected.stats.blocks_mapped == 0
+
+
+def test_exhaustive_unbudgeted_gray_walk_matches_object(platform):
+    """The Gray-code walk (no budget) against the object DFS on a
+    workload small enough to enumerate both ways."""
+    workload = WorkloadSpec.synthetic(
+        12, seed=3, kernel_fraction=0.8, comm_intensity=0.8
+    ).build()
+    packed = make_partitioner(
+        AlgorithmSpec.exhaustive(), workload, platform,
+        config=EngineConfig(substrate="packed", stop_at_constraint=False),
+    )
+    reference = make_partitioner(
+        AlgorithmSpec.exhaustive(), workload, platform,
+        config=EngineConfig(substrate="object", stop_at_constraint=False),
+    )
+    assert packed.run(1) == reference.run(1)
+    assert packed.visited_count == reference.visited_count
+    assert packed.pareto_front() == reference.pareto_front()

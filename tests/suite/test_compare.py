@@ -163,3 +163,83 @@ class TestSummary:
         summary = compare_runs(baseline, candidate).summary()
         assert "1 regression(s)" in summary
         assert "1 ok" in summary
+
+
+class TestThroughputGating:
+    """configs_per_second drops gate like cycle growth (opt-in)."""
+
+    def _pair(self, base_cps: float, cand_cps: float):
+        baseline = dataclasses.replace(
+            make_run(),
+            results=[make_result("s1", configs_per_second=base_cps)],
+        )
+        candidate = dataclasses.replace(
+            baseline,
+            results=[make_result("s1", configs_per_second=cand_cps)],
+        )
+        return baseline, candidate
+
+    def test_off_by_default(self):
+        baseline, candidate = self._pair(100_000.0, 1_000.0)
+        assert not compare_runs(baseline, candidate).has_regressions
+
+    def test_throughput_drop_gates_when_enabled(self):
+        baseline, candidate = self._pair(100_000.0, 10_000.0)
+        comparison = compare_runs(
+            baseline, candidate,
+            RegressionThresholds(throughput_percent=50.0),
+        )
+        (regression,) = comparison.regressions()
+        assert regression.throughput_delta_percent == pytest.approx(-90.0)
+        with pytest.raises(AssertionError, match="configs_per_second"):
+            assert_no_regressions(comparison)
+
+    def test_drop_below_threshold_is_ok(self):
+        baseline, candidate = self._pair(100_000.0, 80_000.0)
+        comparison = compare_runs(
+            baseline, candidate,
+            RegressionThresholds(throughput_percent=50.0),
+        )
+        assert not comparison.has_regressions
+
+    def test_throughput_gain_never_gates(self):
+        baseline, candidate = self._pair(10_000.0, 100_000.0)
+        comparison = compare_runs(
+            baseline, candidate,
+            RegressionThresholds(throughput_percent=50.0),
+        )
+        assert not comparison.has_regressions
+
+    def test_pre_v2_baseline_is_exempt(self):
+        # A baseline recorded before schema v2 carries 0.0: no gating.
+        baseline, candidate = self._pair(0.0, 1_000.0)
+        comparison = compare_runs(
+            baseline, candidate,
+            RegressionThresholds(throughput_percent=50.0),
+        )
+        assert not comparison.has_regressions
+
+    def test_pre_v2_candidate_is_exempt(self):
+        # A pre-v2 *candidate* (0.0) is a missing metric, not -100%.
+        baseline, candidate = self._pair(100_000.0, 0.0)
+        comparison = compare_runs(
+            baseline, candidate,
+            RegressionThresholds(throughput_percent=50.0),
+        )
+        assert not comparison.has_regressions
+
+    def test_noise_floor_exempts_tiny_baselines(self):
+        baseline, candidate = self._pair(500.0, 50.0)
+        comparison = compare_runs(
+            baseline, candidate,
+            RegressionThresholds(
+                throughput_percent=50.0, min_configs_per_second=1000.0
+            ),
+        )
+        assert not comparison.has_regressions
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            RegressionThresholds(throughput_percent=-1.0)
+        with pytest.raises(ValueError):
+            RegressionThresholds(min_configs_per_second=-1.0)

@@ -85,3 +85,26 @@ class TestRunSuite:
             r.total_cycles for r in parallel.results
         ]
         assert [r.scenario for r in parallel.results] == FAST
+
+
+class TestEvaluationThroughput:
+    def test_configs_per_second_recorded(self):
+        result = run_scenario(get_scenario("synth-small"))
+        assert result.configs_per_second > 0.0
+
+    def test_table_cache_prices_each_pair_once(self):
+        """Two scenarios sharing a (workload, platform) pair build one
+        packed table; the second run reuses it."""
+        scenarios = select_scenarios(["synth-skewed", "synth-flat"])
+        workloads: dict = {}
+        tables: dict = {}
+        for scenario in scenarios:
+            run_scenario(scenario, workloads, tables)
+        # skew-axis scenarios differ in workload, so two tables; but
+        # re-running adds nothing.
+        assert len(tables) == len(
+            {(s.workload, s.platform) for s in scenarios}
+        )
+        before = dict(tables)
+        run_scenario(scenarios[0], workloads, tables)
+        assert tables == before

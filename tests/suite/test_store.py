@@ -75,7 +75,7 @@ class TestResultStore:
             store.record_run(make_run(results=[make_result("s1", 1000)]))
             store.record_run(make_run(results=[make_result("s1", 900)]))
             history = store.scenario_history("s1")
-        assert [cycles for (_, _, cycles, _) in history] == [1000, 900]
+        assert [cycles for (_, _, cycles, _, _) in history] == [1000, 900]
 
     def test_runs_summary_counts_scenarios(self):
         with ResultStore(":memory:") as store:
@@ -140,3 +140,122 @@ class TestDataclassHygiene:
         result = make_result()
         with pytest.raises(dataclasses.FrozenInstanceError):
             result.total_cycles = 1  # type: ignore[misc]
+
+
+class TestSchemaV2:
+    def test_configs_per_second_round_trips(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        run = make_run(
+            results=[make_result("s1", configs_per_second=123456.7)]
+        )
+        with ResultStore(path) as store:
+            store.record_run(run)
+            loaded = store.load_latest()
+        assert loaded is not None
+        assert loaded.results[0].configs_per_second == pytest.approx(
+            123456.7
+        )
+
+    def test_json_round_trips_throughput(self, tmp_path):
+        run = make_run(
+            results=[make_result("s1", configs_per_second=5000.5)]
+        )
+        path = run.write_json(tmp_path / "run.json")
+        assert read_run_json(path).results[0].configs_per_second == 5000.5
+
+    def test_pre_v2_json_defaults_to_zero(self, tmp_path):
+        run = make_run(results=[make_result("s1")])
+        payload = run.to_json_dict()
+        for entry in payload["results"]:  # type: ignore[union-attr]
+            del entry["configs_per_second"]
+        import json
+
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(payload))
+        assert read_run_json(path).results[0].configs_per_second == 0.0
+
+    def test_v1_database_is_migrated(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "old.sqlite"
+        connection = sqlite3.connect(path)
+        # The v1 schema verbatim (no configs_per_second column).
+        connection.executescript(
+            """
+            CREATE TABLE runs (
+                run_id INTEGER PRIMARY KEY AUTOINCREMENT,
+                label TEXT NOT NULL DEFAULT '',
+                fingerprint TEXT NOT NULL,
+                created_at TEXT NOT NULL,
+                elapsed_seconds REAL NOT NULL DEFAULT 0.0
+            );
+            CREATE TABLE results (
+                run_id INTEGER NOT NULL REFERENCES runs(run_id)
+                    ON DELETE CASCADE,
+                scenario TEXT NOT NULL,
+                workload TEXT NOT NULL,
+                platform TEXT NOT NULL,
+                algorithm TEXT NOT NULL,
+                constraint_fraction REAL NOT NULL,
+                timing_constraint INTEGER NOT NULL,
+                initial_cycles INTEGER NOT NULL,
+                total_cycles INTEGER NOT NULL,
+                reduction_percent REAL NOT NULL,
+                kernels_moved INTEGER NOT NULL,
+                moved_bb_ids TEXT NOT NULL,
+                rows_used INTEGER NOT NULL,
+                constraint_met INTEGER NOT NULL,
+                wall_time_seconds REAL NOT NULL,
+                PRIMARY KEY (run_id, scenario)
+            );
+            PRAGMA user_version = 1;
+            """
+        )
+        connection.execute(
+            "INSERT INTO runs (label, fingerprint, created_at)"
+            " VALUES ('old', 'cafe', '2026-01-01T00:00:00+00:00')"
+        )
+        connection.execute(
+            "INSERT INTO results VALUES"
+            " (1, 's1', 'w', 'p', 'greedy', 0.5, 500, 2000, 1000,"
+            " 50.0, 2, '3,7', 2, 1, 0.125)"
+        )
+        connection.commit()
+        connection.close()
+
+        with ResultStore(path) as store:
+            migrated = store.load_run(1)
+            # Old rows read back with the 0.0 sentinel...
+            assert migrated.results[0].configs_per_second == 0.0
+            # ...and new runs persist real throughput numbers.
+            store.record_run(
+                make_run(results=[make_result("s1", configs_per_second=9.5)])
+            )
+            fresh = store.load_latest()
+        assert fresh is not None
+        assert fresh.results[0].configs_per_second == 9.5
+        import sqlite3 as sql
+
+        connection = sql.connect(path)
+        assert connection.execute("PRAGMA user_version").fetchone()[0] == 2
+        connection.close()
+
+    def test_interrupted_migration_converges(self, tmp_path):
+        """A crash between the auto-committed ALTER and the version
+        bump (column present, user_version still 1) must not brick the
+        store on the next open."""
+        import sqlite3
+
+        path = tmp_path / "half.sqlite"
+        with ResultStore(path) as store:
+            store.record_run(make_run())
+        connection = sqlite3.connect(path)
+        connection.execute("PRAGMA user_version = 1")  # simulate the crash
+        connection.commit()
+        connection.close()
+
+        with ResultStore(path) as store:  # must not raise
+            assert store.load_latest() is not None
+        connection = sqlite3.connect(path)
+        assert connection.execute("PRAGMA user_version").fetchone()[0] == 2
+        connection.close()

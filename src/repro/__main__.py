@@ -29,8 +29,16 @@ run without writing a script:
         python -m repro suite compare \\
             --baseline benchmarks/suite_baseline.json --cycle-threshold 20
 
+``verify``
+    Static IR sanitization: lower each workload's program to its CDFG,
+    run the structural/dataflow verifier, and print a diagnostic
+    report (``--all`` covers every registered suite scenario)::
+
+        python -m repro verify ofdm-measured minic:0
+        python -m repro verify --all
+
 Workload syntax: ``ofdm`` | ``jpeg`` | ``ofdm-measured`` |
-``jpeg-measured`` | ``filterbank`` | ``viterbi`` |
+``jpeg-measured`` | ``filterbank`` | ``viterbi`` | ``minic:<seed>`` |
 ``synthetic:<blocks>``, each optionally followed by
 ``:key=value,...`` parameters.
 Algorithm syntax: ``<name>[:key=value,...]`` with the
@@ -94,7 +102,7 @@ def _parse_params(text: str) -> dict[str, object]:
 def parse_workload(text: str) -> WorkloadSpec:
     spec = _parse_workload_spec(text)
     try:
-        spec.label  # validates parameter names eagerly, at parse time
+        _ = spec.label  # validates parameter names eagerly, at parse time
     except TypeError as error:
         raise argparse.ArgumentTypeError(
             f"bad parameters for workload {text!r}: {error}"
@@ -116,6 +124,17 @@ def _parse_workload_spec(text: str) -> WorkloadSpec:
         return WorkloadSpec.filterbank(**_parse_params(rest))
     if kind == "viterbi":
         return WorkloadSpec.viterbi(**_parse_params(rest))
+    if kind == "minic":
+        seed_text, __, params = rest.partition(":")
+        if not seed_text:
+            return WorkloadSpec.minic()
+        try:
+            seed = int(seed_text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"minic seed must be an integer, got {seed_text!r}"
+            ) from None
+        return WorkloadSpec.minic(seed, **_parse_params(params))
     if kind == "synthetic":
         blocks, __, params = rest.partition(":")
         if not blocks:
@@ -131,7 +150,7 @@ def _parse_workload_spec(text: str) -> WorkloadSpec:
         return WorkloadSpec.synthetic(block_count, **_parse_params(params))
     raise argparse.ArgumentTypeError(
         f"unknown workload {text!r}; expected ofdm, jpeg, ofdm-measured, "
-        "jpeg-measured, filterbank, viterbi or "
+        "jpeg-measured, filterbank, viterbi, minic:<seed> or "
         "synthetic:<blocks>[:key=value,...]"
     )
 
@@ -310,6 +329,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-candidate",
         help="also write the candidate run as baseline-format JSON "
         "(baseline refresh)",
+    )
+
+    ver = sub.add_parser(
+        "verify",
+        help="lower workloads to CDFGs and run the static IR verifier",
+    )
+    ver.add_argument(
+        "workloads", type=parse_workload, nargs="*", metavar="WORKLOAD",
+        help="workload specs to verify (same syntax as --workload)",
+    )
+    ver.add_argument(
+        "--all", action="store_true",
+        help="also verify every registered suite scenario workload plus "
+        "the IR-backed application kinds (ofdm-measured, jpeg-measured, "
+        "minic)",
+    )
+    ver.add_argument(
+        "--no-optimize", action="store_true",
+        help="verify the raw lowered IR instead of the optimized form",
+    )
+    ver.add_argument(
+        "--stats", action="store_true",
+        help="print per-function block/op/loop/liveness statistics",
     )
     return parser
 
@@ -596,12 +638,88 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return _cmd_suite_compare(args)
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .ir import find_loops, live_variable_sets, verify_cdfg
+    from .suite import SCENARIOS
+
+    specs: list[WorkloadSpec] = list(args.workloads)
+    if args.all:
+        seen = {spec.label for spec in specs}
+        candidates = [s.workload for s in SCENARIOS.values()]
+        # The registered suite is partly table-driven; always cover the
+        # IR-backed application kinds as well so --all exercises the
+        # verifier on real lowered programs.
+        candidates += [
+            WorkloadSpec.ofdm_measured(),
+            WorkloadSpec.jpeg_measured(),
+            WorkloadSpec.minic(0),
+        ]
+        for spec in candidates:
+            if spec.label not in seen:
+                seen.add(spec.label)
+                specs.append(spec)
+    if not specs:
+        print(
+            "error: no workloads to verify (name some or pass --all)",
+            file=sys.stderr,
+        )
+        return 2
+
+    failed = 0
+    skipped = 0
+    for spec in specs:
+        cdfg = spec.cdfg(optimize=False if args.no_optimize else None)
+        if cdfg is None:
+            skipped += 1
+            print(f"{spec.label}: skipped (no IR behind this workload kind)")
+            continue
+        report = verify_cdfg(cdfg)
+        ops = sum(
+            len(block.instructions)
+            for cfg in cdfg.cfgs.values()
+            for block in cfg.blocks.values()
+        )
+        status = "ok" if report.ok else "FAIL"
+        print(
+            f"{spec.label}: {status} "
+            f"({len(cdfg.cfgs)} functions, {cdfg.block_count} blocks, "
+            f"{ops} ops, {len(report.errors)} errors, "
+            f"{len(report.warnings)} warnings)"
+        )
+        if report.diagnostics:
+            for line in report.render().splitlines():
+                print(f"  {line}")
+        if args.stats:
+            for name, cfg in cdfg.cfgs.items():
+                liveness = live_variable_sets(cfg)
+                peak_live = max(
+                    (len(s) for s in liveness.in_sets.values()), default=0
+                )
+                print(
+                    f"  {name}: {len(cfg.blocks)} blocks, "
+                    f"{sum(len(b.instructions) for b in cfg.blocks.values())}"
+                    f" ops, {len(find_loops(cfg).loops)} loops, "
+                    f"peak live scalars {peak_live} "
+                    f"(liveness converged in {liveness.iterations} sweeps)"
+                )
+        if not report.ok:
+            failed += 1
+    verified = len(specs) - skipped
+    print(
+        f"verified {verified} workload{'s' if verified != 1 else ''}: "
+        f"{verified - failed} clean, {failed} failing, {skipped} skipped"
+    )
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "partition":
         return _cmd_partition(args)
     if args.command == "explore":
         return _cmd_explore(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     return _cmd_suite(args)
 
 

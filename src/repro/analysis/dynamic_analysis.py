@@ -46,7 +46,7 @@ class DynamicProfile:
 def profile_cdfg(
     cdfg: CDFG,
     entry: str,
-    *args,
+    *args: object,
     cache: ProfileCache | None = None,
     mode: str = "auto",
 ) -> DynamicProfile:

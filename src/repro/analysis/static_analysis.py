@@ -31,6 +31,10 @@ class BlockStaticInfo:
     memory_accesses: int
     move_ops: int
     call_ops: int
+    #: ``len(block.instructions)`` including the terminator — the same
+    #: count the block compiler bakes into its slots, so static totals
+    #: can be checked against ``profiles_from_frequencies`` inputs.
+    instruction_count: int = 0
 
     @property
     def compute_ops(self) -> int:
@@ -65,6 +69,13 @@ class StaticAnalysisResult:
         )
         return ordered[:count]
 
+    def total_instructions(self) -> int:
+        """Program-wide instruction count, terminators included."""
+        return sum(info.instruction_count for info in self.blocks.values())
+
+    def total_memory_accesses(self) -> int:
+        return sum(info.memory_accesses for info in self.blocks.values())
+
 
 def analyze_block(
     block: BasicBlock,
@@ -84,6 +95,7 @@ def analyze_block(
         memory_accesses=histogram.get(OpClass.MEM, 0),
         move_ops=histogram.get(OpClass.MOVE, 0),
         call_ops=histogram.get(OpClass.CALL, 0),
+        instruction_count=len(block.instructions),
     )
 
 

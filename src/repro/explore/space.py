@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import ClassVar
 
 from ..partition.engine import EngineConfig
 from ..partition.workload import ApplicationWorkload
@@ -23,7 +24,7 @@ class WorkloadSpec:
     measured by actually profiling the mini-C implementation) or a
     synthetic one."""
 
-    kind: str  # "ofdm" | "jpeg" | "synthetic" | "*-measured" | "filterbank" | "viterbi"
+    kind: str  # "ofdm" | "jpeg" | "synthetic" | "*-measured" | "filterbank" | "viterbi" | "minic"
     params: tuple[tuple[str, object], ...] = ()
 
     _KINDS = (
@@ -34,10 +35,14 @@ class WorkloadSpec:
         "jpeg-measured",
         "filterbank",
         "viterbi",
+        "minic",
     )
+    #: Kinds whose workloads are built from a real lowered CDFG (the
+    #: ones the IR verifier / ``python -m repro verify`` can inspect).
+    CDFG_KINDS = ("ofdm-measured", "jpeg-measured", "minic")
     #: Names the paper-app factories give their workloads; labels must
     #: match them because ExplorationResult.workload is the built name.
-    _APP_NAMES = {
+    _APP_NAMES: ClassVar[dict[str, str]] = {
         "ofdm": "ofdm-transmitter",
         "jpeg": "jpeg-encoder",
         "ofdm-measured": "ofdm-transmitter-measured",
@@ -91,6 +96,15 @@ class WorkloadSpec:
         encoder on the deterministic test frame for ``image_seed``."""
         return cls(kind="jpeg-measured", params=(("image_seed", image_seed),))
 
+    @classmethod
+    def minic(cls, seed: int = 0, optimize: bool = True) -> "WorkloadSpec":
+        """A generated mini-C program measured through the full frontend
+        + profiling flow (``optimize`` runs the local+global pass
+        pipeline before profiling)."""
+        return cls(
+            kind="minic", params=(("optimize", optimize), ("seed", seed))
+        )
+
     @property
     def label(self) -> str:
         """Predicts the built workload's name (the report query key)."""
@@ -102,6 +116,10 @@ class WorkloadSpec:
             if self.kind == "ofdm-measured":
                 return f"{base}-s{params.get('symbols', 6)}"
             return f"{base}-i{params.get('image_seed', 1994)}"
+        if self.kind == "minic":
+            from ..workloads.synthetic import minic_workload_name
+
+            return minic_workload_name(int(dict(self.params).get("seed", 0)))  # type: ignore[arg-type]
         if self.kind == "filterbank":
             from ..workloads.filterbank import filterbank_workload_name
 
@@ -140,13 +158,51 @@ class WorkloadSpec:
             from ..workloads.viterbi import viterbi_workload
 
             return viterbi_workload(**dict(self.params))  # type: ignore[arg-type]
+        if self.kind == "minic":
+            from ..workloads.synthetic import minic_application
+
+            params = dict(self.params)
+            return minic_application(
+                seed=int(params.get("seed", 0)),  # type: ignore[arg-type]
+                optimize=bool(params.get("optimize", True)),
+            )
         if self.kind in ("ofdm-measured", "jpeg-measured"):
             return self._build_measured(profile_cache)
         return synthetic_application(**dict(self.params))  # type: ignore[arg-type]
 
+    def cdfg(self, optimize: bool | None = None):
+        """The lowered CDFG behind this spec, or ``None``.
+
+        Only :attr:`CDFG_KINDS` are backed by real IR; the calibrated
+        Table 1 and synthetic-DFG kinds fabricate engine statistics
+        directly and have nothing for the verifier to inspect.
+        """
+        if self.kind == "minic":
+            from ..workloads.synthetic import minic_cdfg
+
+            params = dict(self.params)
+            return minic_cdfg(
+                seed=int(params.get("seed", 0)),  # type: ignore[arg-type]
+                optimize=bool(
+                    params.get("optimize", True)
+                    if optimize is None
+                    else optimize
+                ),
+            )
+        if self.kind == "ofdm-measured":
+            from ..workloads.ofdm import OFDMTransmitterApp
+
+            return OFDMTransmitterApp().cdfg
+        if self.kind == "jpeg-measured":
+            from ..workloads.jpeg import JPEGEncoderApp
+
+            return JPEGEncoderApp().cdfg
+        return None
+
     def _build_measured(self, profile_cache) -> ApplicationWorkload:
         """Profile the real mini-C application through the (optionally
         shared, on-disk) content-keyed profile cache."""
+        from ..ir.verify import assert_verified, sanitizer_enabled
         from ..partition.workload import workload_from_cdfg
 
         params = dict(self.params)
@@ -171,6 +227,8 @@ class WorkloadSpec:
             app = JPEGEncoderApp(profile_cache=profile_cache)
             image_seed = int(params.get("image_seed", 1994))  # type: ignore[arg-type]
             profile = app.profile_image(test_image(seed=image_seed))
+        if sanitizer_enabled():
+            assert_verified(app.cdfg, f"workload {self.label}")
         return workload_from_cdfg(app.cdfg, profile, name=self.label)
 
 

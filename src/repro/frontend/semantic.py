@@ -437,7 +437,9 @@ class SemanticAnalyzer:
                 f"{len(signature.param_types)} argument(s), got {len(expr.args)}",
                 expr.location,
             )
-        for arg, param_type in zip(expr.args, signature.param_types):
+        for arg, param_type in zip(
+            expr.args, signature.param_types, strict=False
+        ):
             if isinstance(param_type, ArrayType):
                 if not isinstance(arg, NameRef):
                     self.diagnostics.error(

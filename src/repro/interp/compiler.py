@@ -54,6 +54,7 @@ from ..ir.cdfg import CDFG
 from ..ir.cfg import ControlFlowGraph
 from ..ir.operations import ArrayBase, Const, Instruction, Opcode, Temp, VarRef
 from ..ir.opsemantics import c_div, c_mod, c_round, evaluate_opcode
+from ..ir.verify import assert_verified, sanitizer_enabled
 from .values import ArrayStorage, ExecutionLimitExceeded, coerce
 
 
@@ -284,7 +285,7 @@ def _bind_frame(cfunc: CompiledFunction, args: list):
         )
     scalars: dict = {}
     arrays: dict[str, ArrayStorage] = {}
-    for spec, arg in zip(params, args):
+    for spec, arg in zip(params, args, strict=True):
         if spec.is_array:
             assert isinstance(spec.var_type, ArrayType)
             if isinstance(arg, ArrayStorage):
@@ -711,6 +712,12 @@ def compile_cdfg(
     if cached is not None and not force:
         if cached.fingerprint == fingerprint:
             return cached
+    if sanitizer_enabled():
+        # One static verification per compiled fingerprint: malformed IR
+        # is rejected with block-level diagnostics before any code is
+        # generated from it (the cache means this never runs twice for
+        # the same CDFG content).
+        assert_verified(cdfg, "block compiler")
     program = _compile_program(cdfg, fingerprint)
     setattr(cdfg, _COMPILED_ATTR, program)
     return program

@@ -211,7 +211,7 @@ class Interpreter:
         if type(hook) is not BlockProfiler:
             return
         profiles = hook.profiles
-        for info, count in zip(program.slots, counts):
+        for info, count in zip(program.slots, counts, strict=True):
             if count == 0:
                 continue
             profile = profiles.get(info.bb_id)
@@ -253,7 +253,7 @@ class Interpreter:
                 f"{cfg.function_name}() expects {len(cfg.param_names)} "
                 f"argument(s), got {len(args)}"
             )
-        for name, arg in zip(cfg.param_names, args):
+        for name, arg in zip(cfg.param_names, args, strict=True):
             info = cfg.variables[name]
             if info.is_array:
                 assert isinstance(info.var_type, ArrayType)

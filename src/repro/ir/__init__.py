@@ -26,14 +26,38 @@ from .operations import (
     Value,
     VarRef,
 )
+from .dataflow import (
+    DataflowAnalysis,
+    DataflowResult,
+    DefiniteAssignment,
+    LivenessAnalysis,
+    ReachingDefinitions,
+    live_variable_sets,
+    reaching_definition_sets,
+)
 from .opsemantics import FOLDABLE_OPCODES, evaluate_opcode
 from .passes import (
+    PASS_TOTAL_KEYS,
+    eliminate_dead_code_global,
     eliminate_dead_code_in_block,
+    eliminate_unreachable_blocks,
     fold_constants_in_block,
     optimize_cdfg,
     optimize_cfg,
     propagate_copies_in_block,
     run_block_passes,
+    simplify_constant_branches,
+)
+from .verify import (
+    Diagnostic,
+    OPCODE_SHAPES,
+    VerificationError,
+    VerificationReport,
+    assert_verified,
+    sanitizer_enabled,
+    set_sanitizer,
+    verify_cdfg,
+    verify_cfg,
 )
 
 __all__ = [
@@ -44,35 +68,55 @@ __all__ = [
     "CDFG",
     "Const",
     "ControlFlowGraph",
+    "DataflowAnalysis",
+    "DataflowResult",
     "DataFlowGraph",
+    "DefiniteAssignment",
     "DFGNode",
     "DFGStatistics",
+    "Diagnostic",
     "DominatorTree",
     "FOLDABLE_OPCODES",
     "FunctionLowerer",
     "Instruction",
     "INTRINSIC_OPCODES",
+    "LivenessAnalysis",
     "LoopForest",
     "NaturalLoop",
     "OpClass",
     "Opcode",
+    "OPCODE_SHAPES",
     "Operand",
+    "PASS_TOTAL_KEYS",
+    "ReachingDefinitions",
     "Temp",
     "TempFactory",
     "Value",
     "VariableInfo",
     "VarRef",
+    "VerificationError",
+    "VerificationReport",
+    "assert_verified",
     "build_cdfg",
     "cdfg_from_source",
     "compute_dominators",
+    "eliminate_dead_code_global",
     "eliminate_dead_code_in_block",
+    "eliminate_unreachable_blocks",
     "evaluate_opcode",
     "find_loops",
     "fold_constants_in_block",
+    "live_variable_sets",
     "lower_function",
     "lower_program",
     "optimize_cdfg",
     "optimize_cfg",
     "propagate_copies_in_block",
+    "reaching_definition_sets",
     "run_block_passes",
+    "sanitizer_enabled",
+    "set_sanitizer",
+    "simplify_constant_branches",
+    "verify_cdfg",
+    "verify_cfg",
 ]

@@ -33,7 +33,9 @@ class BlockKey:
 class CDFG:
     """Program-level view over lowered CFGs with stable block numbering."""
 
-    def __init__(self, program: Program, cfgs: dict[str, ControlFlowGraph]):
+    def __init__(
+        self, program: Program, cfgs: dict[str, ControlFlowGraph]
+    ) -> None:
         self.program = program
         self.cfgs = cfgs
         self._by_id: dict[int, BlockKey] = {}
@@ -101,6 +103,25 @@ class CDFG:
             for bb_id, key in sorted(self._by_id.items())
         }
 
+    def prune_removed_blocks(self) -> list[int]:
+        """Re-sync the id index after passes removed blocks.
+
+        Blocks deleted from a member CFG (unreachable-code elimination)
+        are dropped from ``_by_id`` and the DFG cache; surviving blocks
+        keep their numbering, so recorded profiles and partitioning
+        results stay valid (ids simply gain gaps).  Returns the pruned
+        program-wide bb_ids.
+        """
+        stale = [
+            bb_id
+            for bb_id, key in self._by_id.items()
+            if key.label not in self.cfgs[key.function].blocks
+        ]
+        for bb_id in stale:
+            key = self._by_id.pop(bb_id)
+            self._dfg_cache.pop(key, None)
+        return stale
+
     def verify(self) -> None:
         for cfg in self.cfgs.values():
             cfg.verify()
@@ -116,13 +137,27 @@ class CDFG:
         return "\n".join(lines)
 
 
-def build_cdfg(program: Program) -> CDFG:
-    """Lower an analyzed AST into a CDFG."""
-    return CDFG(program, lower_program(program))
+def build_cdfg(program: Program, verify: bool | None = None) -> CDFG:
+    """Lower an analyzed AST into a CDFG.
+
+    When the IR sanitizer is active (the default; see
+    :func:`repro.ir.verify.set_sanitizer`), the freshly lowered CDFG is
+    statically verified and construction fails with a
+    :class:`~repro.ir.verify.VerificationError` carrying block-level
+    diagnostics rather than handing malformed IR downstream.
+    """
+    from .verify import assert_verified, sanitizer_enabled
+
+    cdfg = CDFG(program, lower_program(program))
+    if sanitizer_enabled() if verify is None else verify:
+        assert_verified(cdfg, "frontend lowering")
+    return cdfg
 
 
-def cdfg_from_source(source: str, filename: str = "<source>") -> CDFG:
+def cdfg_from_source(
+    source: str, filename: str = "<source>", verify: bool | None = None
+) -> CDFG:
     """Full pipeline: parse, semantic-check, lower, and number blocks."""
     program = parse_program(source, filename)
     analyze_program(program)
-    return build_cdfg(program)
+    return build_cdfg(program, verify=verify)

@@ -7,6 +7,7 @@ sets for cleanup) plus a NetworkX export for analyses and debugging.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 import networkx as nx
@@ -40,7 +41,9 @@ class VariableInfo:
 class ControlFlowGraph:
     """CFG for a single function."""
 
-    def __init__(self, function_name: str, return_type: Type = Type.VOID):
+    def __init__(
+        self, function_name: str, return_type: Type = Type.VOID
+    ) -> None:
         self.function_name = function_name
         self.return_type = return_type
         self.blocks: dict[str, BasicBlock] = {}
@@ -186,7 +189,7 @@ class ControlFlowGraph:
         if not self.exit_labels():
             raise ValueError(f"{self.function_name}: no RET block")
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[BasicBlock]:
         return iter(self.blocks.values())
 
     def __len__(self) -> int:

@@ -12,6 +12,7 @@ considered for parallel execution without any dependency check" (§3.2).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 import networkx as nx
@@ -49,7 +50,7 @@ class DFGNode:
 class DataFlowGraph:
     """Dependency DAG over the body (non-terminator) ops of one block."""
 
-    def __init__(self, block: BasicBlock):
+    def __init__(self, block: BasicBlock) -> None:
         self.block = block
         self.nodes: list[DFGNode] = []
         self.graph = nx.DiGraph()
@@ -156,7 +157,7 @@ class DataFlowGraph:
     def __len__(self) -> int:
         return len(self.nodes)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[DFGNode]:
         return iter(self.nodes)
 
     def predecessors(self, node_id: int) -> list[int]:

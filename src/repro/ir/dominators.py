@@ -13,7 +13,7 @@ from .cfg import ControlFlowGraph
 class DominatorTree:
     """Immediate-dominator tree for one CFG."""
 
-    def __init__(self, cfg: ControlFlowGraph):
+    def __init__(self, cfg: ControlFlowGraph) -> None:
         self.cfg = cfg
         self.rpo = cfg.reverse_post_order()
         self._rpo_index = {label: i for i, label in enumerate(self.rpo)}

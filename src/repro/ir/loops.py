@@ -32,7 +32,9 @@ class NaturalLoop:
 class LoopForest:
     """All natural loops of a CFG plus per-block nesting depth."""
 
-    def __init__(self, cfg: ControlFlowGraph, dom: DominatorTree | None = None):
+    def __init__(
+        self, cfg: ControlFlowGraph, dom: DominatorTree | None = None
+    ) -> None:
         self.cfg = cfg
         self.dom = dom or DominatorTree(cfg)
         self.loops: list[NaturalLoop] = []

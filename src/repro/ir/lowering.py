@@ -43,6 +43,7 @@ from ..frontend.ast_nodes import (
     NameRef,
     Program,
     ReturnStmt,
+    SourceLocation,
     Stmt,
     Type,
     UnaryExpr,
@@ -78,7 +79,7 @@ class _LoopContext:
 class FunctionLowerer:
     """Lowers one function declaration to a :class:`ControlFlowGraph`."""
 
-    def __init__(self, function: FunctionDecl, program: Program):
+    def __init__(self, function: FunctionDecl, program: Program) -> None:
         self.function = function
         self.program = program
         self.cfg = ControlFlowGraph(function.name, function.return_type)
@@ -146,7 +147,7 @@ class FunctionLowerer:
         opcode: Opcode,
         operands: tuple,
         result_type: Type,
-        location,
+        location: SourceLocation,
     ) -> Temp:
         dest = self.temps.fresh(result_type)
         self._emit(
@@ -174,7 +175,7 @@ class FunctionLowerer:
         if len(indices) == 1:
             return indices[0]
         linear = indices[0]
-        for dim, index in zip(dims[1:], indices[1:]):
+        for dim, index in zip(dims[1:], indices[1:], strict=True):
             scaled = self._emit_value_op(
                 Opcode.MUL, (linear, Const(dim)), Type.INT, ref.location
             )
@@ -456,7 +457,11 @@ class FunctionLowerer:
         self.current = join_block
 
     def _lower_condition_branch(
-        self, cond_expr: Expr | None, body_label: str, exit_label: str, location
+        self,
+        cond_expr: Expr | None,
+        body_label: str,
+        exit_label: str,
+        location: SourceLocation,
     ) -> None:
         if cond_expr is None:
             self._branch_to(body_label)

@@ -81,7 +81,7 @@ class Opcode(enum.Enum):
     RET = ("ret", OpClass.CONTROL)
     CALL = ("call", OpClass.CALL)
 
-    def __init__(self, mnemonic: str, op_class: OpClass):
+    def __init__(self, mnemonic: str, op_class: OpClass) -> None:
         self.mnemonic = mnemonic
         self.op_class = op_class
 

@@ -1,16 +1,39 @@
-"""Local optimization passes over lowered CFGs.
+"""Optimization passes over lowered CFGs: block-local and whole-CFG.
 
 These keep the DFGs the mappers see honest: a naive lowering emits folding
 opportunities (e.g. linearized 2-D indices with constant rows) and dead
-temps that real compilers would never hand to a mapper.  All passes are
-block-local, so they preserve the basic-block structure the analysis and
-partitioning stages rely on.
+temps that real compilers would never hand to a mapper.  The block-local
+passes (fold / copy-propagate / DCE) preserve basic-block structure; the
+*global* passes layered on top use the dataflow framework
+(:mod:`repro.ir.dataflow`) to act across blocks:
+
+* :func:`simplify_constant_branches` — CBR on a constant condition (or
+  with two identical targets) becomes an unconditional BR, exposing
+  unreachable code;
+* :func:`eliminate_unreachable_blocks` — drops blocks no path from the
+  entry reaches.  Removed blocks never carried execution frequency, so
+  partitioning results are unaffected;
+* :func:`eliminate_dead_code_global` — liveness-based DCE: a scalar
+  write is removed when no path can read it again (the block-local DCE
+  must keep every ``VarRef`` write because it cannot see other blocks).
+
+The pipeline drivers (:func:`optimize_cfg`, :func:`optimize_cdfg`)
+iterate local+global passes to a fixed point and — when the IR sanitizer
+is enabled (:func:`repro.ir.verify.set_sanitizer`) — re-verify the IR
+after every iteration, so a buggy pass is caught at the iteration that
+broke the CDFG instead of deep inside a mapper.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # circular at runtime: cdfg builds passes' sanitizer
+    from .cdfg import CDFG
+
 from .basicblock import BasicBlock
 from .cfg import ControlFlowGraph
+from .dataflow import LivenessAnalysis
 from .operations import (
     Const,
     Instruction,
@@ -19,6 +42,17 @@ from .operations import (
     VarRef,
 )
 from .opsemantics import FOLDABLE_OPCODES, evaluate_opcode
+from .verify import VerificationError, sanitizer_enabled, verify_cfg
+
+#: Keys every pipeline totals dict carries (stable reporting schema).
+PASS_TOTAL_KEYS = (
+    "folded",
+    "propagated",
+    "removed",
+    "branches_simplified",
+    "unreachable_removed",
+    "global_removed",
+)
 
 
 def fold_constants_in_block(block: BasicBlock) -> int:
@@ -157,6 +191,107 @@ def eliminate_dead_code_in_block(block: BasicBlock) -> int:
     return removed
 
 
+# ----------------------------------------------------------------------
+# Global passes
+# ----------------------------------------------------------------------
+def simplify_constant_branches(cfg: ControlFlowGraph) -> int:
+    """Turn decidable CBRs into BRs; returns the simplification count.
+
+    A conditional branch whose condition folded to a constant (or whose
+    two targets coincide) always goes one way; rewriting it to an
+    unconditional BR lets :func:`eliminate_unreachable_blocks` drop the
+    never-taken side and block-local DCE reclaim the dead condition.
+    """
+    simplified = 0
+    for block in cfg.blocks.values():
+        terminator = block.terminator
+        if terminator is None or terminator.opcode is not Opcode.CBR:
+            continue
+        condition = terminator.operands[0]
+        taken: str | None = None
+        if isinstance(condition, Const):
+            taken = terminator.targets[0] if condition.value else terminator.targets[1]
+        elif terminator.targets[0] == terminator.targets[1]:
+            taken = terminator.targets[0]
+        if taken is not None:
+            block.instructions[-1] = Instruction(
+                Opcode.BR, targets=(taken,), location=terminator.location
+            )
+            simplified += 1
+    return simplified
+
+
+def eliminate_unreachable_blocks(cfg: ControlFlowGraph) -> list[str]:
+    """Drop blocks unreachable from the entry; returns removed labels.
+
+    Surviving blocks keep their program-wide ``bb_id``: unreachable
+    blocks never execute, so the numbering (and with it every recorded
+    profile and partitioning result) stays valid with gaps.
+    """
+    reachable = cfg.reachable_labels()
+    doomed = [label for label in cfg.blocks if label not in reachable]
+    for label in doomed:
+        del cfg.blocks[label]
+    return doomed
+
+
+def eliminate_dead_code_global(cfg: ControlFlowGraph) -> int:
+    """Liveness-based DCE across blocks; returns the removal count.
+
+    Removes pure scalar writes — including ``VarRef`` writes the local
+    DCE must conservatively keep — when the destination is dead: no
+    path from the write can read the variable again.  Global scalars
+    are modelled as live across calls and at every function exit, and
+    CALL/STORE/terminators are never removed.
+    """
+    liveness = LivenessAnalysis().solve(cfg)
+    global_scalars = frozenset(
+        name
+        for name, info in cfg.variables.items()
+        if info.is_global and not info.is_array
+    )
+    removed = 0
+    for label, block in cfg.blocks.items():
+        if label not in liveness.out_sets:
+            continue  # unreachable: left for eliminate_unreachable_blocks
+        live = set(liveness.out_sets[label])
+        used_temps: set[Temp] = set()
+        kept: list[Instruction] = []
+        for ins in reversed(block.instructions):
+            removable = (
+                ins.opcode is not Opcode.CALL
+                and ins.opcode is not Opcode.STORE
+                and not ins.opcode.is_control
+                and (
+                    (isinstance(ins.dest, Temp) and ins.dest not in used_temps)
+                    or (
+                        isinstance(ins.dest, VarRef)
+                        and ins.dest.name not in live
+                    )
+                )
+            )
+            if removable:
+                removed += 1
+                continue
+            if isinstance(ins.dest, VarRef):
+                live.discard(ins.dest.name)
+            for op in ins.operands:
+                if isinstance(op, Temp):
+                    used_temps.add(op)
+                elif isinstance(op, VarRef):
+                    live.add(op.name)
+            if ins.opcode is Opcode.CALL:
+                # The callee may read any global before we regain control.
+                live |= global_scalars
+            kept.append(ins)
+        kept.reverse()
+        block.instructions = kept
+    return removed
+
+
+# ----------------------------------------------------------------------
+# Pipeline drivers
+# ----------------------------------------------------------------------
 def run_block_passes(block: BasicBlock, max_iterations: int = 4) -> dict[str, int]:
     """Fold/propagate/DCE to a fixed point (bounded)."""
     totals = {"folded": 0, "propagated": 0, "removed": 0}
@@ -172,26 +307,89 @@ def run_block_passes(block: BasicBlock, max_iterations: int = 4) -> dict[str, in
     return totals
 
 
-def optimize_cfg(cfg: ControlFlowGraph) -> dict[str, int]:
-    """Run the local pass pipeline over every block of a CFG."""
-    totals = {"folded": 0, "propagated": 0, "removed": 0}
-    for block in cfg:
-        results = run_block_passes(block)
-        for key, value in results.items():
-            totals[key] += value
+def _empty_totals() -> dict[str, int]:
+    return dict.fromkeys(PASS_TOTAL_KEYS, 0)
+
+
+def _merge(totals: dict[str, int], other: dict[str, int]) -> None:
+    for key, value in other.items():
+        totals[key] += value
+
+
+def _sanitize_cfg(cfg: ControlFlowGraph, context: str) -> None:
+    errors = [d for d in verify_cfg(cfg) if d.severity == "error"]
+    if errors:
+        raise VerificationError(errors, context)
+
+
+def optimize_cfg(
+    cfg: ControlFlowGraph,
+    *,
+    global_passes: bool = True,
+    verify: bool | None = None,
+    max_iterations: int = 8,
+) -> dict[str, int]:
+    """Run the local (+ global) pass pipeline over a CFG to a fixed point.
+
+    ``verify=None`` defers to the module sanitizer switch
+    (:func:`repro.ir.verify.sanitizer_enabled`); when active, the IR is
+    re-verified after every pass iteration and a
+    :class:`~repro.ir.verify.VerificationError` pinpoints the iteration
+    that corrupted it.
+    """
+    sanitize = sanitizer_enabled() if verify is None else verify
+    totals = _empty_totals()
+    for iteration in range(max_iterations):
+        changed = 0
+        for block in cfg:
+            _merge(totals, run_block_passes(block))
+        if global_passes:
+            branches = simplify_constant_branches(cfg)
+            unreachable = len(eliminate_unreachable_blocks(cfg))
+            globally_removed = eliminate_dead_code_global(cfg)
+            totals["branches_simplified"] += branches
+            totals["unreachable_removed"] += unreachable
+            totals["global_removed"] += globally_removed
+            changed += branches + unreachable + globally_removed
+            # Local cleanup of what the global passes exposed counts
+            # toward this iteration's progress via the next sweep.
+            for block in cfg:
+                local = run_block_passes(block)
+                _merge(totals, local)
+                changed += sum(local.values())
+        if sanitize:
+            _sanitize_cfg(cfg, f"pass pipeline iteration {iteration}")
+        if changed == 0:
+            break
     cfg.verify()
     return totals
 
 
-def optimize_cdfg(cdfg) -> dict[str, int]:
+def optimize_cdfg(
+    cdfg: CDFG,
+    *,
+    global_passes: bool = True,
+    verify: bool | None = None,
+    max_iterations: int = 8,
+) -> dict[str, int]:
     """Optimize every function of a CDFG in place.
 
-    Note: invalidates cached DFGs, so this must run before any DFG queries.
+    Surviving blocks keep their bb_ids (see
+    :func:`eliminate_unreachable_blocks`); the CDFG's id index and DFG
+    cache are refreshed to match.  Note: invalidates cached DFGs, so
+    this must run before any DFG queries.
     """
-    totals = {"folded": 0, "propagated": 0, "removed": 0}
+    totals = _empty_totals()
     for cfg in cdfg.cfgs.values():
-        results = optimize_cfg(cfg)
-        for key, value in results.items():
-            totals[key] += value
+        _merge(
+            totals,
+            optimize_cfg(
+                cfg,
+                global_passes=global_passes,
+                verify=verify,
+                max_iterations=max_iterations,
+            ),
+        )
+    cdfg.prune_removed_blocks()
     cdfg._dfg_cache.clear()
     return totals

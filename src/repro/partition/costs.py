@@ -125,7 +125,7 @@ class CostModel:
         *,
         charge_single_partition_reconfig: bool = False,
         stats: CostStats | None = None,
-    ):
+    ) -> None:
         self.workload = workload
         self.platform = platform
         self.charge_single_partition_reconfig = charge_single_partition_reconfig
@@ -234,7 +234,7 @@ class CostState:
     ``apply_move`` / ``revert_move`` take and undo it in O(1).
     """
 
-    def __init__(self, model: CostModel):
+    def __init__(self, model: CostModel) -> None:
         self.model = model
         self.fpga_ticks = model.initial_ticks()
         self.cgc_ticks = 0

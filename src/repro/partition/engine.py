@@ -116,7 +116,7 @@ class PartitioningEngine:
         platform: HybridPlatform,
         weight_model: WeightModel | None = None,
         config: EngineConfig | None = None,
-    ):
+    ) -> None:
         self.workload = workload
         self.platform = platform
         self.weight_model = weight_model or WeightModel()

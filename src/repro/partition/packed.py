@@ -100,7 +100,7 @@ class PackedCostTable:
         weights: tuple[int, ...],
         skipped_bb_ids: tuple[int, ...],
         candidates: tuple[tuple[int, int], ...],
-    ):
+    ) -> None:
         self.workload_name = workload_name
         self.platform_name = platform_name
         self.clock_ratio = clock_ratio
@@ -290,7 +290,7 @@ class PackedCostState:
     __slots__ = ("table", "mask", "fpga_ticks", "cgc_ticks", "comm_ticks",
                  "moved_count")
 
-    def __init__(self, table: PackedCostTable):
+    def __init__(self, table: PackedCostTable) -> None:
         self.table = table
         self.mask = 0
         self.fpga_ticks = table.initial_ticks
@@ -364,7 +364,7 @@ class PackedVisitLog:
         self.masks.append(mask)
 
     def entries(self) -> Iterator[tuple[int, int]]:
-        return zip(self.ticks, self.masks)
+        return zip(self.ticks, self.masks, strict=True)
 
 
 class PackedGreedyTrajectory:
@@ -383,7 +383,7 @@ class PackedGreedyTrajectory:
         *,
         skip_unsupported_kernels: bool = True,
         allow_regressing_moves: bool = False,
-    ):
+    ) -> None:
         self.table = table
         self.skip_unsupported_kernels = skip_unsupported_kernels
         self.allow_regressing_moves = allow_regressing_moves

@@ -16,12 +16,22 @@ is the backstop, not the mechanism).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Protocol
 
 from ..analysis.weights import WeightModel
 from .costs import CostModel, CostState
 from .result import PartitionResult, PartitionStep
+
+
+class TickPricer(Protocol):
+    """Anything pricing moves with the single-rounding cycle split —
+    a :class:`CostModel` or a packed cost table."""
+
+    def split_ticks(
+        self, fpga_t: int, cgc_t: int, comm_t: int
+    ) -> tuple[int, int, int, int]: ...
 
 #: Trajectory entry actions.
 MOVED = "moved"
@@ -58,7 +68,7 @@ class GreedyTrajectory:
         *,
         skip_unsupported_kernels: bool = True,
         allow_regressing_moves: bool = False,
-    ):
+    ) -> None:
         self.model = model
         self.weight_model = weight_model
         self.skip_unsupported_kernels = skip_unsupported_kernels
@@ -111,7 +121,7 @@ class GreedyTrajectory:
         )
         return True
 
-    def iter_entries(self):
+    def iter_entries(self) -> Iterator[TrajectoryEntry]:
         """Replay cached entries, extending lazily on demand."""
         index = 0
         while True:
@@ -147,8 +157,8 @@ class GreedyTrajectory:
 
 
 def replay_entries(
-    pricer,
-    entries,
+    pricer: TickPricer,
+    entries: Iterable[TrajectoryEntry],
     result: PartitionResult,
     timing_constraint: int,
     *,
@@ -193,7 +203,7 @@ def replay_entries(
 
 
 def commit_step(
-    pricer,
+    pricer: TickPricer,
     result: PartitionResult,
     bb_id: int,
     ticks: tuple[int, int, int],

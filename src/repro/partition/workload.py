@@ -92,7 +92,9 @@ class ApplicationWorkload:
         candidates.sort(key=lambda b: (-b.total_weight(model), b.bb_id))
         return candidates
 
-    def analysis_rows(self, model: WeightModel, count: int = 8):
+    def analysis_rows(
+        self, model: WeightModel, count: int = 8
+    ) -> list[tuple[int, int, int, int]]:
         """(bb_id, exec_freq, bb_weight, total_weight) rows — Table 1."""
         return [
             (

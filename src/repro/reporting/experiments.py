@@ -106,7 +106,9 @@ def reproduce_table1(
     model = weight_model or WeightModel()
     rows = workload.analysis_rows(model, count=len(paper_rows))
     comparisons = []
-    for (bb_id, freq, weight, total), paper_row in zip(rows, paper_rows):
+    for (bb_id, freq, weight, total), paper_row in zip(
+        rows, paper_rows, strict=False
+    ):
         comparisons.append(
             Table1Comparison(bb_id, freq, weight, total, paper_row)
         )

@@ -23,10 +23,14 @@ def format_grid(headers: list[str], rows: list[list[str]]) -> str:
             widths[index] = max(widths[index], len(row[index]))
     parts = []
     divider = "-+-".join("-" * w for w in widths)
-    parts.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    parts.append(
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True))
+    )
     parts.append(divider)
     for row in rows:
-        parts.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        parts.append(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths, strict=False))
+        )
     return "\n".join(parts)
 
 

@@ -35,7 +35,10 @@ class VisitedConfiguration:
         """True if this config is no worse in every objective and
         strictly better in at least one."""
         mine, theirs = self.objectives, other.objectives
-        return all(a <= b for a, b in zip(mine, theirs)) and mine != theirs
+        return (
+            all(a <= b for a, b in zip(mine, theirs, strict=True))
+            and mine != theirs
+        )
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -125,7 +128,7 @@ def pareto_front_from_columns(
     # through in O(n) ints, instead of accumulating millions of
     # objective-vector dict entries.
     best: dict[tuple[int, int], tuple[int, int]] = {}
-    for total_ticks, mask in zip(ticks, masks):
+    for total_ticks, mask in zip(ticks, masks, strict=True):
         cycles = -(-total_ticks // ratio)
         key = (mask.bit_count(), rows_used(mask))
         incumbent = best.get(key)

@@ -594,3 +594,67 @@ def synthetic_program_source(
         ]
     )
     return "\n".join(parts) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Measured mini-C workloads ("minic"): the full frontend→profiling flow
+# over generated programs
+# ----------------------------------------------------------------------
+def minic_workload_name(seed: int = 0) -> str:
+    """The workload name a minic spec builds (the report query key)."""
+    return f"minic-s{seed}"
+
+
+def minic_input(seed: int = 0, size: int = 32) -> list[int]:
+    """The deterministic representative input for one minic program."""
+    return [((seed * 37 + index * 13) % 256) - 128 for index in range(size)]
+
+
+def minic_cdfg(seed: int = 0, optimize: bool = True):
+    """Lower (and by default optimize) one generated mini-C program.
+
+    Generated programs — unlike the hand-written OFDM/JPEG sources,
+    which lower clean — contain real dead code: assignments whose value
+    no path reads, conditions that fold to constants, branches whose
+    never-taken side becomes unreachable.  With ``optimize=True`` the
+    full local+global pass pipeline runs (and, with the sanitizer on,
+    re-verifies the IR after each iteration) before the CDFG is used.
+    """
+    from ..ir.cdfg import cdfg_from_source
+    from ..ir.passes import optimize_cdfg
+
+    cdfg = cdfg_from_source(
+        synthetic_program_source(seed), f"minic_s{seed}.c"
+    )
+    if optimize:
+        optimize_cdfg(cdfg)
+    return cdfg
+
+
+def minic_application(seed: int = 0, optimize: bool = True):
+    """An engine workload measured from a generated mini-C program.
+
+    The program is lowered, optimized (see :func:`minic_cdfg`), executed
+    on its deterministic representative input under the block-compiled
+    interpreter, and turned into an :class:`ApplicationWorkload` exactly
+    like the measured OFDM/JPEG flows — a cheap way to grow the suite
+    beyond the paper's two applications with workloads whose frequencies
+    are genuinely profiled rather than synthesized.
+    """
+    from ..analysis.dynamic_analysis import DynamicProfile
+    from ..frontend.ast_nodes import ArrayType
+    from ..interp.interpreter import Interpreter
+    from ..interp.profiler import BlockProfiler
+    from ..interp.values import ArrayStorage
+    from ..partition.workload import workload_from_cdfg
+
+    cdfg = minic_cdfg(seed, optimize=optimize)
+    storage = ArrayStorage.allocate("data", ArrayType(Type.INT, (32,)))
+    for index, value in enumerate(minic_input(seed)):
+        storage.store(index, value)
+    profiler = BlockProfiler()
+    Interpreter(cdfg, profiler, mode="compiled").run("entry", storage)
+    profile = DynamicProfile(frequencies=profiler.frequencies(), runs=1)
+    return workload_from_cdfg(
+        cdfg, profile, name=minic_workload_name(seed)
+    )

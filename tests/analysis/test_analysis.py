@@ -92,6 +92,29 @@ class TestStaticAnalysis:
         weights = [b.bb_weight for b in heaviest]
         assert weights == sorted(weights, reverse=True)
 
+    @pytest.mark.parametrize("which", ["sample", "minic"])
+    def test_agrees_with_compiled_block_slots(self, sample_cdfg, which):
+        # The compiled interpreter derives dynamic stats from its static
+        # per-block counts (profiles_from_frequencies inputs); the
+        # static analysis must see the exact same post-optimization
+        # blocks and counts.
+        from repro.interp.compiler import compile_cdfg
+        from repro.workloads import minic_cdfg
+
+        cdfg = sample_cdfg if which == "sample" else minic_cdfg(0)
+        result = analyze_cdfg(cdfg)
+        program = compile_cdfg(cdfg)
+        assert {info.bb_id for info in program.slots} == set(result.blocks)
+        for info in program.slots:
+            static = result.blocks[info.bb_id]
+            assert static.instruction_count == info.instruction_count
+            assert static.memory_accesses == info.memory_access_count
+            assert static.function == info.function
+            assert static.label == info.label
+        assert result.total_instructions() == sum(
+            info.instruction_count for info in program.slots
+        )
+
 
 class TestDynamicAnalysis:
     def test_profile_cdfg(self):

@@ -237,3 +237,45 @@ class TestExploreCommand:
         assert "cannot write exploration CSV" in captured.err
         # The grid itself still printed before the export failed.
         assert "viterbi-decoder" in captured.out
+
+
+class TestVerifyCommand:
+    def test_parse_minic_workload(self):
+        spec = parse_workload("minic:5")
+        assert spec.kind == "minic"
+        assert dict(spec.params)["seed"] == 5
+        assert parse_workload("minic").kind == "minic"
+        with pytest.raises(Exception, match="integer"):
+            parse_workload("minic:zero")
+
+    def test_verify_single_workload(self, capsys):
+        code = main(["verify", "minic:0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "minic-s0: ok" in out
+        assert "1 clean, 0 failing" in out
+
+    def test_verify_all_covers_ir_backed_kinds(self, capsys):
+        code = main(["verify", "--all"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ofdm-transmitter-measured-s6: ok" in out
+        assert "jpeg-encoder-measured-i1994: ok" in out
+        assert "minic-s0: ok" in out
+        # Table-driven suite workloads have no IR and are skipped.
+        assert "skipped (no IR" in out
+        assert "0 failing" in out
+
+    def test_verify_stats_prints_per_function_rows(self, capsys):
+        code = main(["verify", "minic:3", "--stats", "--no-optimize"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "entry:" in out
+        assert "loops" in out
+        assert "peak live scalars" in out
+
+    def test_verify_without_workloads_errors(self, capsys):
+        code = main(["verify"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no workloads" in captured.err

@@ -227,8 +227,11 @@ class TestErrorParity:
 
     def test_undefined_temp_read_fails_loudly(self):
         # Malformed IR (a temp read that no instruction wrote) must fail
-        # with the walker's diagnostic in both engines, not silently
-        # treat the unwritten slot as a value.
+        # loudly in both engines, not silently treat the unwritten slot
+        # as a value.  The compiled engine sanitizes the IR before
+        # compiling, so it rejects the program up front; with the
+        # sanitizer off it keeps the walker's runtime diagnostic.
+        from repro.ir import VerificationError, set_sanitizer
         from repro.ir.operations import Opcode, Temp
 
         cdfg = cdfg_from_source("int f(int n) { return n + 1; }")
@@ -237,9 +240,16 @@ class TestErrorParity:
             if ins.opcode not in (Opcode.BR, Opcode.CBR, Opcode.RET):
                 ins.operands = (Temp(99),) + ins.operands[1:]
                 break
-        for mode in ("walker", "compiled"):
+        with pytest.raises(RuntimeError, match="undefined temp %t99"):
+            run_function(cdfg, "f", 3, mode="walker")
+        with pytest.raises(VerificationError, match="t99"):
+            run_function(cdfg, "f", 3, mode="compiled")
+        set_sanitizer(False)
+        try:
             with pytest.raises(RuntimeError, match="undefined temp %t99"):
-                run_function(cdfg, "f", 3, mode=mode)
+                run_function(cdfg, "f", 3, mode="compiled")
+        finally:
+            set_sanitizer(None)
 
 
 class TestProfilingParity:

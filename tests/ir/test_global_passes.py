@@ -1,0 +1,149 @@
+"""Global pass differential tests: semantics, bb_ids and partitions hold."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.ir.passes as passes
+from repro.frontend.ast_nodes import ArrayType, Type
+from repro.interp import run_function
+from repro.interp.interpreter import Interpreter
+from repro.interp.profiler import BlockProfiler
+from repro.interp.values import ArrayStorage
+from repro.analysis.dynamic_analysis import DynamicProfile
+from repro.ir import optimize_cdfg, verify_cdfg
+from repro.partition import PartitioningEngine
+from repro.partition.workload import workload_from_cdfg
+from repro.platform import paper_platform
+from repro.workloads import minic_cdfg, minic_input
+from repro.workloads.jpeg import JPEGEncoderApp
+from repro.workloads.ofdm import OFDMTransmitterApp
+
+#: Seeds whose generated programs shed ops under the global passes AND
+#: whose greedy partition stays bit-identical (measured; see
+#: EXPERIMENTS.md).
+PINNED_SEEDS = (0, 8, 16, 18)
+
+
+def op_count(cdfg):
+    return sum(
+        len(block.instructions)
+        for cfg in cdfg.cfgs.values()
+        for block in cfg.blocks.values()
+    )
+
+
+def storage_for(seed):
+    storage = ArrayStorage.allocate("data", ArrayType(Type.INT, (32,)))
+    for index, value in enumerate(minic_input(seed)):
+        storage.store(index, value)
+    return storage
+
+
+def local_only(seed):
+    cdfg = minic_cdfg(seed, optimize=False)
+    passes.optimize_cdfg(cdfg, global_passes=False)
+    return cdfg
+
+
+def run_entry(cdfg, seed, mode):
+    return run_function(cdfg, "entry", storage_for(seed), mode=mode)
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_global_passes_preserve_minic_semantics(self, seed):
+        raw = minic_cdfg(seed, optimize=False)
+        optimized = minic_cdfg(seed)
+        expected = run_entry(raw, seed, "walker").return_value
+        for mode in ("walker", "compiled"):
+            assert run_entry(optimized, seed, mode).return_value == expected
+
+    def test_sample_program_semantics(self, sample_cdfg):
+        from tests.conftest import SAMPLE_SOURCE
+        from repro.ir import cdfg_from_source
+
+        optimized = cdfg_from_source(SAMPLE_SOURCE, "sample.c")
+        optimize_cdfg(optimized)
+        for x in (-5, 0, 3, 17):
+            expected = run_function(sample_cdfg, "main", x).return_value
+            for mode in ("walker", "compiled"):
+                got = run_function(optimized, "main", x, mode=mode)
+                assert got.return_value == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_optimized_output_verifies(self, seed):
+        report = verify_cdfg(minic_cdfg(seed))
+        assert report.ok, report.render()
+        assert not report.warnings  # no unreachable blocks survive
+
+
+class TestShrinkage:
+    @pytest.mark.parametrize("seed", PINNED_SEEDS)
+    def test_global_passes_remove_ops(self, seed):
+        loc = local_only(seed)
+        glob = minic_cdfg(seed)
+        assert op_count(glob) < op_count(loc)
+        assert glob.block_count < loc.block_count
+
+    def test_paper_apps_are_already_clean(self):
+        for app in (OFDMTransmitterApp(), JPEGEncoderApp()):
+            before_ops = op_count(app.cdfg)
+            before_blocks = app.cdfg.block_count
+            totals = optimize_cdfg(app.cdfg)
+            assert op_count(app.cdfg) == before_ops
+            assert app.cdfg.block_count == before_blocks
+            assert totals["global_removed"] == 0
+            assert totals["unreachable_removed"] == 0
+
+    def test_unreachable_elimination_keeps_surviving_ids(self):
+        cdfg = minic_cdfg(0, optimize=False)
+        before = {
+            key: bb_id
+            for bb_id, key in ((i, cdfg.key_for_id(i))
+                               for i in sorted(cdfg._by_id))
+        }
+        optimize_cdfg(cdfg)
+        for key in cdfg.all_block_keys():
+            assert cdfg.block(key).bb_id == before[key]
+
+    def test_totals_schema(self):
+        totals = optimize_cdfg(minic_cdfg(3, optimize=False))
+        assert set(totals) == set(passes.PASS_TOTAL_KEYS)
+        assert all(v >= 0 for v in totals.values())
+
+
+def greedy_partition(cdfg, seed):
+    profiler = BlockProfiler()
+    Interpreter(cdfg, profiler, mode="compiled").run(
+        "entry", storage_for(seed)
+    )
+    profile = DynamicProfile(frequencies=profiler.frequencies(), runs=1)
+    workload = workload_from_cdfg(cdfg, profile, name=f"minic-s{seed}")
+    engine = PartitioningEngine(workload, paper_platform(1500, 2))
+    result = engine.run(int(engine.initial_cycles() * 0.75))
+    return (
+        result.initial_cycles,
+        result.final_cycles,
+        tuple(result.moved_bb_ids),
+        tuple(result.skipped_bb_ids),
+        tuple(
+            (s.moved_bb_id, s.total_cycles, s.constraint_met)
+            for s in result.steps
+        ),
+        result.constraint_met,
+        result.fpga_cycles,
+        result.cycles_in_cgc,
+        result.comm_cycles,
+    )
+
+
+class TestPartitionNeutrality:
+    @pytest.mark.parametrize("seed", PINNED_SEEDS)
+    def test_partition_bit_identical_after_global_passes(self, seed):
+        # The pinned programs shrink (TestShrinkage) yet produce the
+        # exact same greedy PartitionResult: removed ops were never in
+        # any priced DFG the partitioner chose to move.
+        loc = greedy_partition(local_only(seed), seed)
+        glob = greedy_partition(minic_cdfg(seed), seed)
+        assert loc == glob

@@ -195,7 +195,7 @@ class TestPackedGreedyTrajectory:
         trajectory = PackedGreedyTrajectory(table)
         moved_mask = 0
         for entry, mask in zip(
-            trajectory.iter_entries(), trajectory.masks
+            trajectory.iter_entries(), trajectory.masks, strict=False
         ):
             if entry.action == "moved":
                 moved_mask |= 1 << table.index_of(entry.bb_id)

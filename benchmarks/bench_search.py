@@ -244,6 +244,109 @@ def _run_throughput_scenario():
     }
 
 
+def _run_exact_search_report():
+    """Sharded Gray walk + branch-and-bound on the 65,536-subset
+    enumeration, plus the 34-kernel branch-and-bound certification.
+
+    Shard scaling is computed from the per-shard *walk* seconds the
+    workers measure themselves (visits / Σ seconds for one worker,
+    visits / max seconds for the fan-out's critical path), so the ~200ms
+    process-spawn overhead — fixed cost, amortized over real 2^32-scale
+    walks — does not drown the 10ms walk this bench can afford to time.
+    """
+    workload = synthetic_application(
+        20, seed=5, kernel_fraction=0.8, comm_intensity=0.5,
+        name="throughput-16k",
+    )
+    platform = paper_platform(1500, 2)
+    table = PackedCostTable.from_model(CostModel(workload, platform))
+
+    def fresh(spec, **config_kwargs):
+        partitioner = make_partitioner(
+            spec, workload, platform,
+            config=EngineConfig(stop_at_constraint=False, **config_kwargs),
+            packed_table=table,
+        )
+        partitioner.initial_cycles()
+        started = time.perf_counter()
+        result = partitioner.run(1)
+        return partitioner, result, time.perf_counter() - started
+
+    serial, serial_result, serial_seconds = fresh(AlgorithmSpec.exhaustive())
+    serial_front = serial.pareto_front()
+
+    sharded, sharded_result, sharded_seconds = fresh(
+        AlgorithmSpec.exhaustive(shards=4)
+    )
+    walk_seconds = [s["seconds"] for s in sharded.shard_outcomes]
+    visits = sum(s["visits"] for s in sharded.shard_outcomes)
+    one_worker_cps = visits / sum(walk_seconds)
+    four_worker_cps = visits / max(walk_seconds)
+
+    bnb, bnb_result, bnb_seconds = fresh(AlgorithmSpec.exhaustive(prune=True))
+
+    certify_workload = synthetic_application(
+        40, seed=9, kernel_fraction=0.85, name="certify-34",
+    )
+    certify_table = PackedCostTable.from_model(
+        CostModel(certify_workload, platform)
+    )
+    certify = make_partitioner(
+        AlgorithmSpec.exhaustive(prune=True), certify_workload, platform,
+        config=EngineConfig(stop_at_constraint=False),
+        packed_table=certify_table,
+    )
+    certify.initial_cycles()
+    started = time.perf_counter()
+    certify_result = certify.run(1)
+    certify_seconds = time.perf_counter() - started
+    # Eq. 2 is additive, so the unconstrained optimum is analytically
+    # certain: initial plus every negative per-kernel delta.
+    analytic_ticks = certify_table.initial_ticks + sum(
+        delta for delta in certify_table.move_delta if delta < 0
+    )
+
+    return {
+        "workload": workload.name,
+        "visited_configurations": serial.visited_count,
+        "serial_seconds": round(serial_seconds, 6),
+        "sharded": {
+            "shards": 4,
+            "wall_seconds": round(sharded_seconds, 6),
+            "shard_walk_seconds": [round(s, 6) for s in walk_seconds],
+            "shard_visits": [s["visits"] for s in sharded.shard_outcomes],
+            "one_worker_configs_per_second": round(one_worker_cps),
+            "four_worker_configs_per_second": round(four_worker_cps),
+            "walk_scaling": round(four_worker_cps / one_worker_cps, 2),
+            "identical_results": sharded_result == serial_result,
+            "identical_fronts": sharded.pareto_front() == serial_front,
+            "identical_visit_counts": (
+                sharded.visited_count == serial.visited_count
+            ),
+        },
+        "branch_and_bound": {
+            "seconds": round(bnb_seconds, 6),
+            "visited_configurations": bnb.visited_count,
+            "pruned_subtrees": bnb.pruned_subtrees,
+            "identical_results": bnb_result == serial_result,
+            "identical_fronts": bnb.pareto_front() == serial_front,
+        },
+        "certify_34": {
+            "workload": certify_workload.name,
+            "kernels": len(certify_table),
+            "subset_space": f"2^{len(certify_table)}",
+            "seconds": round(certify_seconds, 6),
+            "visited_configurations": certify.visited_count,
+            "pruned_subtrees": certify.pruned_subtrees,
+            "final_cycles": certify_result.final_cycles,
+            "analytically_certified": (
+                certify_result.final_cycles
+                == certify_table.ticks_to_cycles(analytic_ticks)
+            ),
+        },
+    }
+
+
 @pytest.fixture(scope="module")
 def report():
     scenarios = {
@@ -254,6 +357,7 @@ def report():
         "bench": "search_algorithms",
         "scenarios": scenarios,
         "throughput": _run_throughput_scenario(),
+        "exact_search": _run_exact_search_report(),
     }
 
 
@@ -375,6 +479,57 @@ def test_packed_enumeration_10x_object_with_identical_optimum(
     )
 
 
+def test_sharded_walk_matches_serial_and_scales(report, capsys):
+    """Sharding the 65,536-subset Gray walk is bit-identical to the
+    serial enumeration; on a ≥ 4-core machine the per-shard walk times
+    show ≥ 2× throughput going 1 → 4 workers."""
+    exact = report["exact_search"]["sharded"]
+    with capsys.disabled():
+        print(
+            f"\n  sharded walk: {exact['one_worker_configs_per_second']:,}"
+            f"/s (1 worker) -> {exact['four_worker_configs_per_second']:,}"
+            f"/s (4 workers), {exact['walk_scaling']}x"
+        )
+    assert exact["identical_results"]
+    assert exact["identical_fronts"]
+    assert exact["identical_visit_counts"]
+    import os
+
+    if (os.cpu_count() or 1) >= 4:
+        assert exact["walk_scaling"] >= 2.0, exact
+
+
+def test_branch_and_bound_certifies_with_fewer_visits(report, capsys):
+    """B&B visits strictly fewer configurations than the full walk,
+    prunes a nonzero number of subtrees, and still produces the
+    identical optimum and Pareto front — then certifies a 2^34 space
+    against the analytic Eq. 2 optimum in seconds."""
+    exact = report["exact_search"]
+    bnb = exact["branch_and_bound"]
+    certify = exact["certify_34"]
+    with capsys.disabled():
+        print(
+            f"\n  B&B: {bnb['visited_configurations']:,} of "
+            f"{exact['visited_configurations']:,} configs visited, "
+            f"{bnb['pruned_subtrees']:,} subtrees pruned"
+        )
+        print(
+            f"  certify-34: {certify['subset_space']} space certified in "
+            f"{certify['seconds']:.2f}s "
+            f"({certify['visited_configurations']:,} visits)"
+        )
+    assert bnb["identical_results"]
+    assert bnb["identical_fronts"]
+    assert (
+        bnb["visited_configurations"] < exact["visited_configurations"]
+    )
+    assert bnb["pruned_subtrees"] > 0
+    assert certify["kernels"] >= 32
+    assert certify["analytically_certified"]
+    assert certify["seconds"] < 60
+    assert certify["pruned_subtrees"] > 0
+
+
 def test_write_bench_json(report):
     BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
     loaded = json.loads(BENCH_PATH.read_text())
@@ -385,3 +540,5 @@ def test_write_bench_json(report):
             committed = COMMITTED_CONFIGS_PER_SECOND[name][algorithm]
             assert row["configs_per_second"] >= 10 * committed
     assert loaded["throughput"]["identical_results"]
+    assert loaded["exact_search"]["branch_and_bound"]["pruned_subtrees"] > 0
+    assert loaded["exact_search"]["certify_34"]["analytically_certified"]

@@ -88,13 +88,16 @@ def _parse_params(text: str) -> dict[str, object]:
             )
         key, raw = item.split("=", 1)
         value: object
-        try:
-            value = int(raw)
-        except ValueError:
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
             try:
-                value = float(raw)
+                value = int(raw)
             except ValueError:
-                value = raw
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
         params[key.strip()] = value
     return params
 
@@ -220,6 +223,23 @@ def _build_parser() -> argparse.ArgumentParser:
     part.add_argument(
         "--pareto", action="store_true",
         help="also print the Pareto front of visited configurations",
+    )
+    part.add_argument(
+        "--shards", type=int, default=None,
+        help="split the exhaustive Gray-code walk into this many worker "
+        "segments (exhaustive algorithm, packed substrate only; results "
+        "are bit-identical to the serial walk)",
+    )
+    part.add_argument(
+        "--prune", action="store_true",
+        help="exact branch-and-bound instead of full enumeration "
+        "(exhaustive algorithm only; certified-identical optimum and "
+        "Pareto front)",
+    )
+    part.add_argument(
+        "--search-workers", type=int, default=None,
+        help="process cap for sharded exact search (default: machine "
+        "cores; 1 forces an in-process run)",
     )
 
     expl = sub.add_parser(
@@ -397,11 +417,30 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         clock_ratio=args.clock_ratio,
         reconfig_cycles=args.reconfig_cycles,
     )
+    algorithm = args.algorithm
+    if args.shards is not None or args.prune:
+        if algorithm.name != "exhaustive":
+            print(
+                "error: --shards/--prune apply to the exhaustive "
+                f"algorithm only (got {algorithm.label!r})",
+                file=sys.stderr,
+            )
+            return 2
+        merged = dict(algorithm.params)
+        if args.shards is not None:
+            merged["shards"] = args.shards
+        if args.prune:
+            merged["prune"] = True
+        algorithm = AlgorithmSpec(
+            name="exhaustive", params=tuple(sorted(merged.items()))
+        )
     config = EngineConfig(
-        max_kernels_moved=args.max_kernels, substrate=args.substrate
+        max_kernels_moved=args.max_kernels,
+        substrate=args.substrate,
+        search_workers=args.search_workers,
     )
     partitioner = make_partitioner(
-        args.algorithm, workload, platform, config=config
+        algorithm, workload, platform, config=config
     )
     constraint = args.constraint
     if constraint is None:
@@ -410,8 +449,22 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             return 2
         constraint = max(1, round(partitioner.initial_cycles() * args.fraction))
     result = partitioner.run(constraint)
-    print(f"algorithm: {args.algorithm.label}")
+    print(f"algorithm: {algorithm.label}")
     print(result.summary())
+    shard_outcomes = getattr(partitioner, "shard_outcomes", [])
+    pruned = getattr(partitioner, "pruned_subtrees", 0)
+    if shard_outcomes or pruned:
+        print(
+            f"exact search: {partitioner.visited_count} configurations "
+            f"visited, {pruned} subtrees pruned"
+        )
+        for stats in shard_outcomes:
+            print(
+                f"  shard {stats['shard']:>2}: {stats['visits']} visits "
+                f"in {stats['seconds']:.3f}s "
+                f"({stats['configs_per_second']:.0f}/s, "
+                f"{stats['pruned_subtrees']} pruned)"
+            )
     for step in result.steps:
         marker = "met" if step.constraint_met else "   "
         print(

@@ -22,11 +22,10 @@ from __future__ import annotations
 
 import os
 import time
-import warnings
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..interp.cache import ProfileCache
+from ..parallel import map_tasks
 from ..partition.costs import CostModel, CostStats
 from ..partition.engine import EngineConfig
 from ..partition.packed import PackedCostTable
@@ -209,48 +208,23 @@ def explore(
         workers = min(len(tasks), os.cpu_count() or 1)
     workers = max(1, workers)
 
-    def run_serially() -> list[_TaskOutcome]:
+    def run_serially(serial_tasks) -> list[_TaskOutcome]:
         # Caches scoped to this call: the coordinating process is long
         # lived and must not accumulate every workload ever explored.
         workloads: dict[WorkloadSpec, ApplicationWorkload] = {}
         tables: dict[_TableKey, PackedCostTable] = {}
-        return [_run_task(task, workloads, tables) for task in tasks]
+        return [_run_task(task, workloads, tables) for task in serial_tasks]
 
-    outcomes: list[_TaskOutcome]
-    if workers == 1 or len(tasks) == 1:
-        workers = 1
-        outcomes = run_serially()
-    else:
-        # An unusable pool (no fork, no sem_open — surfaced either at
-        # construction or by the warm-up probe, since workers spawn
-        # lazily) and a worker dying mid-grid (BrokenExecutor) fall back
-        # to a serial run.  Genuine task errors only occur after the
-        # probe succeeded and propagate as themselves, so the fallback
-        # never re-runs a grid that would fail anyway.
-        pool_ready = False
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                pool.submit(os.getpid).result()  # force a worker to spawn
-                pool_ready = True
-                outcomes = list(pool.map(_run_task, tasks))
-        except (OSError, ImportError, NotImplementedError) as error:
-            if pool_ready:  # the error is the tasks' own: surface it
-                raise
-            warnings.warn(
-                f"process pool unavailable ({error}); exploring serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            workers = 1
-            outcomes = run_serially()
-        except BrokenExecutor as error:
-            warnings.warn(
-                f"worker pool broke mid-run ({error}); exploring serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            workers = 1
-            outcomes = run_serially()
+    # The shared fan-out contract (repro.parallel): an unusable pool or
+    # a worker dying mid-grid falls back to a serial run; genuine task
+    # errors propagate as themselves.
+    outcomes, workers = map_tasks(
+        _run_task,
+        tasks,
+        workers,
+        what="exploration grid",
+        serial_runner=run_serially,
+    )
 
     report = ExplorationReport(
         workers_used=workers,

@@ -1,0 +1,78 @@
+"""Shared process fan-out with a serial fallback.
+
+The explore grids, the scenario suite, and the sharded exhaustive walk
+all fan tasks out the same way: a ``ProcessPoolExecutor`` warmed by a
+probe submission (worker processes spawn lazily, so an unusable pool —
+no fork, no sem_open — may only surface then), degrading to a serial
+in-process run when the pool cannot be built, and re-raising genuine
+task errors as themselves.  Results always come back in task order, so
+a caller's merge is deterministic regardless of worker scheduling.
+
+This module sits below every repro subsystem (it imports none of them)
+so the search layer can use it without creating an import cycle with
+:mod:`repro.explore`.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+def map_tasks(
+    fn: Callable[[_Task], _Result],
+    tasks: Iterable[_Task],
+    max_workers: int,
+    *,
+    what: str = "tasks",
+    serial_runner: Callable[[Sequence[_Task]], list[_Result]] | None = None,
+) -> tuple[list[_Result], int]:
+    """``[fn(t) for t in tasks]`` across worker processes, in task order.
+
+    Returns ``(results, workers_used)``.  ``max_workers <= 1`` or a
+    single task runs serially in-process; ``serial_runner`` overrides
+    the serial path (callers use it to thread per-call caches through
+    instead of repickling state per task).  An unusable pool (surfaced
+    at construction or by the warm-up probe) and a worker dying mid-run
+    (``BrokenExecutor``) fall back to a serial run with a warning;
+    errors raised after the probe succeeded are the tasks' own and
+    propagate, so the fallback never re-runs work that would fail
+    anyway.
+    """
+    tasks = list(tasks)
+
+    def run_serially() -> list[_Result]:
+        if serial_runner is not None:
+            return serial_runner(tasks)
+        return [fn(task) for task in tasks]
+
+    workers = max(1, max_workers)
+    if workers == 1 or len(tasks) <= 1:
+        return run_serially(), 1
+    pool_ready = False
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pool.submit(os.getpid).result()  # force a worker to spawn
+            pool_ready = True
+            return list(pool.map(fn, tasks)), workers
+    except (OSError, ImportError, NotImplementedError) as error:
+        if pool_ready:  # the error is the tasks' own: surface it
+            raise
+        warnings.warn(
+            f"process pool unavailable ({error}); running {what} serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return run_serially(), 1
+    except BrokenExecutor as error:
+        warnings.warn(
+            f"worker pool broke mid-run ({error}); running {what} serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return run_serially(), 1

@@ -79,6 +79,11 @@ class EngineConfig:
     #: differential reference).  The engine itself always runs on the
     #: object substrate; this flag steers the search layer.
     substrate: str = "packed"
+    #: Worker-process cap for search modes that fan out (the sharded
+    #: exhaustive walk).  ``None`` sizes to the machine's cores; ``1``
+    #: forces an in-process serial run.  Results are bit-identical
+    #: regardless of the value — it only bounds parallelism.
+    search_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.substrate not in SUBSTRATE_NAMES:
@@ -86,6 +91,8 @@ class EngineConfig:
                 f"unknown substrate {self.substrate!r}; expected one of "
                 f"{SUBSTRATE_NAMES}"
             )
+        if self.search_workers is not None and self.search_workers < 1:
+            raise ValueError("search_workers must be >= 1")
 
 
 @dataclass

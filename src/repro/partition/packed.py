@@ -340,30 +340,153 @@ class PackedVisitLog:
     the search itself.  The columns default to plain lists (masks can
     exceed 64 bits on kernel-rich workloads); an enumeration walk whose
     values provably fit may swap them for packed int64 ``array``\\ s.
+
+    Reduced mode (``drop_visits``): 2^32-scale sharded/pruned walks
+    cannot afford per-visit columns at all, so the log can instead fold
+    every visit straight into the lossless ``(moved, rows) ->
+    (min cycles, mask)`` reduction that feeds the Pareto staircase
+    sweep — bit-identical fronts and best-config tracking, O(distinct
+    shapes) memory, but no per-visit ``entries()`` replay.  The fold
+    uses the exact incumbent rule of
+    :func:`repro.search.pareto.reduce_columns_to_best` (min cycles,
+    ties to the lexicographically smallest BB tuple), so full and
+    reduced logs of the same visited set produce identical fronts.
     """
 
-    __slots__ = ("ticks", "masks", "_seen")
+    __slots__ = (
+        "ticks",
+        "masks",
+        "_seen",
+        "keep_visits",
+        "visit_count",
+        "best_by_shape",
+        "_table",
+        "_decoded",
+    )
 
     def __init__(self) -> None:
         self.ticks: MutableSequence[int] = []
         self.masks: MutableSequence[int] = []
         self._seen: set[int] = set()
+        #: False once ``drop_visits`` switched the log to reduced mode.
+        self.keep_visits = True
+        #: Configurations recorded in reduced mode (columns track their
+        #: own length while ``keep_visits`` holds).
+        self.visit_count = 0
+        #: (moved_count, rows_used) -> (total_cycles, mask), reduced.
+        self.best_by_shape: dict[tuple[int, int], tuple[int, int]] = {}
+        self._table: "PackedCostTable | None" = None
+        self._decoded: dict[int, tuple[int, ...]] = {}
 
     def __len__(self) -> int:
-        return len(self.masks)
+        if self.keep_visits:
+            return len(self.masks)
+        return self.visit_count
 
+    # ------------------------------------------------------------------
+    # Reduced-mode fold (the reduce_columns_to_best incumbent rule)
+    # ------------------------------------------------------------------
+    def _bb_tuple(self, mask: int) -> tuple[int, ...]:
+        ids = self._decoded.get(mask)
+        if ids is None:
+            assert self._table is not None
+            ids = self._table.bb_ids_of(mask)
+            self._decoded[mask] = ids
+        return ids
+
+    def _fold_entry(
+        self, key: tuple[int, int], cycles: int, mask: int
+    ) -> None:
+        incumbent = self.best_by_shape.get(key)
+        if incumbent is None or cycles < incumbent[0]:
+            self.best_by_shape[key] = (cycles, mask)
+        elif (
+            cycles == incumbent[0]
+            and mask != incumbent[1]
+            and self._bb_tuple(mask) < self._bb_tuple(incumbent[1])
+        ):
+            self.best_by_shape[key] = (cycles, mask)
+
+    def _fold(self, total_ticks: int, mask: int) -> None:
+        table = self._table
+        assert table is not None
+        cycles = -(-total_ticks // table.clock_ratio)
+        self._fold_entry((mask.bit_count(), table.rows_used(mask)), cycles,
+                         mask)
+
+    def drop_visits(self, table: PackedCostTable) -> None:
+        """Switch to reduced mode in place, folding any columns already
+        recorded (idempotent)."""
+        if not self.keep_visits:
+            return
+        self._table = table
+        self.keep_visits = False
+        self.visit_count = len(self.masks)
+        for total_ticks, mask in zip(self.ticks, self.masks, strict=True):
+            self._fold(total_ticks, mask)
+        self.ticks = []
+        self.masks = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
     def record(self, total_ticks: int, mask: int) -> None:
         if mask in self._seen:
             return
         self._seen.add(mask)
-        self.ticks.append(total_ticks)
-        self.masks.append(mask)
+        if self.keep_visits:
+            self.ticks.append(total_ticks)
+            self.masks.append(mask)
+        else:
+            self.visit_count += 1
+            self._fold(total_ticks, mask)
 
     def record_unchecked(self, total_ticks: int, mask: int) -> None:
-        self.ticks.append(total_ticks)
-        self.masks.append(mask)
+        if self.keep_visits:
+            self.ticks.append(total_ticks)
+            self.masks.append(mask)
+        else:
+            self.visit_count += 1
+            self._fold(total_ticks, mask)
+
+    # ------------------------------------------------------------------
+    # Shard-summary merges (deterministic: the fold rule is a minimum)
+    # ------------------------------------------------------------------
+    def absorb_columns(
+        self, ticks: Iterable[int], masks: Iterable[int]
+    ) -> None:
+        """Fold (or append) one shard's duplicate-free visit columns."""
+        if self.keep_visits:
+            self.ticks.extend(ticks)
+            self.masks.extend(masks)
+        else:
+            count = self.visit_count
+            for total_ticks, mask in zip(ticks, masks, strict=True):
+                count += 1
+                self._fold(total_ticks, mask)
+            self.visit_count = count
+
+    def absorb_reduced(
+        self,
+        visit_count: int,
+        best_items: Iterable[tuple[tuple[int, int], tuple[int, int]]],
+    ) -> None:
+        """Merge one shard's already-reduced ``best_by_shape`` summary."""
+        if self.keep_visits:
+            raise ValueError(
+                "absorb_reduced needs a reduced-mode log; call "
+                "drop_visits first"
+            )
+        self.visit_count += visit_count
+        for key, (cycles, mask) in best_items:
+            self._fold_entry(key, cycles, mask)
 
     def entries(self) -> Iterator[tuple[int, int]]:
+        if not self.keep_visits:
+            raise ValueError(
+                "per-visit entries were dropped (reduced mode); only the "
+                "Pareto reduction and counts survive keep_visits=False"
+            )
         return zip(self.ticks, self.masks, strict=True)
 
 

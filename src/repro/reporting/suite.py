@@ -27,6 +27,7 @@ SUITE_CSV_FIELDS = (
     "constraint_met",
     "wall_time_seconds",
     "configs_per_second",
+    "pruned_subtrees",
 )
 
 

@@ -40,6 +40,7 @@ from ..platform.soc import HybridPlatform
 from .pareto import (
     VisitedConfiguration,
     pareto_front,
+    pareto_front_from_best,
     pareto_front_from_columns,
 )
 
@@ -84,18 +85,38 @@ class AlgorithmSpec:
         return cls(name="greedy")
 
     @classmethod
-    def exhaustive(cls, max_candidates: int | None = None) -> "AlgorithmSpec":
+    def exhaustive(
+        cls,
+        max_candidates: int | None = None,
+        shards: int | None = None,
+        prune: bool = False,
+    ) -> "AlgorithmSpec":
         """Optimal over all kernel subsets (ground truth, small inputs).
 
-        ``max_candidates=None`` resolves per substrate: 24 on the packed
-        Gray-code enumeration (one integer toggle per configuration, so
-        16M subsets stay cheap) and the historical 16 on the object
-        reference (whose per-subset object churn makes 2^24 a
-        minutes-to-hours mistake, not a default).  Pass an explicit cap
-        to apply it to either substrate.
+        ``max_candidates=None`` resolves per substrate and mode: 24 on
+        the serial packed Gray-code enumeration (one integer toggle per
+        configuration, so 16M subsets stay cheap), 32 when the walk is
+        sharded across workers, 40 with the branch-and-bound pruner,
+        and the historical 16 on the object reference (whose per-subset
+        object churn makes 2^24 a minutes-to-hours mistake, not a
+        default).  Pass an explicit cap to override any of them.
+
+        ``shards`` splits the Gray-code mask space into that many
+        contiguous worker segments (packed substrate only);  ``prune``
+        switches to the exact additive-bound branch-and-bound.  Both
+        produce results bit-identical to the serial unpruned walk.
         """
         return cls(
-            name="exhaustive", params=(("max_candidates", max_candidates),)
+            name="exhaustive",
+            params=tuple(
+                sorted(
+                    {
+                        "max_candidates": max_candidates,
+                        "shards": shards,
+                        "prune": prune,
+                    }.items()
+                )
+            ),
         )
 
     @classmethod
@@ -170,7 +191,7 @@ class AlgorithmSpec:
 #: default-valued parameter never changes the label.
 _SPEC_DEFAULTS: dict[str, dict[str, object]] = {
     "greedy": {},
-    "exhaustive": {"max_candidates": None},
+    "exhaustive": {"max_candidates": None, "shards": None, "prune": False},
     "multi_start": {"restarts": 8, "seed": 0, "jitter": 0.75},
     "annealing": {
         "seed": 0,
@@ -328,11 +349,18 @@ class Partitioner(ABC):
         :class:`VisitedConfiguration` records on demand (cached until
         new configurations are recorded); prefer :attr:`visited_count`
         or :meth:`pareto_front` when the records themselves are not
-        needed.
+        needed.  A reduced log (``keep_visits=False``) has dropped the
+        per-visit columns and raises — use :attr:`visited_count` /
+        :meth:`pareto_front`, which both survive the reduction.
         """
         if not self._uses_packed_substrate():
             return self._visited_objects
         log = self._packed_log
+        if not log.keep_visits:
+            raise ValueError(
+                "visited configurations were reduced away "
+                "(keep_visits=False); use visited_count or pareto_front"
+            )
         if self._materialized is None or len(self._materialized) != len(log):
             table = self.table
             ratio = table.clock_ratio
@@ -362,6 +390,10 @@ class Partitioner(ABC):
         """Non-dominated subset of everything visited so far."""
         if self._uses_packed_substrate():
             log = self._packed_log
+            if not log.keep_visits:
+                return pareto_front_from_best(
+                    log.best_by_shape, self.table, self.algorithm
+                )
             return pareto_front_from_columns(
                 log.ticks, log.masks, self.table, self.algorithm
             )

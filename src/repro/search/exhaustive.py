@@ -17,6 +17,33 @@ walk switches to a budget-pruned depth-first enumeration (visiting only
 the subsets within the budget, like the object reference, instead of
 all 2^n codes).
 
+Two composable exact-search modes push the certified range further:
+
+* **Sharded Gray walk** (``shards=k``) — the 2^n Gray-code sequence is
+  split into ``k`` contiguous code ranges.  Each worker seeds a running
+  Eq. 2 total at its range-start mask (one O(n) materialization —
+  ``gray(code) = code ^ (code >> 1)``), walks its segment with the same
+  O(1) toggles, and ships back a compact summary: its local optimum,
+  visit count, and either the raw visit columns or the lossless
+  ``(moved, rows) -> min cycles`` Pareto reduction.  The parent merges
+  summaries in shard order, so the result and front are bit-identical
+  to the serial walk regardless of worker count (fan-out rides the same
+  picklable-:class:`~repro.partition.packed.PackedCostTable` process
+  machinery as :mod:`repro.explore`, serial fallback included).
+* **Exact branch-and-bound** (``prune=True``) — kernels sorted by
+  best-case per-kernel gain; because the Eq. 2 objective is additive
+  over kernels, the suffix sums of the remaining negative deltas are an
+  admissible bound on any subtree's achievable total.  A subtree is cut
+  only when that bound shows it can affect **neither** the optimum
+  (strict tick-level comparison, so tie-broken optima survive) **nor**
+  the Pareto reduction (a shape-aware test against the evolving
+  ``(moved, rows)`` incumbents, with ``<=`` so tie representatives
+  survive) — certified-identical optima *and* fronts, at a fraction of
+  the visits.  The bound is budget-aware, so ``prune=True`` also
+  replaces the budget-pruned DFS for ``move_budget`` runs.  Sharded
+  B&B decomposes over the 2^s assignments of the s most-gainful
+  kernels; each prefix task is an independent B&B.
+
 The object substrate keeps the original depth-first walk over
 :class:`~repro.partition.costs.CostState` as the differential
 reference.  Both substrates visit exactly the same subset set and pick
@@ -26,9 +53,306 @@ lexicographic BB ids.
 
 from __future__ import annotations
 
-from ..partition.costs import CostState
+import os
+import time
+from dataclasses import dataclass
+
+from ..parallel import map_tasks
+from ..partition.costs import CostModel, CostState
+from ..partition.packed import PackedCostTable
 from ..partition.result import PartitionResult
 from .base import Partitioner, register_algorithm
+
+#: One exact-search fan-out unit's compact summary (picklable).
+@dataclass
+class ShardOutcome:
+    """What one shard / branch-and-bound task ships back."""
+
+    shard: int
+    visits: int
+    pruned_subtrees: int
+    seconds: float
+    #: Local optimum by the (ticks, moves, BB-tuple) key; None when the
+    #: task's subspace is empty (e.g. a prefix over the move budget).
+    best_total: int | None
+    best_count: int
+    best_mask: int
+    #: Raw visit columns, in deterministic walk order (keep_visits).
+    ticks: object | None
+    masks: object | None
+    #: The lossless (moved, rows) -> (cycles, mask) Pareto reduction
+    #: (reduced mode; None when the raw columns are shipped instead).
+    shape_items: tuple | None
+
+    @property
+    def configs_per_second(self) -> float:
+        return self.visits / self.seconds if self.seconds > 0 else 0.0
+
+
+def _fold_shape(
+    table: PackedCostTable,
+    shape_best: dict,
+    decoded: dict,
+    cycles: int,
+    key: tuple[int, int],
+    mask: int,
+) -> None:
+    """The reduce_columns_to_best incumbent rule (min cycles per
+    (moved, rows) shape, exact ties to the smallest BB tuple)."""
+    incumbent = shape_best.get(key)
+    if incumbent is None or cycles < incumbent[0]:
+        shape_best[key] = (cycles, mask)
+    elif cycles == incumbent[0] and mask != incumbent[1]:
+        ids = decoded.get(mask)
+        if ids is None:
+            ids = decoded[mask] = table.bb_ids_of(mask)
+        inc_ids = decoded.get(incumbent[1])
+        if inc_ids is None:
+            inc_ids = decoded[incumbent[1]] = table.bb_ids_of(incumbent[1])
+        if ids < inc_ids:
+            shape_best[key] = (cycles, mask)
+
+
+def _walk_shard(task) -> ShardOutcome:
+    """Walk one contiguous Gray-code segment ``[lo, hi)``.
+
+    The segment's first configuration is materialized once
+    (``mask = gray(lo)``, one O(n) Eq. 2 sum); every following step is
+    the usual O(1) toggle, so concatenating all shards' columns in
+    shard order reproduces the serial walk's log exactly.
+    """
+    table, shard, lo, hi, keep = task
+    started = time.perf_counter()
+    n = len(table)
+    deltas = table.move_delta
+    delta_by_bit = {1 << i: deltas[i] for i in range(n)}
+    mask = lo ^ (lo >> 1)
+    total = table.total_ticks_of(mask)
+    best_total, best_mask = total, mask
+    best_count = mask.bit_count()
+    best_ids: tuple[int, ...] | None = None
+    bb_ids_of = table.bb_ids_of
+
+    ticks_col = masks_col = None
+    shape_best: dict | None = None
+    if keep:
+        max_total = table.initial_ticks + sum(abs(d) for d in deltas)
+        if n <= 62 and max_total < (1 << 62):
+            from array import array
+
+            ticks_col, masks_col = array("q"), array("q")
+        else:
+            ticks_col, masks_col = [], []
+        append_ticks = ticks_col.append
+        append_masks = masks_col.append
+        append_ticks(total)
+        append_masks(mask)
+    else:
+        shape_best = {}
+        decoded: dict = {}
+        ratio = table.clock_ratio
+        rows_used = table.rows_used
+        _fold_shape(
+            table, shape_best, decoded, -(-total // ratio),
+            (best_count, rows_used(mask)), mask,
+        )
+
+    for code in range(lo + 1, hi):
+        bit = code & -code
+        if mask & bit:
+            total -= delta_by_bit[bit]
+        else:
+            total += delta_by_bit[bit]
+        mask ^= bit
+        if keep:
+            append_ticks(total)
+            append_masks(mask)
+        else:
+            _fold_shape(
+                table, shape_best, decoded, -(-total // ratio),
+                (mask.bit_count(), rows_used(mask)), mask,
+            )
+        if total > best_total:
+            continue
+        count = mask.bit_count()
+        if total < best_total or count < best_count:
+            best_total, best_mask, best_count = total, mask, count
+            best_ids = None
+        elif count == best_count:
+            if best_ids is None:
+                best_ids = bb_ids_of(best_mask)
+            candidate_ids = bb_ids_of(mask)
+            if candidate_ids < best_ids:
+                best_mask, best_ids = mask, candidate_ids
+    return ShardOutcome(
+        shard=shard,
+        visits=hi - lo,
+        pruned_subtrees=0,
+        seconds=time.perf_counter() - started,
+        best_total=best_total,
+        best_count=best_count,
+        best_mask=best_mask,
+        ticks=ticks_col,
+        masks=masks_col,
+        shape_items=(
+            None if shape_best is None else tuple(shape_best.items())
+        ),
+    )
+
+
+def _bb_shard(task) -> ShardOutcome:
+    """One branch-and-bound task: DFS over the non-prefix kernels with
+    the prefix assignment ``p`` fixed.
+
+    Kernels are ordered by ascending move delta (most gainful first),
+    so the suffix prefix-sums of the negative deltas bound any
+    subtree's achievable Eq. 2 gain; with a move budget of ``k`` moves
+    left the bound takes the ``k`` best remaining gains.  A subtree is
+    pruned only when it can neither beat/tie the incumbent optimum
+    (strict ``>`` on ticks, so tick-level ties stay explored and the
+    moves/BB-tuple tie-break is preserved) nor update any ``(moved,
+    rows)`` Pareto-reduction incumbent (``<=`` on cycles, so
+    cycle-level tie representatives are preserved) — which is what
+    makes the pruned front bit-identical to the unpruned one.
+    """
+    table, shard, p, s, order, budget, keep, slack = task
+    started = time.perf_counter()
+    n = len(table)
+    deltas = table.move_delta
+    rest = order[s:]
+    len_rest = len(rest)
+
+    mask = 0
+    total = table.initial_ticks
+    count = 0
+    for j in range(s):
+        if p >> j & 1:
+            i = order[j]
+            mask |= 1 << i
+            total += deltas[i]
+            count += 1
+    if budget is not None and count > budget:
+        # Every configuration of this prefix exceeds the move budget —
+        # the whole task's subspace is outside the search space.
+        return ShardOutcome(
+            shard=shard, visits=0, pruned_subtrees=0,
+            seconds=time.perf_counter() - started,
+            best_total=None, best_count=0, best_mask=0,
+            ticks=[] if keep else None, masks=[] if keep else None,
+            shape_items=None if keep else (),
+        )
+
+    # Admissible gain bound: rest[] is sorted by ascending delta, so
+    # its negative deltas form the prefix rest[:neg]; the best
+    # achievable gain from rest[j:] with at most k inclusions is the
+    # sum of its first min(k, neg - j) entries.
+    neg = 0
+    while neg < len_rest and deltas[rest[neg]] < 0:
+        neg += 1
+    prefix_sums = [0] * (len_rest + 1)
+    for j in range(len_rest):
+        prefix_sums[j + 1] = prefix_sums[j] + deltas[rest[j]]
+
+    def gain(j: int, k: int) -> int:
+        if j >= neg or k <= 0:
+            return 0
+        take = min(k, neg - j)
+        return prefix_sums[j + take] - prefix_sums[j]
+
+    ratio = table.clock_ratio
+    rows_used = table.rows_used
+    bb_ids_of = table.bb_ids_of
+    distinct_rows = sorted(set(table.cgc_rows))
+    shape_best: dict = {}
+    decoded: dict = {}
+    cols_ticks: list[int] | None = [] if keep else None
+    cols_masks: list[int] | None = [] if keep else None
+    visits = 0
+    pruned = 0
+    best_total, best_mask, best_count = total, mask, count
+    best_ids: tuple[int, ...] | None = None
+
+    def record(t: int, m: int, c: int) -> None:
+        nonlocal visits
+        visits += 1
+        if keep:
+            cols_ticks.append(t)  # type: ignore[union-attr]
+            cols_masks.append(m)  # type: ignore[union-attr]
+        _fold_shape(
+            table, shape_best, decoded, -(-t // ratio),
+            (c, rows_used(m)), m,
+        )
+
+    def consider(t: int, m: int, c: int) -> None:
+        nonlocal best_total, best_mask, best_count, best_ids
+        if t > best_total:
+            return
+        if t < best_total or c < best_count:
+            best_total, best_mask, best_count = t, m, c
+            best_ids = None
+        elif c == best_count:
+            if best_ids is None:
+                best_ids = bb_ids_of(best_mask)
+            candidate_ids = bb_ids_of(m)
+            if candidate_ids < best_ids:
+                best_mask, best_ids = m, candidate_ids
+
+    def could_update_shapes(
+        j: int, t: int, c: int, r0: int, k_left: int
+    ) -> bool:
+        cmax = min(k_left, len_rest - j)
+        for extra in range(1, cmax + 1):
+            min_cycles = -(-(t + gain(j, extra)) // ratio)
+            m = c + extra
+            for r in distinct_rows:
+                if r < r0:
+                    continue
+                incumbent = shape_best.get((m, r))
+                if incumbent is None or min_cycles <= incumbent[0]:
+                    return True
+        return False
+
+    def walk(j: int, t: int, m: int, c: int) -> None:
+        nonlocal pruned
+        if j == len_rest:
+            return
+        k_left = (budget - c) if budget is not None else len_rest - j
+        if t + gain(j, k_left) - slack > best_total and not (
+            could_update_shapes(j, t, c, rows_used(m), k_left)
+        ):
+            pruned += 1
+            return
+        if k_left > 0:
+            i = rest[j]
+            t2 = t + deltas[i]
+            m2 = m | (1 << i)
+            record(t2, m2, c + 1)
+            consider(t2, m2, c + 1)
+            walk(j + 1, t2, m2, c + 1)
+        walk(j + 1, t, m, c)
+
+    if mask:
+        # A non-empty prefix is itself a visited configuration (the
+        # all-FPGA mask 0 was already logged by the parent's run()).
+        record(total, mask, count)
+    else:
+        _fold_shape(
+            table, shape_best, decoded, -(-total // ratio),
+            (0, 0), 0,
+        )
+    walk(0, total, mask, count)
+    return ShardOutcome(
+        shard=shard,
+        visits=visits,
+        pruned_subtrees=pruned,
+        seconds=time.perf_counter() - started,
+        best_total=best_total,
+        best_count=best_count,
+        best_mask=best_mask,
+        ticks=cols_ticks,
+        masks=cols_masks,
+        shape_items=None if keep else tuple(shape_best.items()),
+    )
 
 
 @register_algorithm
@@ -38,27 +362,85 @@ class ExhaustivePartitioner(Partitioner):
     algorithm = "exhaustive"
 
     #: Default candidate caps when ``max_candidates`` is None, resolved
-    #: per substrate — 2^n is cheap on the Gray walk, not on the object
-    #: reference.
+    #: per substrate and exact-search mode — 2^n is cheap on the Gray
+    #: walk, cheaper still sharded across cores, and the
+    #: branch-and-bound certifies far past what enumeration can visit;
+    #: the object reference stays conservative.
     PACKED_DEFAULT_MAX_CANDIDATES = 24
+    SHARDED_DEFAULT_MAX_CANDIDATES = 32
+    PRUNED_DEFAULT_MAX_CANDIDATES = 40
     OBJECT_DEFAULT_MAX_CANDIDATES = 16
 
-    def __init__(self, *args, max_candidates: int | None = None, **kwargs):
+    def __init__(
+        self,
+        *args,
+        max_candidates: int | None = None,
+        shards: int | None = None,
+        prune: bool = False,
+        keep_visits: bool | None = None,
+        **kwargs,
+    ):
         super().__init__(*args, **kwargs)
         if max_candidates is not None and max_candidates < 1:
             raise ValueError("max_candidates must be >= 1")
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
         self.max_candidates = max_candidates
+        #: Contiguous Gray-code segments to fan out (packed substrate).
+        self.shards = shards
+        #: Exact branch-and-bound instead of full enumeration.
+        self.prune = prune
+        #: None resolves per mode: sharded walks drop per-visit columns
+        #: (a 2^32-scale walk cannot afford them), everything else
+        #: keeps them.
+        self.keep_visits = keep_visits
+        #: Branch-and-bound subtrees cut by the additive bound.
+        self.pruned_subtrees = 0
+        #: Per-shard / per-B&B-task stats dicts, in merge order.
+        self.shard_outcomes: list[dict[str, object]] = []
+        #: Test hook: loosens the optimum bound by this many ticks (a
+        #: worse bound can only explore more, never less — the
+        #: monotonicity property the tests pin).
+        self._bound_slack = 0
         #: (ordering key, subset, skipped ids) once enumerated; the
         #: optimum is constraint-independent so one enumeration serves
         #: every run() of a sweep.
         self._best: tuple[tuple, frozenset[int], list[int]] | None = None
         #: Packed equivalent: the optimal configuration bitmask.
         self._best_mask: int | None = None
+        if max_candidates is not None:
+            self._validate_candidate_count(max_candidates)
+
+    def _validate_candidate_count(self, max_candidates: int) -> None:
+        """Fail at construction, not deep inside the enumeration, when
+        the workload's kernel count exceeds an explicit cap."""
+        candidates = self.workload.kernel_candidates(self.weight_model)
+        if len(candidates) <= max_candidates:
+            return
+        # Unsupported kernels never enter the enumeration, so only the
+        # supported count can breach the cap; pricing through a
+        # throwaway model keeps the lazily-built substrate (and the
+        # config-freeze contract) untouched.
+        probe = CostModel(self.workload, self.platform)
+        supported = sum(
+            1 for kernel in candidates if probe.contribution(kernel).supported
+        )
+        if supported > max_candidates:
+            raise ValueError(
+                f"workload {self.workload.name!r} has {supported} supported "
+                f"kernel candidates, but max_candidates={max_candidates} "
+                f"allows at most that many (2^{supported} subsets); raise "
+                "max_candidates explicitly if you really want this"
+            )
 
     def _candidate_cap(self) -> int:
         if self.max_candidates is not None:
             return self.max_candidates
         if self._uses_packed_substrate():
+            if self.prune:
+                return self.PRUNED_DEFAULT_MAX_CANDIDATES
+            if self.shards is not None and self.shards > 1:
+                return self.SHARDED_DEFAULT_MAX_CANDIDATES
             return self.PACKED_DEFAULT_MAX_CANDIDATES
         return self.OBJECT_DEFAULT_MAX_CANDIDATES
 
@@ -68,6 +450,13 @@ class ExhaustivePartitioner(Partitioner):
     def _enumerate(self) -> tuple[tuple, frozenset[int], list[int]]:
         if self._best is not None:
             return self._best
+        if self.shards is not None or self.prune or (
+            self.keep_visits is not None
+        ):
+            raise ValueError(
+                "sharded / pruned / reduced-log exact search runs on the "
+                "packed substrate only (EngineConfig.substrate='packed')"
+            )
         supported, skipped = self._split_candidates()
         cap = self._candidate_cap()
         if len(supported) > cap:
@@ -121,11 +510,127 @@ class ExhaustivePartitioner(Partitioner):
                 "max_candidates explicitly if you really want this"
             )
         budget = self.move_budget
-        if budget is None or budget >= n:
-            self._best_mask = self._gray_walk(n)
+        if budget is not None and budget >= n:
+            budget = None
+        keep = self.keep_visits
+        if keep is None:
+            keep = self.shards is None
+        if not keep:
+            self._packed_log.drop_visits(table)
+        if self.prune:
+            self._best_mask = self._branch_and_bound(n, budget, keep)
+        elif self.shards is not None:
+            if budget is not None:
+                raise ValueError(
+                    "a move budget combined with shards requires "
+                    "prune=True (the sharded Gray walk enumerates the "
+                    "full mask space)"
+                )
+            self._best_mask = self._sharded_walk(n, keep)
+        elif budget is None:
+            if keep:
+                self._best_mask = self._gray_walk(n)
+            else:
+                self._best_mask = self._sharded_walk(n, keep)
         else:
             self._best_mask = self._budgeted_walk(n, budget)
         return self._best_mask
+
+    def _resolve_workers(self, task_count: int) -> int:
+        workers = self.config.search_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        return max(1, min(workers, task_count))
+
+    def _absorb_outcomes(self, outcomes: list[ShardOutcome]) -> int:
+        """Merge shard summaries in deterministic shard order; returns
+        the globally optimal mask by the (ticks, moves, BB-tuple) key
+        (the all-FPGA origin is the baseline, exactly as in the serial
+        walk)."""
+        table = self.table
+        log = self._packed_log
+        best_total = table.initial_ticks
+        best_count = 0
+        best_mask = 0
+        best_ids: tuple[int, ...] | None = None
+        for outcome in outcomes:
+            if outcome.shape_items is None:
+                log.absorb_columns(outcome.ticks, outcome.masks)
+            else:
+                log.absorb_reduced(outcome.visits, outcome.shape_items)
+            self.pruned_subtrees += outcome.pruned_subtrees
+            self.shard_outcomes.append(
+                {
+                    "shard": outcome.shard,
+                    "visits": outcome.visits,
+                    "pruned_subtrees": outcome.pruned_subtrees,
+                    "seconds": outcome.seconds,
+                    "configs_per_second": outcome.configs_per_second,
+                }
+            )
+            if outcome.best_total is None:
+                continue
+            key = (outcome.best_total, outcome.best_count)
+            if key < (best_total, best_count):
+                best_total, best_count = key
+                best_mask = outcome.best_mask
+                best_ids = None
+            elif key == (best_total, best_count) and (
+                outcome.best_mask != best_mask
+            ):
+                if best_ids is None:
+                    best_ids = table.bb_ids_of(best_mask)
+                candidate_ids = table.bb_ids_of(outcome.best_mask)
+                if candidate_ids < best_ids:
+                    best_mask, best_ids = outcome.best_mask, candidate_ids
+        return best_mask
+
+    def _sharded_walk(self, n: int, keep: bool) -> int:
+        """Fan the Gray-code walk out over contiguous code segments."""
+        table = self.table
+        shards = self.shards or 1
+        codes = (1 << n) - 1  # codes 1 .. 2^n-1 (mask 0 is the origin)
+        shards = max(1, min(shards, codes)) if codes else 1
+        tasks = []
+        for index in range(shards):
+            lo = 1 + (codes * index) // shards
+            hi = 1 + (codes * (index + 1)) // shards
+            if lo < hi:
+                tasks.append((table, index, lo, hi, keep))
+        if not tasks:
+            return 0
+        outcomes, _ = map_tasks(
+            _walk_shard,
+            tasks,
+            self._resolve_workers(len(tasks)),
+            what="Gray-code shards",
+        )
+        return self._absorb_outcomes(outcomes)
+
+    def _branch_and_bound(
+        self, n: int, budget: int | None, keep: bool
+    ) -> int:
+        """Exact additive-bound B&B, optionally prefix-decomposed into
+        2^s independent tasks over the s most-gainful kernels."""
+        table = self.table
+        shards = self.shards or 1
+        s = 0
+        while (1 << s) < shards and s < n:
+            s += 1
+        order = tuple(
+            sorted(range(n), key=lambda i: (table.move_delta[i], i))
+        )
+        tasks = [
+            (table, p, p, s, order, budget, keep, self._bound_slack)
+            for p in range(1 << s)
+        ]
+        outcomes, _ = map_tasks(
+            _bb_shard,
+            tasks,
+            self._resolve_workers(len(tasks)),
+            what="branch-and-bound tasks",
+        )
+        return self._absorb_outcomes(outcomes)
 
     def _gray_walk(self, n: int) -> int:
         """All 2^n subsets, one integer toggle per configuration.

@@ -89,24 +89,24 @@ def pareto_front(
     return front
 
 
-def pareto_front_from_columns(
+def reduce_columns_to_best(
     ticks: Sequence[int],
     masks: Sequence[int],
     table,
-    algorithm: str,
-) -> list[VisitedConfiguration]:
-    """The staircase sweep run directly on a packed visited log.
+    best: dict[tuple[int, int], tuple[int, int]] | None = None,
+) -> dict[tuple[int, int], tuple[int, int]]:
+    """Lossless ``(moved, rows) -> (min cycles, mask)`` reduction.
 
-    ``ticks``/``masks`` are the parallel columns of a
-    :class:`~repro.partition.packed.PackedVisitLog` and ``table`` the
-    :class:`~repro.partition.packed.PackedCostTable` that encoded the
-    masks.  Only the front's members are materialized to
-    :class:`VisitedConfiguration` records — dominated configurations
-    (the overwhelming majority of an exhaustive enumeration) never
-    become Python objects.  Produces exactly what
-    :func:`pareto_front` produces for the same visited set, including
-    the smallest-moved-tuple tie-break between configurations with
-    identical objective vectors.
+    For a fixed (moved, rows) pair, any configuration with more cycles
+    is dominated by that pair's min-cycles one, so only the per-pair
+    minimum (with the smallest-BB-tuple tie-break on exact cycle ties)
+    can reach the Pareto front.  This keeps the working set at
+    O(distinct (moved, rows) pairs) — a few dozen — while a 2^n
+    enumeration log streams through in O(n) ints, instead of
+    accumulating millions of objective-vector dict entries.  Pass an
+    existing ``best`` dict to fold more columns in (shard merges);
+    folding is order-independent because the incumbent update is a
+    deterministic minimum.
     """
     ratio = table.clock_ratio
     rows_used = table.rows_used
@@ -119,15 +119,8 @@ def pareto_front_from_columns(
             decoded[mask] = ids
         return ids
 
-    # Lossless reduction before the sweep: for a fixed (moved, rows)
-    # pair, any configuration with more cycles is dominated by that
-    # pair's min-cycles one, so only the per-pair minimum (with the
-    # smallest-tuple tie-break on exact cycle ties) can reach the
-    # front.  This keeps the working set at O(distinct (moved, rows)
-    # pairs) — a few dozen — while a 2^n enumeration log streams
-    # through in O(n) ints, instead of accumulating millions of
-    # objective-vector dict entries.
-    best: dict[tuple[int, int], tuple[int, int]] = {}
+    if best is None:
+        best = {}
     for total_ticks, mask in zip(ticks, masks, strict=True):
         cycles = -(-total_ticks // ratio)
         key = (mask.bit_count(), rows_used(mask))
@@ -140,7 +133,20 @@ def pareto_front_from_columns(
             and bb_tuple(mask) < bb_tuple(incumbent[1])
         ):
             best[key] = (cycles, mask)
-    # The staircase sweep of pareto_front, on bare objective triples.
+    return best
+
+
+def pareto_front_from_best(
+    best: dict[tuple[int, int], tuple[int, int]],
+    table,
+    algorithm: str,
+) -> list[VisitedConfiguration]:
+    """The staircase sweep of :func:`pareto_front`, run on a reduced
+    ``(moved, rows) -> (cycles, mask)`` map (the output of
+    :func:`reduce_columns_to_best` or a
+    :class:`~repro.partition.packed.PackedVisitLog` in reduced mode).
+    Only the front's members are materialized to
+    :class:`VisitedConfiguration` records."""
     candidates = sorted(
         (cycles, moved, rows, mask)
         for (moved, rows), (cycles, mask) in best.items()
@@ -158,13 +164,34 @@ def pareto_front_from_columns(
                 total_cycles=cycles,
                 moved_kernel_count=moved,
                 cgc_rows_used=rows,
-                moved_bb_ids=bb_tuple(mask),
+                moved_bb_ids=table.bb_ids_of(mask),
                 algorithm=algorithm,
             )
         )
         if min_rows_by_moved.get(moved, rows + 1) > rows:
             min_rows_by_moved[moved] = rows
     return front
+
+
+def pareto_front_from_columns(
+    ticks: Sequence[int],
+    masks: Sequence[int],
+    table,
+    algorithm: str,
+) -> list[VisitedConfiguration]:
+    """The staircase sweep run directly on a packed visited log.
+
+    ``ticks``/``masks`` are the parallel columns of a
+    :class:`~repro.partition.packed.PackedVisitLog` and ``table`` the
+    :class:`~repro.partition.packed.PackedCostTable` that encoded the
+    masks.  Dominated configurations (the overwhelming majority of an
+    exhaustive enumeration) never become Python objects.  Produces
+    exactly what :func:`pareto_front` produces for the same visited
+    set, including the smallest-moved-tuple tie-break between
+    configurations with identical objective vectors.
+    """
+    best = reduce_columns_to_best(ticks, masks, table)
+    return pareto_front_from_best(best, table, algorithm)
 
 
 def front_of_results(

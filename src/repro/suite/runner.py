@@ -19,10 +19,9 @@ from __future__ import annotations
 
 import os
 import time
-import warnings
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
 from ..explore.space import PlatformSpec, WorkloadSpec
+from ..parallel import map_tasks
 from ..partition.costs import CostModel
 from ..partition.engine import EngineConfig
 from ..partition.packed import PackedCostTable
@@ -107,6 +106,9 @@ def run_scenario(
             if search_seconds > 0
             else 0.0
         ),
+        # Exact-search scenarios report how many branch-and-bound
+        # subtrees the additive bound cut; 0 for every other algorithm.
+        pruned_subtrees=getattr(partitioner, "pruned_subtrees", 0),
     )
 
 
@@ -138,45 +140,26 @@ def run_suite(
         workers = min(len(scenarios), os.cpu_count() or 1)
     workers = max(1, workers)
 
-    def run_serially() -> list[ScenarioResult]:
+    def run_serially(serial_scenarios) -> list[ScenarioResult]:
         workloads: dict[WorkloadSpec, ApplicationWorkload] = {}
         tables: dict[
             tuple[WorkloadSpec, PlatformSpec], PackedCostTable
         ] = {}
         return [
             run_scenario(scenario, workloads, tables)
-            for scenario in scenarios
+            for scenario in serial_scenarios
         ]
 
-    results: list[ScenarioResult]
-    if workers == 1 or len(scenarios) == 1:
-        workers = 1
-        results = run_serially()
-    else:
-        # Same fallback contract as repro.explore: an unusable pool
-        # degrades to a serial run, genuine scenario errors propagate.
-        pool_ready = False
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                pool.submit(os.getpid).result()  # force a worker to spawn
-                pool_ready = True
-                results = list(pool.map(run_scenario, scenarios))
-        except (OSError, ImportError, NotImplementedError) as error:
-            if pool_ready:
-                raise
-            warnings.warn(
-                f"process pool unavailable ({error}); running serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            results = run_serially()
-        except BrokenExecutor as error:
-            warnings.warn(
-                f"worker pool broke mid-suite ({error}); running serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            results = run_serially()
+    # Same fallback contract as repro.explore, via the shared
+    # repro.parallel fan-out: an unusable pool degrades to a serial
+    # run, genuine scenario errors propagate.
+    results, workers = map_tasks(
+        run_scenario,
+        scenarios,
+        workers,
+        what="suite scenarios",
+        serial_runner=run_serially,
+    )
 
     run = SuiteRun(
         fingerprint=fingerprint or repo_fingerprint(),

@@ -22,7 +22,9 @@ from pathlib import Path
 #: Bumped when the schema changes; stored via PRAGMA user_version.
 #: v2 added ``results.configs_per_second`` (evaluation throughput is a
 #: first-class longitudinal metric next to cycles and wall time).
-SCHEMA_VERSION = 2
+#: v3 added ``results.pruned_subtrees`` (how much of the exact search
+#: space the branch-and-bound certified without visiting).
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -49,6 +51,7 @@ CREATE TABLE IF NOT EXISTS results (
     constraint_met INTEGER NOT NULL,
     wall_time_seconds REAL NOT NULL,
     configs_per_second REAL NOT NULL DEFAULT 0.0,
+    pruned_subtrees INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (run_id, scenario)
 );
 CREATE INDEX IF NOT EXISTS idx_results_scenario ON results(scenario);
@@ -77,6 +80,9 @@ class ScenarioResult:
     #: evaluation-throughput metric the packed substrate is judged on.
     #: 0.0 in records predating schema v2.
     configs_per_second: float = 0.0
+    #: Branch-and-bound subtrees pruned by the exact-search additive
+    #: bound; 0 for non-exact algorithms and records predating v3.
+    pruned_subtrees: int = 0
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -95,6 +101,7 @@ class ScenarioResult:
             "constraint_met": self.constraint_met,
             "wall_time_seconds": round(self.wall_time_seconds, 6),
             "configs_per_second": round(self.configs_per_second, 1),
+            "pruned_subtrees": self.pruned_subtrees,
         }
 
     @classmethod
@@ -117,6 +124,8 @@ class ScenarioResult:
             # Absent in pre-v2 baselines; 0.0 disables throughput gating
             # for the record.
             configs_per_second=float(payload.get("configs_per_second", 0.0)),
+            # Absent in pre-v3 baselines.
+            pruned_subtrees=int(payload.get("pruned_subtrees", 0)),
         )
 
 
@@ -200,10 +209,10 @@ class ResultStore:
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_SCHEMA)
         version = self._conn.execute("PRAGMA user_version").fetchone()[0]
-        if version == 1:
-            # v1 -> v2: evaluation throughput joins the result columns.
-            # sqlite3 auto-commits DDL, so a crash between the ALTER and
-            # the version bump leaves the column present at version 1 —
+        if 0 < version < SCHEMA_VERSION:
+            # Older schema: add every missing column.  sqlite3
+            # auto-commits DDL, so a crash between an ALTER and the
+            # version bump leaves a column present at the old version —
             # guard on the actual column set, not the version, so the
             # retry converges instead of failing on a duplicate column.
             columns = {
@@ -211,9 +220,16 @@ class ResultStore:
                 for row in self._conn.execute("PRAGMA table_info(results)")
             }
             if "configs_per_second" not in columns:
+                # v1 -> v2: evaluation throughput joins the results.
                 self._conn.execute(
                     "ALTER TABLE results ADD COLUMN configs_per_second "
                     "REAL NOT NULL DEFAULT 0.0"
+                )
+            if "pruned_subtrees" not in columns:
+                # v2 -> v3: exact-search pruning counts join the results.
+                self._conn.execute(
+                    "ALTER TABLE results ADD COLUMN pruned_subtrees "
+                    "INTEGER NOT NULL DEFAULT 0"
                 )
             version = 0
         if version == 0:
@@ -252,7 +268,7 @@ class ResultStore:
             assert run_id is not None
             self._conn.executemany(
                 "INSERT INTO results VALUES "
-                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 [
                     (
                         run_id,
@@ -271,6 +287,7 @@ class ResultStore:
                         int(r.constraint_met),
                         r.wall_time_seconds,
                         r.configs_per_second,
+                        r.pruned_subtrees,
                     )
                     for r in run.results
                 ],
@@ -336,6 +353,7 @@ class ResultStore:
                     constraint_met=bool(record["constraint_met"]),
                     wall_time_seconds=record["wall_time_seconds"],
                     configs_per_second=record["configs_per_second"],
+                    pruned_subtrees=record["pruned_subtrees"],
                 )
             )
         return run

@@ -111,6 +111,65 @@ class TestPartitionCommand:
         assert excinfo.value.code == 2
         assert "invalid choice" in capsys.readouterr().err
 
+    def test_sharded_exhaustive_prints_shard_stats(self, capsys):
+        code = main(
+            [
+                "partition", "--workload", "ofdm", "--fraction", "0.5",
+                "--algorithm", "exhaustive", "--shards", "2",
+                "--search-workers", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "algorithm: exhaustive[shards=2]" in out
+        assert "exact search:" in out
+        assert out.count("shard ") == 2
+
+    def test_prune_flag_reports_pruned_subtrees(self, capsys):
+        code = main(
+            [
+                "partition", "--workload",
+                "synthetic:20:seed=5,kernel_fraction=0.8",
+                "--fraction", "0.5",
+                "--algorithm", "exhaustive", "--prune",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "subtrees pruned" in out
+        # branch-and-bound on a 16-kernel space must actually prune
+        assert "0 subtrees pruned" not in out
+
+    def test_prune_param_spelling_matches_flag(self, capsys):
+        """exhaustive:prune=true parses to the same search as --prune."""
+        outputs = []
+        for argv in (
+            ["partition", "--workload", "ofdm", "--fraction", "0.5",
+             "--algorithm", "exhaustive:prune=true"],
+            ["partition", "--workload", "ofdm", "--fraction", "0.5",
+             "--algorithm", "exhaustive", "--prune"],
+        ):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            # per-shard lines carry wall-clock timings; everything else
+            # (optimum, visit and prune counts) must be bit-identical
+            outputs.append(
+                [line for line in out.splitlines() if "/s," not in line]
+            )
+        assert outputs[0] == outputs[1]
+        assert any("subtrees pruned" in line for line in outputs[0])
+
+    def test_exact_flags_rejected_for_other_algorithms(self, capsys):
+        code = main(
+            [
+                "partition", "--workload", "ofdm", "--fraction", "0.5",
+                "--algorithm", "greedy", "--shards", "2",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "exhaustive algorithm only" in err
+
     def test_constraint_and_fraction_mutually_exclusive(self, capsys):
         with pytest.raises(SystemExit):
             main(

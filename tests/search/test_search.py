@@ -198,9 +198,17 @@ class TestExhaustive:
         workload = synthetic_application(
             24, seed=1, kernel_fraction=1.0, comm_intensity=0.2
         )
-        partitioner = ExhaustivePartitioner(
-            workload, platform, max_candidates=4
+        # An explicit cap below the workload's supported kernel count is
+        # rejected at construction, naming both numbers.
+        with pytest.raises(ValueError, match=r"24 supported.*max_candidates=4"):
+            ExhaustivePartitioner(workload, platform, max_candidates=4)
+
+    def test_default_cap_guard_at_run_time(self, platform):
+        workload = synthetic_application(
+            24, seed=1, kernel_fraction=1.0, comm_intensity=0.2
         )
+        partitioner = ExhaustivePartitioner(workload, platform)
+        partitioner.config.substrate = "object"
         with pytest.raises(ValueError, match="exceed the exhaustive limit"):
             partitioner.run(1)
 

@@ -92,6 +92,16 @@ class TestEvaluationThroughput:
         result = run_scenario(get_scenario("synth-small"))
         assert result.configs_per_second > 0.0
 
+    def test_exact_scenarios_record_pruned_subtrees(self):
+        """The branch-and-bound scenarios surface their pruning counts;
+        everything else records the 0 sentinel."""
+        bnb = run_scenario(get_scenario("exact-bnb-certify-34"))
+        assert bnb.pruned_subtrees > 0
+        sharded = run_scenario(get_scenario("exact-sharded-16k"))
+        assert sharded.pruned_subtrees == 0
+        greedy = run_scenario(get_scenario("synth-small"))
+        assert greedy.pruned_subtrees == 0
+
     def test_table_cache_prices_each_pair_once(self):
         """Two scenarios sharing a (workload, platform) pair build one
         packed table; the second run reuses it."""

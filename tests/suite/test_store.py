@@ -10,6 +10,7 @@ from repro.suite import (
     SuiteRun,
     read_run_json,
 )
+from repro.suite.store import SCHEMA_VERSION
 
 
 def make_result(scenario="s1", cycles=1000, **overrides) -> ScenarioResult:
@@ -237,7 +238,9 @@ class TestSchemaV2:
         import sqlite3 as sql
 
         connection = sql.connect(path)
-        assert connection.execute("PRAGMA user_version").fetchone()[0] == 2
+        assert connection.execute(
+            "PRAGMA user_version"
+        ).fetchone()[0] == SCHEMA_VERSION
         connection.close()
 
     def test_interrupted_migration_converges(self, tmp_path):
@@ -257,5 +260,39 @@ class TestSchemaV2:
         with ResultStore(path) as store:  # must not raise
             assert store.load_latest() is not None
         connection = sqlite3.connect(path)
-        assert connection.execute("PRAGMA user_version").fetchone()[0] == 2
+        assert connection.execute(
+            "PRAGMA user_version"
+        ).fetchone()[0] == SCHEMA_VERSION
+        connection.close()
+
+    def test_v2_database_is_migrated(self, tmp_path):
+        """A v2 store (configs_per_second present, pruned_subtrees not)
+        gains the pruned-subtree column with a 0 sentinel."""
+        import sqlite3
+
+        path = tmp_path / "v2.sqlite"
+        with ResultStore(path) as store:
+            store.record_run(make_run())
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "ALTER TABLE results DROP COLUMN pruned_subtrees"
+        )
+        connection.execute("PRAGMA user_version = 2")
+        connection.commit()
+        connection.close()
+
+        with ResultStore(path) as store:
+            migrated = store.load_latest()
+            assert migrated is not None
+            assert migrated.results[0].pruned_subtrees == 0
+            store.record_run(
+                make_run(results=[make_result("s1", pruned_subtrees=7)])
+            )
+            fresh = store.load_latest()
+        assert fresh is not None
+        assert fresh.results[0].pruned_subtrees == 7
+        connection = sqlite3.connect(path)
+        assert connection.execute(
+            "PRAGMA user_version"
+        ).fetchone()[0] == SCHEMA_VERSION
         connection.close()

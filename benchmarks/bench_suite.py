@@ -18,8 +18,10 @@ a CI artifact) so any run is diffable against any other with
 """
 
 import json
+import time
 from pathlib import Path
 
+from repro import telemetry
 from repro.search import make_partitioner
 from repro.suite import (
     RegressionThresholds,
@@ -152,6 +154,98 @@ def test_injected_throughput_regression_is_detected():
         for delta in comparison.regressions()
         for reason in delta.reasons
     )
+
+
+def _timed_suite(scenarios, enabled, repetitions=3):
+    """Best-of-N wall time for the suite subset with telemetry forced
+    on or off.  Min-of-N is the standard variance killer: any one rep
+    can be slowed by scheduler noise, but the minimum converges on the
+    true cost."""
+    best = float("inf")
+    run = None
+    telemetry.set_enabled(enabled)
+    try:
+        for _ in range(repetitions):
+            telemetry.reset_trace()
+            started = time.perf_counter()
+            run = run_suite(scenarios, max_workers=1)
+            best = min(best, time.perf_counter() - started)
+    finally:
+        telemetry.set_enabled(None)
+        telemetry.reset_trace()
+    return best, run
+
+
+def _fast_scenarios():
+    return [s for s in default_suite() if s.name in (
+        "synth-small", "synth-skewed", "filterbank-greedy",
+        "viterbi-greedy",
+    )]
+
+
+def test_telemetry_overhead_within_two_percent(capsys):
+    """The PR's observability budget: spans sit at phase boundaries
+    only, so telemetry-on must cost <= 2% over REPRO_TELEMETRY=0 (plus
+    an absolute noise floor for sub-second suites, where 2% of the wall
+    is smaller than timer scatter)."""
+    scenarios = _fast_scenarios()
+    _timed_suite(scenarios, enabled=True, repetitions=1)  # warm caches
+    off_best, _ = _timed_suite(scenarios, enabled=False)
+    on_best, _ = _timed_suite(scenarios, enabled=True)
+    noise_floor = 0.15  # seconds; scheduler + allocator scatter
+    budget = off_best * 1.02 + noise_floor
+    with capsys.disabled():
+        overhead = (on_best - off_best) / off_best * 100.0
+        print(
+            f"\n[bench_suite] telemetry overhead: on={on_best:.3f}s "
+            f"off={off_best:.3f}s ({overhead:+.2f}%)"
+        )
+    assert on_best <= budget, (
+        f"telemetry overhead {on_best - off_best:.3f}s exceeds 2% + "
+        f"{noise_floor}s noise floor (on={on_best:.3f}s off={off_best:.3f}s)"
+    )
+
+
+def test_results_identical_with_telemetry_on_and_off():
+    """Telemetry observes, never steers: cycles and moved blocks are
+    bit-identical whether tracing is enabled or not, and phase data
+    appears only when it is."""
+    scenarios = _fast_scenarios()
+    _, run_on = _timed_suite(scenarios, enabled=True, repetitions=1)
+    _, run_off = _timed_suite(scenarios, enabled=False, repetitions=1)
+    assert [r.total_cycles for r in run_on.results] == [
+        r.total_cycles for r in run_off.results
+    ]
+    assert [r.moved_bb_ids for r in run_on.results] == [
+        r.moved_bb_ids for r in run_off.results
+    ]
+    assert [r.rows_used for r in run_on.results] == [
+        r.rows_used for r in run_off.results
+    ]
+    assert all(r.phases for r in run_on.results)
+    assert all(r.phases == () for r in run_off.results)
+
+
+def test_phase_breakdowns_reconcile_with_wall_time():
+    """Per-scenario phase seconds are exclusive wall-clock slices, so
+    their sum can never exceed the scenario's recorded wall — serial
+    and with pooled workers shipping subtraces back."""
+    scenarios = _fast_scenarios()
+    for workers in (1, 2):
+        telemetry.set_enabled(True)
+        try:
+            telemetry.reset_trace()
+            run = run_suite(scenarios, max_workers=workers)
+        finally:
+            telemetry.set_enabled(None)
+            telemetry.reset_trace()
+        for result in run.results:
+            phase_sum = sum(seconds for _, seconds in result.phases)
+            assert phase_sum <= result.wall_time_seconds + 1e-6, (
+                f"{result.scenario} (workers={workers}): phases "
+                f"{phase_sum:.6f}s > wall {result.wall_time_seconds:.6f}s"
+            )
+            assert all(seconds >= 0.0 for _, seconds in result.phases)
 
 
 def test_bench_artifact_is_readable():

@@ -21,13 +21,17 @@ run without writing a script:
             --algorithms greedy multi_start --csv grid.csv
 
 ``suite``
-    The named scenario suite with its persistent result store and
-    regression gating (``suite list``, ``suite run``,
-    ``suite compare``)::
+    The named scenario suite with its persistent result store,
+    regression gating and longitudinal analytics (``suite list``,
+    ``suite run``, ``suite compare``, ``suite history``,
+    ``suite trends``)::
 
         python -m repro suite run --db results.sqlite --label nightly
         python -m repro suite compare \\
             --baseline benchmarks/suite_baseline.json --cycle-threshold 20
+        python -m repro suite history ofdm-greedy --db results.sqlite
+        python -m repro suite trends --db results.sqlite \\
+            --html trends.html --csv trends.csv
 
 ``verify``
     Static IR sanitization: lower each workload's program to its CDFG,
@@ -56,14 +60,20 @@ from .explore import DesignSpace, WorkloadSpec, explore
 from .partition import EngineConfig
 from .platform import paper_platform
 from .reporting import (
+    StepThresholds,
+    compute_trends,
+    format_grid,
     render_exploration,
     render_pareto,
     render_suite,
     render_suite_diff,
+    render_trends,
     write_exploration_csv,
     write_exploration_json,
     write_suite_csv,
     write_suite_json,
+    write_trends_csv,
+    write_trends_html,
 )
 from .search import AlgorithmSpec, make_partitioner
 from .suite import (
@@ -349,6 +359,55 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-candidate",
         help="also write the candidate run as baseline-format JSON "
         "(baseline refresh)",
+    )
+
+    shist = suite_sub.add_parser(
+        "history",
+        help="one scenario's longitudinal metrics from the result store",
+    )
+    shist.add_argument("scenario", help="scenario name to trace")
+    shist.add_argument(
+        "--db", required=True, help="SQLite result store to read"
+    )
+    shist.add_argument("--csv", help="also write the history as CSV")
+
+    strd = suite_sub.add_parser(
+        "trends",
+        help="longitudinal trends + first-step detection over recorded "
+        "runs (informational: steps print but do not fail the command)",
+    )
+    strd.add_argument("--db", help="SQLite result store to analyze")
+    strd.add_argument(
+        "--runs", nargs="+", metavar="JSON",
+        help="suite-run JSON files, oldest first, to analyze instead of "
+        "--db (loaded into an ephemeral store)",
+    )
+    strd.add_argument(
+        "--scenarios", nargs="+", metavar="NAME",
+        help="scenario subset (default: every scenario with results)",
+    )
+    strd.add_argument("--html", help="write the HTML report artifact")
+    strd.add_argument("--csv", help="write the per-run CSV artifact")
+    strd.add_argument(
+        "--cycle-step", type=float, default=10.0,
+        help="flag total-cycle steps beyond this percent (default 10)",
+    )
+    strd.add_argument(
+        "--wall-step", type=float, default=75.0,
+        help="flag wall-time steps beyond this percent (default 75)",
+    )
+    strd.add_argument(
+        "--throughput-step", type=float, default=60.0,
+        help="flag configs/second drops beyond this percent (default 60)",
+    )
+    strd.add_argument(
+        "--min-wall", type=float, default=0.05,
+        help="wall step-detection noise floor in seconds (default 0.05)",
+    )
+    strd.add_argument(
+        "--min-throughput", type=float, default=1000.0,
+        help="throughput step-detection noise floor in configs/second "
+        "(default 1000)",
     )
 
     ver = sub.add_parser(
@@ -683,11 +742,116 @@ def _cmd_suite_compare(args: argparse.Namespace) -> int:
     return 1 if comparison.has_regressions else 0
 
 
+def _cmd_suite_history(args: argparse.Namespace) -> int:
+    store = _open_store(args.db)
+    if store is None:
+        return 2
+    with store:
+        history = store.scenario_history(args.scenario)
+    if not history:
+        print(
+            f"error: no recorded results for scenario "
+            f"{args.scenario!r} in {args.db}",
+            file=sys.stderr,
+        )
+        return 2
+    headers = ["run", "when", "cycles", "wall s", "cfg/s"]
+    rows = [
+        [
+            str(run_id),
+            created_at or "-",  # legacy runs predate the timestamp fix
+            str(cycles),
+            f"{wall:.4f}",
+            f"{cps:.0f}",
+        ]
+        for run_id, created_at, cycles, wall, cps in history
+    ]
+    print(format_grid(headers, rows))
+    print(f"{len(history)} run(s) of {args.scenario}")
+    if args.csv:
+
+        def write_csv() -> Path:
+            import csv
+
+            path = Path(args.csv)
+            with path.open("w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(
+                    [
+                        "run_id",
+                        "created_at",
+                        "total_cycles",
+                        "wall_time_seconds",
+                        "configs_per_second",
+                    ]
+                )
+                for run_id, created_at, cycles, wall, cps in history:
+                    writer.writerow(
+                        [run_id, created_at, cycles,
+                         f"{wall:.6f}", f"{cps:.1f}"]
+                    )
+            return path
+
+        if not _export(write_csv, "history CSV"):
+            return 2
+    return 0
+
+
+def _cmd_suite_trends(args: argparse.Namespace) -> int:
+    if bool(args.db) == bool(args.runs):
+        print(
+            "error: pass exactly one of --db or --runs",
+            file=sys.stderr,
+        )
+        return 2
+    if args.db:
+        store = _open_store(args.db)
+        if store is None:
+            return 2
+    else:
+        # JSON runs (oldest first) load into an ephemeral store, so one
+        # code path serves both sources; run ids follow file order.
+        store = ResultStore(":memory:")
+        for ref in args.runs:
+            run = _resolve_run(ref, None, "run")
+            if run is None:
+                store.close()
+                return 2
+            store.record_run(run)
+    thresholds = StepThresholds(
+        cycle_percent=args.cycle_step,
+        wall_percent=args.wall_step,
+        throughput_percent=args.throughput_step,
+        min_wall_seconds=args.min_wall,
+        min_configs_per_second=args.min_throughput,
+    )
+    with store:
+        report = compute_trends(store, args.scenarios, thresholds)
+    if not report.trends:
+        print("no scenarios with recorded results", file=sys.stderr)
+        return 2
+    print(render_trends(report))
+    ok = True
+    if args.html:
+        ok &= _export(
+            lambda: write_trends_html(report, args.html), "trends HTML"
+        )
+    if args.csv:
+        ok &= _export(
+            lambda: write_trends_csv(report, args.csv), "trends CSV"
+        )
+    return 0 if ok else 2
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
     if args.suite_command == "list":
         return _cmd_suite_list(args)
     if args.suite_command == "run":
         return _cmd_suite_run(args)
+    if args.suite_command == "history":
+        return _cmd_suite_history(args)
+    if args.suite_command == "trends":
+        return _cmd_suite_trends(args)
     return _cmd_suite_compare(args)
 
 

@@ -24,6 +24,7 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..interp.cache import ProfileCache
 from ..parallel import map_tasks
 from ..partition.costs import CostModel, CostStats
@@ -104,9 +105,10 @@ def _cached_workload(
         cache = _WORKLOAD_CACHE
     workload = cache.get(spec)
     if workload is None:
-        workload = spec.build(
-            profile_cache=_profile_cache(profile_cache_dir)
-        )
+        with telemetry.span("build_workload"):
+            workload = spec.build(
+                profile_cache=_profile_cache(profile_cache_dir)
+            )
         cache[spec] = workload
     return workload
 

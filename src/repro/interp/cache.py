@@ -36,6 +36,7 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .. import telemetry
 from ..ir.cdfg import CDFG
 from .compiler import cdfg_fingerprint
 from .values import ArrayStorage
@@ -182,14 +183,18 @@ class ProfileCache:
         record = self._memory.get(key)
         if record is not None:
             self.stats.memory_hits += 1
+            telemetry.count("profile_cache_hits")
             return record
         record = self._load_disk(key)
         if record is not None:
             self.stats.disk_hits += 1
+            telemetry.count("profile_cache_hits")
             self._memory[key] = record
             return record
         self.stats.misses += 1
-        record = self._execute(cdfg, entry, args, fingerprint)
+        telemetry.count("profile_cache_misses")
+        with telemetry.span("profile"):
+            record = self._execute(cdfg, entry, args, fingerprint)
         self._memory[key] = record
         self._store_disk(key, record)
         return record

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import telemetry
 from ..ir.basicblock import BasicBlock
 from ..ir.cdfg import CDFG
 from ..ir.operations import Instruction
@@ -83,7 +84,8 @@ def profile_run(
     from .interpreter import Interpreter
 
     profiler = BlockProfiler()
-    Interpreter(cdfg, profiler, mode=mode).run(function, *args)
+    with telemetry.span("profile"):
+        Interpreter(cdfg, profiler, mode=mode).run(function, *args)
     return profiler
 
 

@@ -8,9 +8,15 @@ in-process run when the pool cannot be built, and re-raising genuine
 task errors as themselves.  Results always come back in task order, so
 a caller's merge is deterministic regardless of worker scheduling.
 
-This module sits below every repro subsystem (it imports none of them)
-so the search layer can use it without creating an import cycle with
-:mod:`repro.explore`.
+When telemetry is enabled (:mod:`repro.telemetry`), each pooled worker
+runs its task under a fresh, isolated trace and ships that subtrace
+back alongside the result; the parent absorbs the subtraces in task
+order, so the merged trace is deterministic and matches what a serial
+run records in place.
+
+This module sits below every repro subsystem except the (equally leaf)
+telemetry layer, so the search layer can use it without creating an
+import cycle with :mod:`repro.explore`.
 """
 
 from __future__ import annotations
@@ -20,8 +26,35 @@ import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro import telemetry
+
 _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
+
+
+class _TracedCall:
+    """Picklable wrapper running ``fn`` under a per-task subtrace.
+
+    Pool workers are long-lived, so recording into the worker's ambient
+    trace would accumulate across tasks and double-count once merged;
+    a fresh :class:`~repro.telemetry.Trace` per call keeps each task's
+    spans isolated.  Returns ``(result, subtrace)``; the subtrace is
+    ``None`` when telemetry is disabled in the worker (e.g. the parent
+    enabled it programmatically but the env var switches it off in
+    spawned children).
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[_Task], _Result]) -> None:
+        self.fn = fn
+
+    def __call__(self, task: _Task) -> tuple[_Result, telemetry.Trace | None]:
+        if not telemetry.enabled():
+            return self.fn(task), None
+        with telemetry.use_trace(telemetry.Trace()) as trace:
+            result = self.fn(task)
+        return result, trace
 
 
 def map_tasks(
@@ -59,7 +92,14 @@ def map_tasks(
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pool.submit(os.getpid).result()  # force a worker to spawn
             pool_ready = True
-            return list(pool.map(fn, tasks)), workers
+            if not telemetry.enabled():
+                return list(pool.map(fn, tasks)), workers
+            shipped = list(pool.map(_TracedCall(fn), tasks))
+            # Absorb subtraces in task order: deterministic merge no
+            # matter how the pool scheduled the work.
+            for _, subtrace in shipped:
+                telemetry.absorb(subtrace)
+            return [result for result, _ in shipped], workers
     except (OSError, ImportError, NotImplementedError) as error:
         if pool_ready:  # the error is the tasks' own: surface it
             raise

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import telemetry
 from ..analysis.weights import WeightModel
 from ..coarsegrain.timing import CoarseGrainBlockTiming, block_cgc_timing
 from ..finegrain.timing import FineGrainBlockTiming, block_fpga_timing
@@ -195,10 +196,14 @@ class CostModel:
     def initial_ticks(self) -> int:
         """The all-FPGA Eq. 2 total, cached after the first computation."""
         if self._initial_ticks is None:
-            self._initial_ticks = sum(
-                self.contribution(block).fpga_ticks
-                for block in self.workload.blocks
-            )
+            # The first all-FPGA pricing pass walks (and caches) every
+            # block's contribution — the expensive part of deriving a
+            # table, hence its own nested phase.
+            with telemetry.span("price_blocks"):
+                self._initial_ticks = sum(
+                    self.contribution(block).fpga_ticks
+                    for block in self.workload.blocks
+                )
         return self._initial_ticks
 
     def initial_cycles(self) -> int:

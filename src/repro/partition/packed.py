@@ -43,6 +43,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Iterator, MutableSequence
 
+from .. import telemetry
 from ..analysis.weights import WeightModel
 from .costs import ceil_ticks_to_cycles, split_ticks_single_rounding
 from .trajectory import MOVED, REVERTED, SKIPPED, TrajectoryEntry
@@ -138,6 +139,14 @@ class PackedCostTable:
         """Derive the table from a :class:`CostModel` (prices every
         block once through the model's caches; the columns are the
         model's own :class:`BlockContribution` ints, verbatim)."""
+        with telemetry.span("price_table"):
+            return cls._from_model(model, weight_model)
+
+    @classmethod
+    def _from_model(
+        cls, model: "CostModel", weight_model: WeightModel | None = None
+    ) -> "PackedCostTable":
+        telemetry.count("cost_table_builds")
         weight_model = weight_model or WeightModel()
         bb_ids: list[int] = []
         fpga: list[int] = []

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import Iterable
 
@@ -28,6 +29,7 @@ SUITE_CSV_FIELDS = (
     "wall_time_seconds",
     "configs_per_second",
     "pruned_subtrees",
+    "phases",
 )
 
 
@@ -128,6 +130,9 @@ def write_suite_csv(
             row["moved_bb_ids"] = ";".join(
                 str(b) for b in result.moved_bb_ids
             )
+            # One cell per result: phase breakdowns are ragged across
+            # scenarios, so they stay a compact JSON object.
+            row["phases"] = json.dumps(row["phases"], sort_keys=True)
             writer.writerow(row)
     return path
 

@@ -25,6 +25,7 @@ import dataclasses
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+from .. import telemetry
 from ..analysis.weights import WeightModel
 from ..partition.costs import CostModel, CostState, CostStats
 from ..partition.engine import EngineConfig
@@ -319,23 +320,32 @@ class Partitioner(ABC):
         """Search against a timing constraint in FPGA clock cycles."""
         if timing_constraint <= 0:
             raise ValueError("timing constraint must be positive")
-        result = PartitionResult.all_fpga(
-            self.workload.name,
-            self.platform.name,
-            timing_constraint,
-            self.initial_cycles(),
-        )
-        # The all-FPGA corner is a configuration every algorithm prices
-        # (minimal moves, minimal rows — always on the Pareto front).
-        if self._uses_packed_substrate():
-            self._packed_log.record(self.table.initial_ticks, 0)
-        else:
-            self._record_visited(CostState(self.model))
-        if result.constraint_met:
-            return result
-        self._search(timing_constraint, result)
-        result.validate()
-        return result
+        # One span pair per run (search > algorithm name), never one per
+        # visited configuration — telemetry stays off the hot loop.
+        with telemetry.span("search"), telemetry.span(self.algorithm):
+            visited_before = self.visited_count
+            try:
+                result = PartitionResult.all_fpga(
+                    self.workload.name,
+                    self.platform.name,
+                    timing_constraint,
+                    self.initial_cycles(),
+                )
+                # The all-FPGA corner is a configuration every algorithm
+                # prices (minimal moves and rows — always on the front).
+                if self._uses_packed_substrate():
+                    self._packed_log.record(self.table.initial_ticks, 0)
+                else:
+                    self._record_visited(CostState(self.model))
+                if result.constraint_met:
+                    return result
+                self._search(timing_constraint, result)
+                result.validate()
+                return result
+            finally:
+                telemetry.count(
+                    "configs_visited", self.visited_count - visited_before
+                )
 
     def sweep(self, constraints: list[int]) -> list[PartitionResult]:
         """Run at several constraints, sharing all cached state."""

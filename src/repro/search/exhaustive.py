@@ -57,6 +57,7 @@ import os
 import time
 from dataclasses import dataclass
 
+from .. import telemetry
 from ..parallel import map_tasks
 from ..partition.costs import CostModel, CostState
 from ..partition.packed import PackedCostTable
@@ -558,6 +559,11 @@ class ExhaustivePartitioner(Partitioner):
                 log.absorb_columns(outcome.ticks, outcome.masks)
             else:
                 log.absorb_reduced(outcome.visits, outcome.shape_items)
+            telemetry.count("shard_merges")
+            if outcome.pruned_subtrees:
+                telemetry.count(
+                    "pruned_subtrees", outcome.pruned_subtrees
+                )
             self.pruned_subtrees += outcome.pruned_subtrees
             self.shard_outcomes.append(
                 {

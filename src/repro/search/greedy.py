@@ -18,6 +18,7 @@ analysis.
 
 from __future__ import annotations
 
+from .. import telemetry
 from ..partition.costs import CostModel, CostState
 from ..partition.engine import PartitioningEngine
 from ..partition.packed import PackedGreedyTrajectory
@@ -74,10 +75,16 @@ class GreedyPartitioner(Partitioner):
         if self._uses_packed_substrate():
             return super().run(timing_constraint)
         # The engine owns constraint validation, the config freeze, the
-        # early exit and the loop itself.
-        result = self.engine.run(timing_constraint)
-        self._record_visited(CostState(self.model))  # all-FPGA corner
-        self._record_steps(result)
+        # early exit and the loop itself; span it like the base run() so
+        # both paths report the same phase names.
+        with telemetry.span("search"), telemetry.span(self.algorithm):
+            visited_before = self.visited_count
+            result = self.engine.run(timing_constraint)
+            self._record_visited(CostState(self.model))  # all-FPGA corner
+            self._record_steps(result)
+            telemetry.count(
+                "configs_visited", self.visited_count - visited_before
+            )
         return result
 
     # ------------------------------------------------------------------

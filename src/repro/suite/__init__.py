@@ -30,6 +30,7 @@ from .scenarios import (
 from .store import (
     ResultStore,
     ScenarioResult,
+    ScenarioTrendPoint,
     SuiteRun,
     read_run_json,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "Scenario",
     "ScenarioDelta",
     "ScenarioResult",
+    "ScenarioTrendPoint",
     "SuiteComparison",
     "SuiteRun",
     "assert_no_regressions",

@@ -20,6 +20,7 @@ from __future__ import annotations
 import os
 import time
 
+from .. import telemetry
 from ..explore.space import PlatformSpec, WorkloadSpec
 from ..parallel import map_tasks
 from ..partition.costs import CostModel
@@ -54,37 +55,68 @@ def run_scenario(
     workload build.  ``configs_per_second`` is the visited-configuration
     count over the search-only time (``run()`` on the warm substrate) —
     the evaluation-throughput metric regressions gate on.
+
+    With telemetry enabled, ``phases`` carries the per-phase seconds of
+    the walled region (the scenario span's direct children, e.g.
+    ``price_table``/``search``), so their sum never exceeds
+    ``wall_time_seconds``; with telemetry off it is empty and nothing
+    else changes.
     """
     cache = _WORKLOAD_CACHE if workload_cache is None else workload_cache
     workload = cache.get(scenario.workload)
     if workload is None:
-        workload = scenario.workload.build()
+        # Outside the scenario span on purpose: the build is cached and
+        # excluded from wall_time_seconds, so it must not show up in the
+        # phase breakdown that reconciles against the wall either.
+        with telemetry.span("build_workload"):
+            workload = scenario.workload.build()
         cache[scenario.workload] = workload
     platform = scenario.platform.build()
 
-    started = time.perf_counter()
-    tables = _TABLE_CACHE if table_cache is None else table_cache
-    table_key = (scenario.workload, scenario.platform)
-    table = tables.get(table_key)
-    if table is None:
-        table = PackedCostTable.from_model(CostModel(workload, platform))
-        tables[table_key] = table
-    partitioner = make_partitioner(
-        scenario.algorithm,
-        workload,
-        platform,
-        config=EngineConfig(),
-        packed_table=table,
-    )
-    initial = partitioner.initial_cycles()
-    constraint = max(1, round(initial * scenario.constraint_fraction))
-    search_started = time.perf_counter()
-    result = partitioner.run(constraint)
-    search_seconds = time.perf_counter() - search_started
-    wall = time.perf_counter() - started
+    # The walled region runs under one span per scenario, so its direct
+    # children (price_table, search, ...) are exactly the phases the
+    # result records — their sum is ≤ wall by construction.
+    with telemetry.span(f"scenario:{scenario.name}") as scenario_span:
+        # Span nodes accumulate across repeat runs in one process; the
+        # result's phases must cover only THIS invocation, so diff
+        # against the node's state at entry.
+        phase_baseline = {
+            name: node.seconds
+            for name, node in scenario_span.children.items()
+        }
+        started = time.perf_counter()
+        tables = _TABLE_CACHE if table_cache is None else table_cache
+        table_key = (scenario.workload, scenario.platform)
+        table = tables.get(table_key)
+        if table is None:
+            table = PackedCostTable.from_model(CostModel(workload, platform))
+            tables[table_key] = table
+        else:
+            telemetry.count("cost_table_cache_hits")
+        partitioner = make_partitioner(
+            scenario.algorithm,
+            workload,
+            platform,
+            config=EngineConfig(),
+            packed_table=table,
+        )
+        initial = partitioner.initial_cycles()
+        constraint = max(1, round(initial * scenario.constraint_fraction))
+        search_started = time.perf_counter()
+        result = partitioner.run(constraint)
+        search_seconds = time.perf_counter() - search_started
 
-    final_subset = tuple(sorted(result.moved_bb_ids))
-    rows_used = partitioner.subset_rows_used(final_subset)
+        final_subset = tuple(sorted(result.moved_bb_ids))
+        rows_used = partitioner.subset_rows_used(final_subset)
+        wall = time.perf_counter() - started
+
+    phases = tuple(
+        sorted(
+            (name, node.seconds - phase_baseline.get(name, 0.0))
+            for name, node in scenario_span.children.items()
+            if node.seconds > phase_baseline.get(name, 0.0)
+        )
+    )
 
     return ScenarioResult(
         scenario=scenario.name,
@@ -109,6 +141,7 @@ def run_scenario(
         # Exact-search scenarios report how many branch-and-bound
         # subtrees the additive bound cut; 0 for every other algorithm.
         pruned_subtrees=getattr(partitioner, "pruned_subtrees", 0),
+        phases=phases,
     )
 
 

@@ -24,7 +24,9 @@ from pathlib import Path
 #: first-class longitudinal metric next to cycles and wall time).
 #: v3 added ``results.pruned_subtrees`` (how much of the exact search
 #: space the branch-and-bound certified without visiting).
-SCHEMA_VERSION = 3
+#: v4 added ``results.phases`` (per-scenario phase breakdown from the
+#: telemetry trace, a JSON object of phase name -> seconds).
+SCHEMA_VERSION = 4
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -52,10 +54,46 @@ CREATE TABLE IF NOT EXISTS results (
     wall_time_seconds REAL NOT NULL,
     configs_per_second REAL NOT NULL DEFAULT 0.0,
     pruned_subtrees INTEGER NOT NULL DEFAULT 0,
+    phases TEXT NOT NULL DEFAULT '{}',
     PRIMARY KEY (run_id, scenario)
 );
 CREATE INDEX IF NOT EXISTS idx_results_scenario ON results(scenario);
 """
+
+
+def _phases_from_json_text(text: object) -> tuple[tuple[str, float], ...]:
+    """Decode a ``phases`` JSON column value, tolerating junk as ()."""
+    if not isinstance(text, str) or not text:
+        return ()
+    try:
+        return _phases_from_payload(json.loads(text))
+    except ValueError:
+        return ()
+
+
+def _phases_from_payload(payload: object) -> tuple[tuple[str, float], ...]:
+    """A phases mapping from untrusted JSON/SQLite data, or ().
+
+    Sorted by phase name so equal breakdowns compare equal regardless
+    of the order a producer emitted them in.
+    """
+    if not isinstance(payload, dict):
+        return ()
+    try:
+        return tuple(
+            sorted((str(name), float(seconds))
+                   for name, seconds in payload.items())
+        )
+    except (TypeError, ValueError):
+        return ()
+
+
+def _utcnow() -> str:
+    return (
+        datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat()
+    )
 
 
 @dataclass(frozen=True)
@@ -83,6 +121,13 @@ class ScenarioResult:
     #: Branch-and-bound subtrees pruned by the exact-search additive
     #: bound; 0 for non-exact algorithms and records predating v3.
     pruned_subtrees: int = 0
+    #: Per-phase wall seconds from the telemetry trace, sorted by phase
+    #: name (a tuple of pairs so the record stays frozen/hashable).
+    #: Empty when telemetry was off or the record predates schema v4.
+    phases: tuple[tuple[str, float], ...] = ()
+
+    def phases_dict(self) -> dict[str, float]:
+        return dict(self.phases)
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -102,6 +147,9 @@ class ScenarioResult:
             "wall_time_seconds": round(self.wall_time_seconds, 6),
             "configs_per_second": round(self.configs_per_second, 1),
             "pruned_subtrees": self.pruned_subtrees,
+            "phases": {
+                name: round(seconds, 6) for name, seconds in self.phases
+            },
         }
 
     @classmethod
@@ -126,6 +174,8 @@ class ScenarioResult:
             configs_per_second=float(payload.get("configs_per_second", 0.0)),
             # Absent in pre-v3 baselines.
             pruned_subtrees=int(payload.get("pruned_subtrees", 0)),
+            # Absent in pre-v4 baselines and telemetry-off runs.
+            phases=_phases_from_payload(payload.get("phases")),
         )
 
 
@@ -135,7 +185,10 @@ class SuiteRun:
 
     fingerprint: str
     label: str = ""
-    created_at: str = ""
+    #: Stamped at construction so every producer (suite runner, bench
+    #: scripts, ad-hoc callers) writes a real timestamp; consumers still
+    #: tolerate "" in legacy JSON by falling back to run-id order.
+    created_at: str = field(default_factory=_utcnow)
     elapsed_seconds: float = 0.0
     results: list[ScenarioResult] = field(default_factory=list)
     #: Assigned by the store on record; None for unpersisted/JSON runs.
@@ -187,12 +240,21 @@ def read_run_json(path: str | Path) -> SuiteRun:
     return SuiteRun.from_json_dict(payload)
 
 
-def _utcnow() -> str:
-    return (
-        datetime.datetime.now(datetime.timezone.utc)
-        .replace(microsecond=0)
-        .isoformat()
-    )
+@dataclass(frozen=True)
+class ScenarioTrendPoint:
+    """One scenario's metrics in one run — a row of the trends view."""
+
+    run_id: int
+    created_at: str
+    fingerprint: str
+    label: str
+    total_cycles: int
+    wall_time_seconds: float
+    configs_per_second: float
+    phases: tuple[tuple[str, float], ...] = ()
+
+    def phases_dict(self) -> dict[str, float]:
+        return dict(self.phases)
 
 
 class ResultStore:
@@ -231,6 +293,12 @@ class ResultStore:
                     "ALTER TABLE results ADD COLUMN pruned_subtrees "
                     "INTEGER NOT NULL DEFAULT 0"
                 )
+            if "phases" not in columns:
+                # v3 -> v4: telemetry phase breakdowns join the results.
+                self._conn.execute(
+                    "ALTER TABLE results ADD COLUMN phases "
+                    "TEXT NOT NULL DEFAULT '{}'"
+                )
             version = 0
         if version == 0:
             self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
@@ -266,9 +334,16 @@ class ResultStore:
             )
             run_id = cursor.lastrowid
             assert run_id is not None
+            # Columns are named because migrated databases can hold them
+            # in a different physical order (ALTER TABLE appends).
             self._conn.executemany(
-                "INSERT INTO results VALUES "
-                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "INSERT INTO results (run_id, scenario, workload,"
+                " platform, algorithm, constraint_fraction,"
+                " timing_constraint, initial_cycles, total_cycles,"
+                " reduction_percent, kernels_moved, moved_bb_ids,"
+                " rows_used, constraint_met, wall_time_seconds,"
+                " configs_per_second, pruned_subtrees, phases) VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 [
                     (
                         run_id,
@@ -288,6 +363,7 @@ class ResultStore:
                         r.wall_time_seconds,
                         r.configs_per_second,
                         r.pruned_subtrees,
+                        json.dumps(dict(r.phases), sort_keys=True),
                     )
                     for r in run.results
                 ],
@@ -354,6 +430,7 @@ class ResultStore:
                     wall_time_seconds=record["wall_time_seconds"],
                     configs_per_second=record["configs_per_second"],
                     pruned_subtrees=record["pruned_subtrees"],
+                    phases=_phases_from_json_text(record["phases"]),
                 )
             )
         return run
@@ -384,6 +461,45 @@ class ResultStore:
                 row["total_cycles"],
                 row["wall_time_seconds"],
                 row["configs_per_second"],
+            )
+            for row in rows
+        ]
+
+    def scenario_names_recorded(self) -> list[str]:
+        """Every scenario name with at least one recorded result."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT scenario FROM results ORDER BY scenario"
+        )
+        return [row["scenario"] for row in rows]
+
+    def scenario_trend_points(
+        self, scenario: str
+    ) -> list[ScenarioTrendPoint]:
+        """The full longitudinal view of one scenario, oldest first.
+
+        Richer than :meth:`scenario_history` (whose 5-tuple shape is
+        pinned by existing callers): adds the run's fingerprint/label
+        and the per-phase breakdown, which is what the trends report
+        needs to name the first offending commit.
+        """
+        rows = self._conn.execute(
+            "SELECT r.run_id, runs.created_at, runs.fingerprint,"
+            " runs.label, r.total_cycles, r.wall_time_seconds,"
+            " r.configs_per_second, r.phases"
+            " FROM results r JOIN runs USING (run_id)"
+            " WHERE r.scenario = ? ORDER BY r.run_id",
+            (scenario,),
+        )
+        return [
+            ScenarioTrendPoint(
+                run_id=row["run_id"],
+                created_at=row["created_at"],
+                fingerprint=row["fingerprint"],
+                label=row["label"],
+                total_cycles=row["total_cycles"],
+                wall_time_seconds=row["wall_time_seconds"],
+                configs_per_second=row["configs_per_second"],
+                phases=_phases_from_json_text(row["phases"]),
             )
             for row in rows
         ]

@@ -1,0 +1,256 @@
+"""Tests for longitudinal trend analytics and step detection."""
+
+import csv
+
+import pytest
+
+from repro.reporting import (
+    StepThresholds,
+    compute_trends,
+    detect_first_step,
+    render_trends,
+    write_trends_csv,
+    write_trends_html,
+)
+from repro.reporting.trends import trends_json_dict
+from repro.suite import ResultStore, ScenarioResult, SuiteRun
+
+
+def result(scenario, cycles, wall=1.0, cps=50_000.0, phases=()):
+    return ScenarioResult(
+        scenario=scenario,
+        workload="w",
+        platform="p",
+        algorithm="greedy",
+        constraint_fraction=0.5,
+        timing_constraint=500,
+        initial_cycles=2 * cycles,
+        total_cycles=cycles,
+        reduction_percent=50.0,
+        kernels_moved=2,
+        moved_bb_ids=(3, 7),
+        rows_used=2,
+        constraint_met=True,
+        wall_time_seconds=wall,
+        configs_per_second=cps,
+        phases=tuple(phases),
+    )
+
+
+def record(store, fingerprint, results, label=""):
+    store.record_run(
+        SuiteRun(fingerprint=fingerprint, label=label, results=results)
+    )
+
+
+@pytest.fixture
+def regression_store():
+    """Five runs of one scenario with a 2x cycle regression landing at
+    fingerprint ddd444 (run 4) and persisting."""
+    store = ResultStore(":memory:")
+    cycles = [1000, 1000, 1001, 2000, 2000]
+    prints = ["aaa111", "bbb222", "ccc333", "ddd444", "eee555"]
+    for fingerprint, c in zip(prints, cycles):
+        record(
+            store,
+            fingerprint,
+            [result("ofdm-greedy", c, phases=[("search", 0.5)])],
+        )
+    yield store
+    store.close()
+
+
+class TestDetectFirstStep:
+    def test_flags_first_sustained_step_up(self):
+        hit = detect_first_step([100, 100, 150, 150], 10.0, "up")
+        assert hit is not None
+        index, baseline, delta = hit
+        assert index == 2
+        assert baseline == 100
+        assert delta == pytest.approx(50.0)
+
+    def test_flags_step_down(self):
+        hit = detect_first_step([100, 100, 40], 10.0, "down")
+        assert hit == (2, 100, pytest.approx(-60.0))
+
+    def test_flat_series_never_flags(self):
+        assert detect_first_step([100, 101, 99, 100], 10.0, "up") is None
+
+    def test_median_baseline_survives_one_off_spike(self):
+        # The spike at index 1 is itself a step; but with the spike
+        # first, the median keeps later values honest.
+        values = [100, 100, 100, 180, 100, 100]
+        hit = detect_first_step(values, 50.0, "up")
+        assert hit is not None and hit[0] == 3
+        # After the spike recovers, no *new* step past it.
+        assert detect_first_step([100, 100, 100], 50.0, "up") is None
+
+    def test_floor_suppresses_tiny_values(self):
+        # Both sides under the floor: jitter, not a regression.
+        assert (
+            detect_first_step([0.001, 0.003], 10.0, "up", floor=0.05)
+            is None
+        )
+        # Crossing the floor still flags.
+        assert (
+            detect_first_step([0.04, 0.2], 10.0, "up", floor=0.05)
+            is not None
+        )
+
+    def test_zero_baseline_is_skipped(self):
+        assert detect_first_step([0.0, 100.0], 10.0, "up") is None
+
+    def test_short_series_never_flags(self):
+        assert detect_first_step([], 10.0, "up") is None
+        assert detect_first_step([100], 10.0, "up") is None
+
+    def test_bad_direction_raises(self):
+        with pytest.raises(ValueError):
+            detect_first_step([1, 2], 10.0, "sideways")
+
+
+class TestComputeTrends:
+    def test_injected_cycle_regression_names_first_fingerprint(
+        self, regression_store
+    ):
+        report = compute_trends(regression_store)
+        (trend,) = report.trends
+        assert trend.name == "ofdm-greedy"
+        cycle_steps = [
+            s for s in trend.steps if s.metric == "total_cycles"
+        ]
+        assert len(cycle_steps) == 1
+        step = cycle_steps[0]
+        # The first offending run, not the latest one.
+        assert step.fingerprint == "ddd444"
+        assert step.run_id == 4
+        assert step.delta_percent == pytest.approx(100.0, abs=0.5)
+        assert "ddd444" in step.describe()
+        assert "total_cycles" in step.describe()
+
+    def test_no_steps_on_stable_store(self):
+        with ResultStore(":memory:") as store:
+            for fp in ("a1", "b2", "c3"):
+                record(store, fp, [result("s1", 1000)])
+            report = compute_trends(store)
+        assert report.steps == []
+
+    def test_scenario_selection_preserves_order_and_tolerates_unknown(
+        self, regression_store
+    ):
+        report = compute_trends(
+            regression_store, scenarios=["nope", "ofdm-greedy"]
+        )
+        assert [t.name for t in report.trends] == ["nope", "ofdm-greedy"]
+        assert report.trends[0].points == []
+        assert report.trends[0].steps == []
+
+    def test_wall_noise_floor_suppresses_micro_scenarios(self):
+        with ResultStore(":memory:") as store:
+            record(store, "a1", [result("s1", 1000, wall=0.001)])
+            record(store, "b2", [result("s1", 1000, wall=0.004)])
+            report = compute_trends(store)
+        assert [s.metric for s in report.steps] == []
+
+    def test_throughput_drop_flags_down_direction(self):
+        with ResultStore(":memory:") as store:
+            record(store, "a1", [result("s1", 1000, cps=100_000.0)])
+            record(store, "b2", [result("s1", 1000, cps=10_000.0)])
+            report = compute_trends(store)
+        (step,) = report.steps
+        assert step.metric == "configs_per_second"
+        assert step.fingerprint == "b2"
+        assert step.delta_percent < 0
+
+    def test_custom_thresholds(self, regression_store):
+        loose = StepThresholds(cycle_percent=150.0)
+        report = compute_trends(regression_store, thresholds=loose)
+        assert [
+            s for s in report.steps if s.metric == "total_cycles"
+        ] == []
+
+
+class TestRendering:
+    def test_render_mentions_step_and_phases(self, regression_store):
+        text = render_trends(compute_trends(regression_store))
+        assert "ofdm-greedy" in text
+        assert "ddd444" in text
+        assert "search s" in text  # phase column from trace data
+        assert "metric step(s) detected" in text
+
+    def test_render_stable_report(self):
+        with ResultStore(":memory:") as store:
+            record(store, "a1", [result("s1", 1000)])
+            text = render_trends(compute_trends(store))
+        assert "no metric steps detected" in text
+
+    def test_csv_rows_and_step_marker(self, regression_store, tmp_path):
+        path = write_trends_csv(
+            compute_trends(regression_store), tmp_path / "trends.csv"
+        )
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 5  # one per run
+        assert rows[0]["scenario"] == "ofdm-greedy"
+        assert "phase_search" in rows[0]
+        by_run = {row["run_id"]: row for row in rows}
+        assert "total_cycles" in by_run["4"]["stepped_metrics"]
+        assert by_run["1"]["stepped_metrics"] == ""
+        assert by_run["1"]["created_at"] != ""
+
+    def test_csv_renders_dash_for_legacy_created_at(self, tmp_path):
+        import sqlite3
+
+        db = tmp_path / "legacy.sqlite"
+        with ResultStore(db) as store:
+            record(store, "a1", [result("s1", 1000)])
+        connection = sqlite3.connect(db)
+        connection.execute("UPDATE runs SET created_at = ''")
+        connection.commit()
+        connection.close()
+        with ResultStore(db) as store:
+            report = compute_trends(store)
+            path = write_trends_csv(report, tmp_path / "t.csv")
+        with path.open() as handle:
+            (row,) = list(csv.DictReader(handle))
+        assert row["created_at"] == "-"
+
+    def test_html_is_self_contained_and_highlights_step(
+        self, regression_store, tmp_path
+    ):
+        path = write_trends_html(
+            compute_trends(regression_store), tmp_path / "trends.html"
+        )
+        text = path.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<script" not in text
+        assert "http://" not in text and "https://" not in text
+        assert "ddd444" in text
+        assert "class='stepped'" in text
+        assert "ofdm-greedy" in text
+
+    def test_html_escapes_labels(self, tmp_path):
+        with ResultStore(":memory:") as store:
+            record(
+                store,
+                "a1",
+                [result("s1", 1000)],
+                label="<img src=x>",
+            )
+            path = write_trends_html(
+                compute_trends(store), tmp_path / "t.html"
+            )
+        text = path.read_text()
+        assert "<img src=x>" not in text
+        assert "&lt;img" in text
+
+    def test_json_dict_shape(self, regression_store):
+        payload = trends_json_dict(compute_trends(regression_store))
+        (scenario,) = payload["scenarios"]
+        assert scenario["name"] == "ofdm-greedy"
+        assert scenario["runs"] == 5
+        assert any(
+            step["fingerprint"] == "ddd444"
+            and step["metric"] == "total_cycles"
+            for step in scenario["steps"]
+        )

@@ -204,3 +204,180 @@ class TestSuiteCompare:
         code = run_cli("suite", "compare", "--baseline", str(bad))
         assert code == 2
         assert "not a suite-run JSON file" in capsys.readouterr().err
+
+
+def seed_history(db, scenario="synth-small", cycles=(1000, 1000, 2000)):
+    """Record a run per cycle count directly into a store — much faster
+    than re-running real scenarios through the CLI."""
+    from repro.suite import ResultStore, ScenarioResult, SuiteRun
+
+    fingerprints = [f"fp{i + 1:02d}" for i in range(len(cycles))]
+    with ResultStore(db) as store:
+        for fingerprint, c in zip(fingerprints, cycles):
+            store.record_run(
+                SuiteRun(
+                    fingerprint=fingerprint,
+                    results=[
+                        ScenarioResult(
+                            scenario=scenario,
+                            workload="w",
+                            platform="p",
+                            algorithm="greedy",
+                            constraint_fraction=0.5,
+                            timing_constraint=500,
+                            initial_cycles=2 * c,
+                            total_cycles=c,
+                            reduction_percent=50.0,
+                            kernels_moved=2,
+                            moved_bb_ids=(3, 7),
+                            rows_used=2,
+                            constraint_met=True,
+                            wall_time_seconds=1.0,
+                            configs_per_second=50_000.0,
+                            phases=(("search", 0.5),),
+                        )
+                    ],
+                )
+            )
+    return fingerprints
+
+
+class TestSuiteHistory:
+    def test_prints_longitudinal_table(self, capsys, tmp_path):
+        db = str(tmp_path / "s.sqlite")
+        seed_history(db)
+        assert run_cli("suite", "history", "synth-small", "--db", db) == 0
+        out = capsys.readouterr().out
+        assert "3 run(s) of synth-small" in out
+        assert "cycles" in out and "cfg/s" in out
+
+    def test_csv_export(self, capsys, tmp_path):
+        db = str(tmp_path / "s.sqlite")
+        seed_history(db)
+        csv_path = tmp_path / "history.csv"
+        code = run_cli(
+            "suite", "history", "synth-small",
+            "--db", db, "--csv", str(csv_path),
+        )
+        capsys.readouterr()
+        assert code == 0
+        with csv_path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert [row["total_cycles"] for row in rows] == [
+            "1000", "1000", "2000",
+        ]
+        assert all(row["created_at"] for row in rows)
+
+    def test_unknown_scenario_fails_cleanly(self, capsys, tmp_path):
+        db = str(tmp_path / "s.sqlite")
+        seed_history(db)
+        code = run_cli("suite", "history", "nope", "--db", db)
+        assert code == 2
+        assert "no recorded results" in capsys.readouterr().err
+
+    def test_real_run_feeds_history(self, capsys, tmp_path):
+        """End to end: a real suite run is queryable via history."""
+        db = str(tmp_path / "real.sqlite")
+        run_cli("suite", "run", "--scenarios", "synth-small", "--db", db)
+        capsys.readouterr()
+        assert run_cli("suite", "history", "synth-small", "--db", db) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s) of synth-small" in out
+        assert " - " not in out  # created_at was stamped, not empty
+
+
+class TestSuiteTrends:
+    def test_flags_injected_regression_with_first_fingerprint(
+        self, capsys, tmp_path
+    ):
+        db = str(tmp_path / "s.sqlite")
+        seed_history(db, cycles=(1000, 1000, 2000, 2000))
+        code = run_cli("suite", "trends", "--db", db)
+        out = capsys.readouterr().out
+        # Informational: steps print but the command succeeds.
+        assert code == 0
+        assert "total_cycles stepped" in out
+        assert "fp03" in out  # the FIRST offending run's fingerprint
+        assert "+100.0%" in out
+
+    def test_stable_store_reports_no_steps(self, capsys, tmp_path):
+        db = str(tmp_path / "s.sqlite")
+        seed_history(db, cycles=(1000, 1000, 1000))
+        assert run_cli("suite", "trends", "--db", db) == 0
+        assert "no metric steps detected" in capsys.readouterr().out
+
+    def test_artifact_exports(self, capsys, tmp_path):
+        db = str(tmp_path / "s.sqlite")
+        seed_history(db, cycles=(1000, 2000))
+        html_path = tmp_path / "trends.html"
+        csv_path = tmp_path / "trends.csv"
+        code = run_cli(
+            "suite", "trends", "--db", db,
+            "--html", str(html_path), "--csv", str(csv_path),
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert html_path.read_text().startswith("<!DOCTYPE html>")
+        with csv_path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert "phase_search" in rows[0]
+
+    def test_runs_json_mode(self, capsys, tmp_path):
+        """CI mode: trends over baseline + candidate JSON, no store."""
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        run_cli(
+            "suite", "run", "--scenarios", "synth-small",
+            "--json", str(base),
+        )
+        capsys.readouterr()
+        payload = json.loads(base.read_text())
+        payload["fingerprint"] = "doctored"
+        payload["results"][0]["total_cycles"] *= 2
+        cand.write_text(json.dumps(payload))
+        code = run_cli(
+            "suite", "trends", "--runs", str(base), str(cand),
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "total_cycles stepped" in out
+        assert "doctored" in out
+
+    def test_requires_exactly_one_source(self, capsys, tmp_path):
+        assert run_cli("suite", "trends") == 2
+        assert "exactly one" in capsys.readouterr().err
+        db = str(tmp_path / "s.sqlite")
+        seed_history(db)
+        code = run_cli(
+            "suite", "trends", "--db", db, "--runs", "x.json",
+        )
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_empty_store_fails_cleanly(self, capsys, tmp_path):
+        db = str(tmp_path / "empty.sqlite")
+        code = run_cli("suite", "trends", "--db", db)
+        assert code == 2
+        assert "no scenarios" in capsys.readouterr().err
+
+    def test_scenario_filter(self, capsys, tmp_path):
+        db = str(tmp_path / "s.sqlite")
+        seed_history(db, scenario="a-scn")
+        seed_history(db, scenario="b-scn")
+        code = run_cli(
+            "suite", "trends", "--db", db, "--scenarios", "b-scn",
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "b-scn" in out and "a-scn" not in out
+
+    def test_custom_threshold_suppresses_step(self, capsys, tmp_path):
+        db = str(tmp_path / "s.sqlite")
+        seed_history(db, cycles=(1000, 2000))
+        code = run_cli(
+            "suite", "trends", "--db", db, "--cycle-step", "150",
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "total_cycles stepped" not in out

@@ -1,0 +1,292 @@
+"""Schema migration chains for the suite result store.
+
+The store is at schema v4 (phases column).  These tests build real
+fixture databases at older versions — v1 via the historical schema
+verbatim, v3 by dropping the v4-only column — and assert the chain
+upgrades them in place without losing rows.
+"""
+
+import json
+import sqlite3
+
+from repro.suite import ResultStore, ScenarioResult, SuiteRun
+from repro.suite.store import SCHEMA_VERSION
+
+from test_store import make_result, make_run
+
+V1_SCHEMA = """
+CREATE TABLE runs (
+    run_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    label TEXT NOT NULL DEFAULT '',
+    fingerprint TEXT NOT NULL,
+    created_at TEXT NOT NULL,
+    elapsed_seconds REAL NOT NULL DEFAULT 0.0
+);
+CREATE TABLE results (
+    run_id INTEGER NOT NULL REFERENCES runs(run_id)
+        ON DELETE CASCADE,
+    scenario TEXT NOT NULL,
+    workload TEXT NOT NULL,
+    platform TEXT NOT NULL,
+    algorithm TEXT NOT NULL,
+    constraint_fraction REAL NOT NULL,
+    timing_constraint INTEGER NOT NULL,
+    initial_cycles INTEGER NOT NULL,
+    total_cycles INTEGER NOT NULL,
+    reduction_percent REAL NOT NULL,
+    kernels_moved INTEGER NOT NULL,
+    moved_bb_ids TEXT NOT NULL,
+    rows_used INTEGER NOT NULL,
+    constraint_met INTEGER NOT NULL,
+    wall_time_seconds REAL NOT NULL,
+    PRIMARY KEY (run_id, scenario)
+);
+PRAGMA user_version = 1;
+"""
+
+
+def build_v1_fixture(path):
+    connection = sqlite3.connect(path)
+    connection.executescript(V1_SCHEMA)
+    connection.execute(
+        "INSERT INTO runs (label, fingerprint, created_at)"
+        " VALUES ('old', 'cafe', '2026-01-01T00:00:00+00:00')"
+    )
+    connection.execute(
+        "INSERT INTO results VALUES"
+        " (1, 's1', 'w', 'p', 'greedy', 0.5, 500, 2000, 1000,"
+        " 50.0, 2, '3,7', 2, 1, 0.125)"
+    )
+    connection.commit()
+    connection.close()
+
+
+def build_v3_fixture(path):
+    """A real v3 store: current code minus the phases column."""
+    with ResultStore(path) as store:
+        store.record_run(make_run(label="legacy"))
+    connection = sqlite3.connect(path)
+    connection.execute("ALTER TABLE results DROP COLUMN phases")
+    connection.execute("PRAGMA user_version = 3")
+    connection.commit()
+    connection.close()
+
+
+def stored_version(path) -> int:
+    connection = sqlite3.connect(path)
+    try:
+        return connection.execute("PRAGMA user_version").fetchone()[0]
+    finally:
+        connection.close()
+
+
+class TestV1ToV4:
+    def test_full_chain_upgrades_in_place(self, tmp_path):
+        path = tmp_path / "v1.sqlite"
+        build_v1_fixture(path)
+
+        with ResultStore(path) as store:
+            migrated = store.load_run(1)
+            old = migrated.results[0]
+            # Every column added along the chain reads its sentinel.
+            assert old.configs_per_second == 0.0  # v2
+            assert old.pruned_subtrees == 0  # v3
+            assert old.phases == ()  # v4
+            # And the upgraded store accepts fully-populated new rows.
+            store.record_run(
+                make_run(
+                    results=[
+                        make_result(
+                            "s1",
+                            configs_per_second=9.5,
+                            pruned_subtrees=7,
+                            phases=(("price_table", 0.25), ("search", 1.5)),
+                        )
+                    ]
+                )
+            )
+            fresh = store.load_latest()
+        assert fresh is not None
+        row = fresh.results[0]
+        assert row.configs_per_second == 9.5
+        assert row.pruned_subtrees == 7
+        assert row.phases == (("price_table", 0.25), ("search", 1.5))
+        assert stored_version(path) == SCHEMA_VERSION
+
+    def test_chain_is_idempotent_across_reopens(self, tmp_path):
+        path = tmp_path / "v1.sqlite"
+        build_v1_fixture(path)
+        for _ in range(3):
+            with ResultStore(path) as store:
+                assert store.load_run(1) is not None
+        assert stored_version(path) == SCHEMA_VERSION
+
+
+class TestV3ToV4:
+    def test_phases_column_is_added(self, tmp_path):
+        path = tmp_path / "v3.sqlite"
+        build_v3_fixture(path)
+
+        with ResultStore(path) as store:
+            migrated = store.load_latest()
+            assert migrated is not None
+            assert all(r.phases == () for r in migrated.results)
+            # Older columns survived the hop untouched.
+            assert migrated.results[0].total_cycles == 1000
+            store.record_run(
+                make_run(
+                    results=[
+                        make_result("s1", phases=(("search", 0.75),))
+                    ]
+                )
+            )
+            fresh = store.load_latest()
+        assert fresh is not None
+        assert fresh.results[0].phases == (("search", 0.75),)
+        assert stored_version(path) == SCHEMA_VERSION
+
+    def test_migrated_column_order_does_not_corrupt_writes(self, tmp_path):
+        """In a migrated v3 DB the phases column sits at a different
+        physical position than in a fresh v4 schema; writes must land
+        by name, not position."""
+        path = tmp_path / "v3.sqlite"
+        build_v3_fixture(path)
+        with ResultStore(path) as store:
+            store.record_run(
+                make_run(
+                    results=[
+                        make_result(
+                            "s1",
+                            pruned_subtrees=11,
+                            phases=(("profile", 0.5),),
+                        )
+                    ]
+                )
+            )
+            fresh = store.load_latest()
+        assert fresh is not None
+        assert fresh.results[0].pruned_subtrees == 11
+        assert fresh.results[0].phases == (("profile", 0.5),)
+
+    def test_junk_phases_text_reads_as_empty(self, tmp_path):
+        path = tmp_path / "junk.sqlite"
+        with ResultStore(path) as store:
+            store.record_run(make_run())
+        connection = sqlite3.connect(path)
+        connection.execute("UPDATE results SET phases = 'not json'")
+        connection.commit()
+        connection.close()
+        with ResultStore(path) as store:
+            loaded = store.load_latest()
+        assert loaded is not None
+        assert all(r.phases == () for r in loaded.results)
+
+
+class TestPhasesRoundTrip:
+    def test_store_round_trip_sorts_and_preserves_values(self):
+        with ResultStore(":memory:") as store:
+            run = make_run(
+                results=[
+                    make_result(
+                        "s1",
+                        phases=(("search", 1.5), ("price_table", 0.25)),
+                    )
+                ]
+            )
+            run_id = store.record_run(run)
+            loaded = store.load_run(run_id)
+        # JSON object keys come back sorted; values survive exactly.
+        assert loaded.results[0].phases_dict() == {
+            "price_table": 0.25,
+            "search": 1.5,
+        }
+
+    def test_json_round_trip(self, tmp_path):
+        run = make_run(
+            results=[make_result("s1", phases=(("search", 0.5),))]
+        )
+        path = run.write_json(tmp_path / "run.json")
+        from repro.suite import read_run_json
+
+        assert read_run_json(path).results[0].phases == (("search", 0.5),)
+
+    def test_pre_v4_json_defaults_to_empty(self, tmp_path):
+        run = make_run(results=[make_result("s1")])
+        payload = run.to_json_dict()
+        for entry in payload["results"]:  # type: ignore[union-attr]
+            del entry["phases"]
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(payload))
+        from repro.suite import read_run_json
+
+        assert read_run_json(path).results[0].phases == ()
+
+
+class TestCreatedAt:
+    def test_suite_run_is_stamped_on_construction(self):
+        run = SuiteRun(fingerprint="abc", results=[make_result()])
+        assert run.created_at != ""
+        assert "T" in run.created_at  # ISO-8601 timestamp
+
+    def test_scenario_result_phases_default(self):
+        assert make_result().phases == ()
+        assert isinstance(make_result(), ScenarioResult)
+
+
+class TestLongitudinalQueries:
+    def test_scenario_history_orders_by_run_id(self):
+        with ResultStore(":memory:") as store:
+            for cycles in (1000, 900, 950):
+                store.record_run(
+                    make_run(results=[make_result("s1", cycles)])
+                )
+            history = store.scenario_history("s1")
+        assert [cycles for (_, _, cycles, _, _) in history] == [
+            1000,
+            900,
+            950,
+        ]
+        run_ids = [rid for (rid, _, _, _, _) in history]
+        assert run_ids == sorted(run_ids)
+
+    def test_history_orders_by_run_id_even_with_empty_created_at(
+        self, tmp_path
+    ):
+        """Legacy rows wrote created_at as '' — order must not depend
+        on the timestamp string."""
+        path = tmp_path / "legacy.sqlite"
+        with ResultStore(path) as store:
+            for cycles in (500, 400):
+                store.record_run(
+                    make_run(results=[make_result("s1", cycles)])
+                )
+        connection = sqlite3.connect(path)
+        connection.execute("UPDATE runs SET created_at = ''")
+        connection.commit()
+        connection.close()
+        with ResultStore(path) as store:
+            history = store.scenario_history("s1")
+            points = store.scenario_trend_points("s1")
+        assert [cycles for (_, _, cycles, _, _) in history] == [500, 400]
+        assert [p.total_cycles for p in points] == [500, 400]
+        assert all(p.created_at == "" for p in points)
+
+    def test_scenario_trend_points_carry_phases(self):
+        with ResultStore(":memory:") as store:
+            store.record_run(
+                make_run(
+                    results=[
+                        make_result("s1", phases=(("search", 2.0),))
+                    ]
+                )
+            )
+            (point,) = store.scenario_trend_points("s1")
+        assert point.fingerprint == "deadbeef"
+        assert point.phases_dict() == {"search": 2.0}
+        assert point.created_at != ""
+
+    def test_scenario_names_recorded(self):
+        with ResultStore(":memory:") as store:
+            store.record_run(make_run())
+            assert store.scenario_names_recorded() == ["s1", "s2"]
+            assert store.scenario_trend_points("nope") == []

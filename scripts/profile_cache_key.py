@@ -1,0 +1,30 @@
+"""Emit a stable cache key for the on-disk profile cache.
+
+CI restores ``REPRO_PROFILE_CACHE_DIR`` via ``actions/cache`` keyed on
+this script's output: the content fingerprints of every measured
+workload's CDFG.  Any semantic change to a measured program (OFDM
+transmitter, JPEG encoder) changes its fingerprint, rotates the key,
+and starts a fresh cache — while docs-only or unrelated commits keep
+hitting the warm one.  The same property the cache itself relies on
+(profiles are keyed by CDFG fingerprint) makes the key safe: a stale
+restore can never poison a run, so the key only tunes hit rate.
+
+Usage::
+
+    python scripts/profile_cache_key.py > profile-cache.key
+"""
+
+from repro.explore import WorkloadSpec
+from repro.interp.compiler import cdfg_fingerprint
+
+
+def main() -> None:
+    for spec in (
+        WorkloadSpec.ofdm_measured(),
+        WorkloadSpec.jpeg_measured(),
+    ):
+        print(f"{spec.label} {cdfg_fingerprint(spec.cdfg())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,15 @@ run without writing a script:
         python -m repro suite trends --db results.sqlite \\
             --html trends.html --csv trends.csv
 
+``serve``
+    The long-running partitioning daemon: JSON jobs over HTTP, batched
+    by (workload × platform) onto shared priced cost tables, with
+    bounded-queue backpressure and graceful SIGTERM drain::
+
+        python -m repro serve --workers 2 --port 8023
+        curl -d '{"workload": "ofdm", "fraction": 0.5}' \\
+            http://127.0.0.1:8023/jobs
+
 ``verify``
     Static IR sanitization: lower each workload's program to its CDFG,
     run the structural/dataflow verifier, and print a diagnostic
@@ -76,6 +85,7 @@ from .reporting import (
     write_trends_html,
 )
 from .search import AlgorithmSpec, make_partitioner
+from .specs import algorithm_spec_from_text, workload_spec_from_text
 from .suite import (
     RegressionThresholds,
     ResultStore,
@@ -88,102 +98,18 @@ from .suite import (
 )
 
 
-def _parse_params(text: str) -> dict[str, object]:
-    """``"seed=3,cooling=0.8"`` -> {'seed': 3, 'cooling': 0.8}."""
-    params: dict[str, object] = {}
-    for item in filter(None, text.split(",")):
-        if "=" not in item:
-            raise argparse.ArgumentTypeError(
-                f"malformed parameter {item!r}; expected key=value"
-            )
-        key, raw = item.split("=", 1)
-        value: object
-        if raw.lower() in ("true", "false"):
-            value = raw.lower() == "true"
-        else:
-            try:
-                value = int(raw)
-            except ValueError:
-                try:
-                    value = float(raw)
-                except ValueError:
-                    value = raw
-        params[key.strip()] = value
-    return params
-
-
 def parse_workload(text: str) -> WorkloadSpec:
-    spec = _parse_workload_spec(text)
+    """The shared spec syntax (:mod:`repro.specs`) as an argparse type."""
     try:
-        _ = spec.label  # validates parameter names eagerly, at parse time
-    except TypeError as error:
-        raise argparse.ArgumentTypeError(
-            f"bad parameters for workload {text!r}: {error}"
-        ) from None
-    return spec
-
-
-def _parse_workload_spec(text: str) -> WorkloadSpec:
-    kind, __, rest = text.partition(":")
-    if kind == "ofdm":
-        return WorkloadSpec.ofdm()
-    if kind == "jpeg":
-        return WorkloadSpec.jpeg()
-    if kind == "ofdm-measured":
-        return WorkloadSpec.ofdm_measured(**_parse_params(rest))
-    if kind == "jpeg-measured":
-        return WorkloadSpec.jpeg_measured(**_parse_params(rest))
-    if kind == "filterbank":
-        return WorkloadSpec.filterbank(**_parse_params(rest))
-    if kind == "viterbi":
-        return WorkloadSpec.viterbi(**_parse_params(rest))
-    if kind == "minic":
-        seed_text, __, params = rest.partition(":")
-        if not seed_text:
-            return WorkloadSpec.minic()
-        try:
-            seed = int(seed_text)
-        except ValueError:
-            raise argparse.ArgumentTypeError(
-                f"minic seed must be an integer, got {seed_text!r}"
-            ) from None
-        return WorkloadSpec.minic(seed, **_parse_params(params))
-    if kind == "synthetic":
-        blocks, __, params = rest.partition(":")
-        if not blocks:
-            raise argparse.ArgumentTypeError(
-                "synthetic workloads need a block count: synthetic:<blocks>"
-            )
-        try:
-            block_count = int(blocks)
-        except ValueError:
-            raise argparse.ArgumentTypeError(
-                f"synthetic block count must be an integer, got {blocks!r}"
-            ) from None
-        return WorkloadSpec.synthetic(block_count, **_parse_params(params))
-    raise argparse.ArgumentTypeError(
-        f"unknown workload {text!r}; expected ofdm, jpeg, ofdm-measured, "
-        "jpeg-measured, filterbank, viterbi, minic:<seed> or "
-        "synthetic:<blocks>[:key=value,...]"
-    )
+        return workload_spec_from_text(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def parse_algorithm(text: str) -> AlgorithmSpec:
-    name, __, rest = text.partition(":")
-    factories = {
-        "greedy": AlgorithmSpec.greedy,
-        "exhaustive": AlgorithmSpec.exhaustive,
-        "multi_start": AlgorithmSpec.multi_start,
-        "annealing": AlgorithmSpec.annealing,
-    }
-    factory = factories.get(name)
-    if factory is None:
-        raise argparse.ArgumentTypeError(
-            f"unknown algorithm {name!r}; expected one of {sorted(factories)}"
-        )
     try:
-        return factory(**_parse_params(rest))
-    except TypeError as error:
+        return algorithm_spec_from_text(text)
+    except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
@@ -408,6 +334,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "--min-throughput", type=float, default=1000.0,
         help="throughput step-detection noise floor in configs/second "
         "(default 1000)",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the partitioning daemon (JSON jobs over HTTP)",
+    )
+    srv.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    srv.add_argument(
+        "--port", type=int, default=8023,
+        help="TCP port to bind; 0 picks an ephemeral port (default 8023)",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=1,
+        help="process fan-out per batch; 1 runs jobs in the dispatcher "
+        "thread (default 1)",
+    )
+    srv.add_argument(
+        "--queue-capacity", type=int, default=256,
+        help="bounded job queue size; submissions beyond it get a "
+        "retry-after rejection (default 256)",
+    )
+    srv.add_argument(
+        "--batch-window", type=float, default=0.005,
+        help="seconds the dispatcher waits for concurrent submissions "
+        "to coalesce into one batch (default 0.005)",
+    )
+    srv.add_argument(
+        "--cache-capacity", type=int, default=8,
+        help="LRU capacity of the priced-table / workload caches "
+        "(default 8)",
+    )
+    srv.add_argument(
+        "--default-timeout", type=float, default=None,
+        help="default per-job queue timeout in seconds (default: none)",
+    )
+    srv.add_argument(
+        "--profile-cache-dir", default=None,
+        help="on-disk profile cache directory for measured workloads",
+    )
+    srv.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request",
     )
 
     ver = sub.add_parser(
@@ -855,6 +826,39 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return _cmd_suite_compare(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServerConfig, run_daemon
+
+    if not 0 <= args.port <= 65535:
+        print(
+            f"error: --port must be in 0..65535, got {args.port}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        config = ServerConfig(
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            batch_window_seconds=args.batch_window,
+            cache_capacity=args.cache_capacity,
+            default_timeout_seconds=args.default_timeout,
+            profile_cache_dir=args.profile_cache_dir,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        return run_daemon(
+            config, host=args.host, port=args.port, verbose=args.verbose
+        )
+    except OSError as error:
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .ir import find_loops, live_variable_sets, verify_cdfg
     from .suite import SCENARIOS
@@ -935,6 +939,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_partition(args)
     if args.command == "explore":
         return _cmd_explore(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "verify":
         return _cmd_verify(args)
     return _cmd_suite(args)

@@ -202,9 +202,12 @@ class WorkloadSpec:
     def _build_measured(self, profile_cache) -> ApplicationWorkload:
         """Profile the real mini-C application through the (optionally
         shared, on-disk) content-keyed profile cache."""
+        from ..interp.cache import default_profile_cache
         from ..ir.verify import assert_verified, sanitizer_enabled
         from ..partition.workload import workload_from_cdfg
 
+        if profile_cache is None:
+            profile_cache = default_profile_cache()
         params = dict(self.params)
         if self.kind == "ofdm-measured":
             from ..workloads.ofdm import (

@@ -301,3 +301,21 @@ class ProfileCache:
 
     def __len__(self) -> int:
         return len(self._memory)
+
+
+#: Environment variable naming a shared on-disk profile-cache directory.
+#: CI exports it so ``actions/cache`` can persist profiling work between
+#: runs; anything building measured workloads without an explicit cache
+#: (CLI one-shots, serve workers, benches) picks it up automatically.
+PROFILE_CACHE_DIR_ENV = "REPRO_PROFILE_CACHE_DIR"
+
+
+def default_profile_cache() -> ProfileCache:
+    """A fresh cache honouring :data:`PROFILE_CACHE_DIR_ENV`.
+
+    With the variable unset this is a plain in-memory cache — identical
+    to what callers got before the hook existed.  The in-memory layer is
+    per-instance either way; only the disk layer is shared.
+    """
+    directory = os.environ.get(PROFILE_CACHE_DIR_ENV)
+    return ProfileCache(directory=directory or None)

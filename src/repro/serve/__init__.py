@@ -1,0 +1,45 @@
+"""Partitioning-as-a-service: the async batch server.
+
+The paper partitions one workload once; this subsystem serves
+partitioning decisions as infrastructure.  Jobs (workload spec ×
+platform spec × constraint × algorithm) queue into a bounded queue,
+batch by their (workload × platform) fingerprint onto one priced
+:class:`~repro.partition.packed.PackedCostTable` held in a
+capacity-bounded LRU, and fan out over the shared
+:func:`repro.parallel.map_tasks` pool — with structured backpressure,
+per-job queue timeouts, and graceful drain.
+
+Two entry points:
+
+* :class:`Server` — the in-process API (tests, benches, embedding);
+* :mod:`repro.serve.daemon` / ``python -m repro serve`` — the same
+  server behind a stdlib JSON-over-HTTP front.
+"""
+
+from .cache import LruCache, PricedTableCache
+from .daemon import ServeDaemon, run_daemon
+from .jobs import (
+    JobError,
+    JobRecord,
+    JobRequest,
+    JobValidationError,
+    QueueFullError,
+    UnknownJobError,
+)
+from .server import Server, ServerConfig, ServerStoppedError
+
+__all__ = [
+    "JobError",
+    "JobRecord",
+    "JobRequest",
+    "JobValidationError",
+    "LruCache",
+    "PricedTableCache",
+    "QueueFullError",
+    "ServeDaemon",
+    "Server",
+    "ServerConfig",
+    "ServerStoppedError",
+    "UnknownJobError",
+    "run_daemon",
+]

@@ -1,0 +1,534 @@
+"""The in-process partitioning server.
+
+A :class:`Server` is the whole service minus the sockets: submit
+:class:`~repro.serve.jobs.JobRequest`\\ s (or raw JSON payloads), poll
+or await the results, and let a single dispatcher thread batch the
+queue.  The HTTP daemon (:mod:`repro.serve.daemon`) is a thin shell
+over this class, so tests and the load bench drive the identical code
+path without a port.
+
+**Batching.**  The dispatcher drains the queue in gulps (after a short
+``batch_window_seconds`` accumulation pause), groups the drained jobs
+by their (workload spec × platform spec) pair fingerprint, and resolves
+each group against the shared LRU caches — so N concurrent jobs on one
+pair cost **one** workload build and **one** priced
+:class:`~repro.partition.packed.PackedCostTable`
+(``cost_table_builds`` rises once), however the jobs interleaved at
+submission.  Each group then fans out over the existing
+:func:`repro.parallel.map_tasks` process pool when ``workers > 1``
+(tables are picklable, so workers price nothing), or runs in the
+dispatcher thread when ``workers == 1``.
+
+**Determinism.**  A job's result depends only on its own request plus
+the deterministic table, never on its neighbours in a batch, so cycle
+counts are bit-identical to a serial ``python -m repro partition`` run
+regardless of arrival order, batch boundaries, or worker count.
+
+**Backpressure.**  The queue is bounded; a submission over capacity is
+rejected with :class:`~repro.serve.jobs.QueueFullError` carrying a
+``retry_after_seconds`` estimate (queue depth × a recent-job-seconds
+EMA ÷ workers).  Nothing is silently dropped.
+
+**Timeouts.**  A job's ``timeout_seconds`` bounds its *queue* time: a
+job whose deadline passes before dispatch is cancelled with a
+structured ``timeout`` error and never runs.  Dispatch is the
+cancellation granularity — a job that already started runs to
+completion (partitioning runs are short; the queue is where a loaded
+server makes jobs wait).
+
+**Shutdown.**  ``shutdown(drain=True)`` stops intake, lets the
+dispatcher finish everything queued, and joins it; ``drain=False``
+cancels the queue instead.  Both leave every job in a terminal state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from .. import telemetry
+from ..parallel import map_tasks
+from ..partition.engine import EngineConfig
+from ..partition.packed import PackedCostTable
+from ..partition.result import PartitionResult
+from ..partition.workload import ApplicationWorkload
+from ..explore.space import PlatformSpec, WorkloadSpec
+from ..interp.cache import ProfileCache, default_profile_cache
+from ..search import make_partitioner
+from .cache import PricedTableCache
+from .jobs import (
+    JobError,
+    JobRecord,
+    JobRequest,
+    QueueFullError,
+    UnknownJobError,
+)
+
+__all__ = ["Server", "ServerConfig", "ServerStoppedError"]
+
+
+class ServerStoppedError(JobError):
+    """A submission arrived after shutdown began."""
+
+    code = "server-stopped"
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of one server instance (all bounded and explicit)."""
+
+    #: Process fan-out per batch group; 1 runs jobs in the dispatcher
+    #: thread (no pools, fully deterministic scheduling).
+    workers: int = 1
+    #: Bounded-queue capacity; submissions beyond it are rejected with
+    #: a retry-after estimate rather than buffered without limit.
+    queue_capacity: int = 256
+    #: How long the dispatcher pauses after waking to let concurrent
+    #: submissions pile into one batch.  0 disables the pause.
+    batch_window_seconds: float = 0.005
+    #: LRU capacity of the workload/table caches (entries per cache).
+    cache_capacity: int = 8
+    #: Default per-job queue timeout when a request carries none;
+    #: ``None`` means queued jobs wait indefinitely.
+    default_timeout_seconds: float | None = None
+    #: On-disk directory for the shared profile cache (measured
+    #: workloads); ``None`` keeps profiling results in memory only.
+    profile_cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.batch_window_seconds < 0:
+            raise ValueError("batch_window_seconds must be >= 0")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")
+        if (
+            self.default_timeout_seconds is not None
+            and self.default_timeout_seconds < 0
+        ):
+            raise ValueError("default_timeout_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class _JobTask:
+    """One job's picklable work unit (what a pool worker receives)."""
+
+    workload: WorkloadSpec
+    platform: PlatformSpec
+    algorithm: "object"  # AlgorithmSpec; typed loosely to stay picklable-simple
+    constraint: int
+    table: PackedCostTable
+
+
+#: Per-process workload cache for pool workers (grown lazily, exactly
+#: like the suite runner's).
+_WORKER_WORKLOADS: dict[WorkloadSpec, ApplicationWorkload] = {}
+
+
+def _execute_task(task: _JobTask) -> tuple[str, object]:
+    """Run one job; never raises (errors come back structured).
+
+    Used both by pool workers (hence top-level and picklable) and, via
+    the serial runner, in the dispatcher thread.  The injected table
+    means a worker prices nothing — ``cost_table_builds`` stays with
+    the dispatcher's cache.
+    """
+    try:
+        workload = _WORKER_WORKLOADS.get(task.workload)
+        if workload is None:
+            workload = task.workload.build()
+            _WORKER_WORKLOADS[task.workload] = workload
+        platform = task.platform.build()
+        partitioner = make_partitioner(
+            task.algorithm,  # type: ignore[arg-type]
+            workload,
+            platform,
+            config=EngineConfig(),
+            packed_table=task.table,
+        )
+        return "ok", partitioner.run(task.constraint)
+    except Exception as error:  # noqa: BLE001 - a job must not kill the batch
+        return "error", f"{type(error).__name__}: {error}"
+
+
+class Server:
+    """The long-running batching server (in-process API).
+
+    Use as a context manager for the start/drain lifecycle::
+
+        with Server(ServerConfig(workers=1)) as server:
+            job_id = server.submit(request)
+            record = server.await_result(job_id)
+
+    Thread-safe: any number of threads may submit/poll concurrently;
+    one dispatcher thread owns execution and the caches.
+    """
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        # An explicit directory wins; otherwise honour the shared
+        # REPRO_PROFILE_CACHE_DIR hook (memory-only when unset).
+        profile_cache = (
+            ProfileCache(directory=self.config.profile_cache_dir)
+            if self.config.profile_cache_dir is not None
+            else default_profile_cache()
+        )
+        self.caches = PricedTableCache(
+            capacity=self.config.cache_capacity,
+            profile_cache=profile_cache,
+        )
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: deque[JobRecord] = deque()
+        self._jobs: dict[int, JobRecord] = {}
+        self._next_id = 1
+        self._started = False
+        self._stopping = False
+        self._drain_on_stop = True
+        self._thread: threading.Thread | None = None
+        #: EMA of per-job run seconds, feeding the retry-after estimate.
+        self._job_seconds_ema = 0.05
+        self._counts = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "timeouts": 0,
+            "cancelled": 0,
+            "rejected": 0,
+            "batches": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Server":
+        """Launch the dispatcher thread (idempotent)."""
+        with self._lock:
+            if self._stopping:
+                raise ServerStoppedError("server already shut down")
+            if self._started:
+                return self
+            self._started = True
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(
+        self, drain: bool = True, timeout: float | None = None
+    ) -> None:
+        """Stop intake; finish (``drain=True``) or cancel the queue.
+
+        Joins the dispatcher, so on return every accepted job is in a
+        terminal state.  Idempotent.
+        """
+        with self._wakeup:
+            self._stopping = True
+            self._drain_on_stop = drain and self._started
+            self._wakeup.notify_all()
+            if not self._started:
+                # No dispatcher exists to run the queue: everything
+                # still queued resolves as cancelled right here.
+                pending = list(self._queue)
+                self._queue.clear()
+            else:
+                pending = []
+        for record in pending:
+            self._finish_error(
+                record, "cancelled", "server shut down before dispatch"
+            )
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown(drain=True)
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> int:
+        """Enqueue a job; returns its id.
+
+        Raises :class:`QueueFullError` (with a retry-after estimate)
+        over capacity and :class:`ServerStoppedError` after shutdown
+        began.
+        """
+        now = time.monotonic()
+        with self._wakeup:
+            if self._stopping:
+                raise ServerStoppedError(
+                    "server is shutting down; no new jobs accepted"
+                )
+            if len(self._queue) >= self.config.queue_capacity:
+                self._counts["rejected"] += 1
+                telemetry.count("serve_jobs_rejected")
+                raise QueueFullError(
+                    f"queue full ({self.config.queue_capacity} jobs "
+                    "pending); retry later",
+                    retry_after_seconds=self._retry_after_locked(),
+                )
+            timeout = request.timeout_seconds
+            if timeout is None:
+                timeout = self.config.default_timeout_seconds
+            record = JobRecord(
+                job_id=self._next_id,
+                request=request,
+                submitted_at=now,
+                deadline=None if timeout is None else now + timeout,
+            )
+            self._next_id += 1
+            self._jobs[record.job_id] = record
+            self._queue.append(record)
+            self._counts["submitted"] += 1
+            telemetry.count("serve_jobs_submitted")
+            self._wakeup.notify_all()
+            return record.job_id
+
+    def submit_payload(self, payload: object) -> int:
+        """Decode one JSON job payload and enqueue it."""
+        return self.submit(JobRequest.from_payload(payload))
+
+    def record(self, job_id: int) -> JobRecord:
+        """The live record of a job (raises :class:`UnknownJobError`)."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+        if record is None:
+            raise UnknownJobError(f"unknown job id {job_id}")
+        return record
+
+    def poll(self, job_id: int) -> dict[str, object]:
+        """One JSON-ready status/result snapshot of a job."""
+        return self.record(job_id).to_payload()
+
+    def await_result(
+        self, job_id: int, timeout: float | None = None
+    ) -> JobRecord:
+        """Block until the job reaches a terminal state.
+
+        Raises :class:`TimeoutError` when the *wait* (not the job's own
+        queue timeout) expires first.
+        """
+        record = self.record(job_id)
+        if not record.done_event.wait(timeout):
+            raise TimeoutError(
+                f"job {job_id} still {record.state} after waiting "
+                f"{timeout}s"
+            )
+        return record
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a still-queued job; False if it already left the queue."""
+        record = self.record(job_id)
+        with self._wakeup:
+            try:
+                self._queue.remove(record)
+            except ValueError:
+                return False
+        self._finish_error(record, "cancelled", "cancelled by client")
+        return True
+
+    def stats(self) -> dict[str, object]:
+        """A JSON-ready snapshot of counters, caches, and queue state."""
+        with self._lock:
+            queued = len(self._queue)
+            counts = dict(self._counts)
+        return {
+            "state": (
+                "stopped" if self._stopping
+                else "running" if self._started
+                else "idle"
+            ),
+            "queued": queued,
+            "queue_capacity": self.config.queue_capacity,
+            "workers": self.config.workers,
+            "jobs": counts,
+            "caches": self.caches.stats(),
+            "retry_after_seconds": round(self._retry_after_locked(), 3),
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _retry_after_locked(self) -> float:
+        """Backpressure hint: how long until the queue likely drains."""
+        depth = max(1, len(self._queue))
+        return max(
+            0.05, depth * self._job_seconds_ema / self.config.workers
+        )
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._queue and not self._stopping:
+                    self._wakeup.wait()
+                stopping = self._stopping
+                if stopping and not self._drain_on_stop:
+                    cancelled = list(self._queue)
+                    self._queue.clear()
+                elif stopping and not self._queue:
+                    return
+                else:
+                    cancelled = []
+            if stopping and not self._drain_on_stop:
+                for record in cancelled:
+                    self._finish_error(
+                        record, "cancelled", "server shut down without drain"
+                    )
+                return
+            # Let concurrent submitters pile into this gulp; skipped
+            # while draining (latency no longer matters, finish fast).
+            if self.config.batch_window_seconds > 0 and not stopping:
+                time.sleep(self.config.batch_window_seconds)
+            with self._wakeup:
+                batch = list(self._queue)
+                self._queue.clear()
+            if batch:
+                self._run_batch(batch)
+
+    def _run_batch(self, batch: list[JobRecord]) -> None:
+        self._counts["batches"] += 1
+        telemetry.count("serve_batches")
+        now = time.monotonic()
+        groups: dict[
+            tuple[WorkloadSpec, PlatformSpec], list[JobRecord]
+        ] = {}
+        for record in batch:
+            if record.deadline is not None and now >= record.deadline:
+                self._finish_error(
+                    record,
+                    "timeout",
+                    f"queued past its {_timeout_of(record):g}s timeout",
+                    extra={"timeout_seconds": _timeout_of(record)},
+                )
+                continue
+            groups.setdefault(record.request.pair_key, []).append(record)
+        # Group order follows first arrival within the gulp, so a batch
+        # is processed deterministically given its contents.
+        for pair, records in groups.items():
+            self._run_group(pair, records)
+
+    def _run_group(
+        self,
+        pair: tuple[WorkloadSpec, PlatformSpec],
+        records: list[JobRecord],
+    ) -> None:
+        try:
+            workload, platform, table = self.caches.resolve(pair)
+        except Exception as error:  # noqa: BLE001 - bad spec, not a crash
+            for record in records:
+                self._finish_error(
+                    record, "failed",
+                    f"cannot build {pair[0].label!r} on "
+                    f"{pair[1].label!r}: {error}",
+                )
+            return
+        started = time.monotonic()
+        tasks = []
+        for record in records:
+            record.state = "running"
+            record.started_at = started
+            request = record.request
+            constraint = request.constraint
+            if constraint is None:
+                assert request.fraction is not None
+                constraint = max(
+                    1, round(table.initial_cycles() * request.fraction)
+                )
+            tasks.append(
+                _JobTask(
+                    workload=request.workload,
+                    platform=request.platform,
+                    algorithm=request.algorithm,
+                    constraint=constraint,
+                    table=table,
+                )
+            )
+
+        def run_serially(serial_tasks) -> list[tuple[str, object]]:
+            # The dispatcher already holds the built objects: no
+            # per-task rebuild, no pickling.
+            outcomes = []
+            for task in serial_tasks:
+                try:
+                    partitioner = make_partitioner(
+                        task.algorithm,
+                        workload,
+                        platform,
+                        config=EngineConfig(),
+                        packed_table=table,
+                    )
+                    outcomes.append(("ok", partitioner.run(task.constraint)))
+                except Exception as error:  # noqa: BLE001
+                    outcomes.append(
+                        ("error", f"{type(error).__name__}: {error}")
+                    )
+            return outcomes
+
+        outcomes, _ = map_tasks(
+            _execute_task,
+            tasks,
+            self.config.workers if len(tasks) > 1 else 1,
+            what=f"serve batch ({pair[0].label})",
+            serial_runner=run_serially,
+        )
+        finished = time.monotonic()
+        per_job = (finished - started) / max(1, len(records))
+        self._job_seconds_ema = (
+            0.8 * self._job_seconds_ema + 0.2 * per_job
+        )
+        for record, (status, value) in zip(records, outcomes, strict=True):
+            if status == "ok":
+                assert isinstance(value, PartitionResult)
+                self._finish_ok(record, value, finished)
+            else:
+                self._finish_error(record, "failed", str(value))
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _finish_ok(
+        self,
+        record: JobRecord,
+        result: PartitionResult,
+        finished_at: float,
+    ) -> None:
+        record.result = result
+        record.finished_at = finished_at
+        record.state = "done"
+        self._counts["completed"] += 1
+        telemetry.count("serve_jobs_completed")
+        record.done_event.set()
+
+    def _finish_error(
+        self,
+        record: JobRecord,
+        state: str,
+        message: str,
+        extra: dict[str, object] | None = None,
+    ) -> None:
+        error: dict[str, object] = {"code": state, "message": message}
+        if extra:
+            error.update(extra)
+        record.error = error
+        record.finished_at = time.monotonic()
+        record.state = state
+        key = {"timeout": "timeouts", "cancelled": "cancelled"}.get(
+            state, "failed"
+        )
+        self._counts[key] += 1
+        telemetry.count(f"serve_jobs_{key}")
+        record.done_event.set()
+
+
+def _timeout_of(record: JobRecord) -> float:
+    assert record.deadline is not None
+    return record.deadline - record.submitted_at

@@ -28,6 +28,9 @@ from pathlib import Path
 #: telemetry trace, a JSON object of phase name -> seconds).
 SCHEMA_VERSION = 4
 
+#: Individual statements (not one executescript) so schema creation and
+#: migration can run inside a single immediate transaction — see
+#: ResultStore.__init__.
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
     run_id INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -264,45 +267,74 @@ class ResultStore:
     store for tests.
     """
 
+    #: How long a connection waits on another writer's lock before
+    #: giving up — generous, because concurrent `suite run` processes
+    #: legitimately serialize on the migration and on run inserts.
+    BUSY_TIMEOUT_SECONDS = 30.0
+
     def __init__(self, path: str | Path = "suite_results.sqlite"):
         self.path = str(path)
-        self._conn = sqlite3.connect(self.path)
+        self._conn = sqlite3.connect(
+            self.path, timeout=self.BUSY_TIMEOUT_SECONDS
+        )
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA foreign_keys = ON")
-        self._conn.executescript(_SCHEMA)
-        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
-        if 0 < version < SCHEMA_VERSION:
-            # Older schema: add every missing column.  sqlite3
-            # auto-commits DDL, so a crash between an ALTER and the
-            # version bump leaves a column present at the old version —
-            # guard on the actual column set, not the version, so the
-            # retry converges instead of failing on a duplicate column.
-            columns = {
-                row["name"]
-                for row in self._conn.execute("PRAGMA table_info(results)")
-            }
-            if "configs_per_second" not in columns:
-                # v1 -> v2: evaluation throughput joins the results.
+        # Schema creation + migration run under one immediate
+        # transaction: BEGIN IMMEDIATE takes the write lock up front, so
+        # two processes opening the same store concurrently serialize
+        # here instead of racing each other's ALTERs (the loser of the
+        # race re-reads the version inside its own transaction and sees
+        # the migration already done).  sqlite3's autocommit machinery
+        # never begins a transaction for DDL, so the explicit BEGIN is
+        # the whole story.
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            for statement in _SCHEMA.split(";"):
+                if statement.strip():
+                    self._conn.execute(statement)
+            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+            if 0 < version < SCHEMA_VERSION:
+                # Older schema: add every missing column.  A crash
+                # between an ALTER and the version bump rolls the whole
+                # transaction back now, but guard on the actual column
+                # set anyway so stores half-migrated by older code
+                # converge instead of failing on a duplicate column.
+                columns = {
+                    row["name"]
+                    for row in self._conn.execute(
+                        "PRAGMA table_info(results)"
+                    )
+                }
+                if "configs_per_second" not in columns:
+                    # v1 -> v2: evaluation throughput joins the results.
+                    self._conn.execute(
+                        "ALTER TABLE results ADD COLUMN configs_per_second "
+                        "REAL NOT NULL DEFAULT 0.0"
+                    )
+                if "pruned_subtrees" not in columns:
+                    # v2 -> v3: exact-search pruning counts join the
+                    # results.
+                    self._conn.execute(
+                        "ALTER TABLE results ADD COLUMN pruned_subtrees "
+                        "INTEGER NOT NULL DEFAULT 0"
+                    )
+                if "phases" not in columns:
+                    # v3 -> v4: telemetry phase breakdowns join the
+                    # results.
+                    self._conn.execute(
+                        "ALTER TABLE results ADD COLUMN phases "
+                        "TEXT NOT NULL DEFAULT '{}'"
+                    )
+                version = 0
+            if version == 0:
                 self._conn.execute(
-                    "ALTER TABLE results ADD COLUMN configs_per_second "
-                    "REAL NOT NULL DEFAULT 0.0"
+                    f"PRAGMA user_version = {SCHEMA_VERSION}"
                 )
-            if "pruned_subtrees" not in columns:
-                # v2 -> v3: exact-search pruning counts join the results.
-                self._conn.execute(
-                    "ALTER TABLE results ADD COLUMN pruned_subtrees "
-                    "INTEGER NOT NULL DEFAULT 0"
-                )
-            if "phases" not in columns:
-                # v3 -> v4: telemetry phase breakdowns join the results.
-                self._conn.execute(
-                    "ALTER TABLE results ADD COLUMN phases "
-                    "TEXT NOT NULL DEFAULT '{}'"
-                )
-            version = 0
-        if version == 0:
-            self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
-        self._conn.commit()
+            self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            self._conn.close()
+            raise
 
     # ------------------------------------------------------------------
     # Lifecycle

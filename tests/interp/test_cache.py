@@ -258,3 +258,32 @@ class TestWorkloadIntegration:
             WorkloadSpec.jpeg_measured(image_seed=1).label
             != WorkloadSpec.jpeg_measured(image_seed=2).label
         )
+
+
+class TestDefaultProfileCacheEnv:
+    """The REPRO_PROFILE_CACHE_DIR hook (CI's actions/cache hinge)."""
+
+    def test_env_unset_is_memory_only(self, monkeypatch):
+        from repro.interp.cache import default_profile_cache
+
+        monkeypatch.delenv("REPRO_PROFILE_CACHE_DIR", raising=False)
+        assert default_profile_cache().directory is None
+
+    def test_env_names_the_disk_layer(self, monkeypatch, tmp_path):
+        from pathlib import Path
+
+        from repro.interp.cache import default_profile_cache
+
+        monkeypatch.setenv("REPRO_PROFILE_CACHE_DIR", str(tmp_path))
+        assert default_profile_cache().directory == Path(tmp_path)
+
+    def test_measured_build_writes_through_env_cache(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.explore import WorkloadSpec
+
+        monkeypatch.setenv("REPRO_PROFILE_CACHE_DIR", str(tmp_path))
+        WorkloadSpec.ofdm_measured(symbols=1).build()
+        assert list(tmp_path.glob("*.json")), (
+            "measured build ignored REPRO_PROFILE_CACHE_DIR"
+        )

@@ -1,0 +1,177 @@
+"""The HTTP shell: JSON endpoints, status codes, signal-driven drain.
+
+Every test binds an ephemeral port (``port=0``) so suites can run in
+parallel; the SIGTERM test raises the real signal against installed
+handlers and restores the previous handlers afterwards.
+"""
+
+import json
+import signal
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ServeDaemon, ServerConfig, ServerStoppedError
+
+
+@pytest.fixture
+def daemon():
+    with ServeDaemon(
+        ServerConfig(batch_window_seconds=0), port=0
+    ) as instance:
+        yield instance
+
+
+def url(daemon, path):
+    host, port = daemon.address
+    return f"http://{host}:{port}{path}"
+
+
+def get(daemon, path):
+    try:
+        with urllib.request.urlopen(
+            url(daemon, path), timeout=30
+        ) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def post(daemon, path, payload):
+    body = (
+        payload if isinstance(payload, bytes)
+        else json.dumps(payload).encode()
+    )
+    request = urllib.request.Request(
+        url(daemon, path),
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            return reply.status, json.loads(reply.read()), reply.headers
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error.headers
+
+
+JOB = {"workload": "synthetic:24:seed=5", "fraction": 0.5}
+
+
+class TestEndpoints:
+    def test_submit_poll_stats_round_trip(self, daemon):
+        status, payload, _ = post(daemon, "/jobs", JOB)
+        assert status == 202
+        job_id = payload["job_id"]
+
+        deadline = time.monotonic() + 60
+        while True:
+            status, snapshot = get(daemon, f"/jobs/{job_id}")
+            assert status == 200
+            if snapshot["state"] == "done":
+                break
+            assert time.monotonic() < deadline, snapshot
+            time.sleep(0.01)
+        assert snapshot["result"]["final_cycles"] > 0
+
+        status, stats = get(daemon, "/stats")
+        assert status == 200
+        assert stats["jobs"]["submitted"] == 1
+        assert stats["jobs"]["completed"] == 1
+
+        status, health = get(daemon, "/healthz")
+        assert status == 200 and health == {"ok": True}
+
+    def test_malformed_json_is_400(self, daemon):
+        status, payload, _ = post(daemon, "/jobs", b"{not json")
+        assert status == 400
+        assert payload["error"]["code"] == "invalid-request"
+        assert "malformed JSON" in payload["error"]["message"]
+
+    def test_invalid_job_is_400(self, daemon):
+        status, payload, _ = post(
+            daemon, "/jobs", {"workload": "nonsense", "fraction": 0.5}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "invalid-request"
+
+    def test_empty_body_is_400(self, daemon):
+        status, payload, _ = post(daemon, "/jobs", b"")
+        assert status == 400
+        assert "empty request body" in payload["error"]["message"]
+
+    def test_unknown_job_is_404(self, daemon):
+        status, payload = get(daemon, "/jobs/999")
+        assert status == 404
+        assert payload["error"]["code"] == "unknown-job"
+
+    def test_non_integer_job_id_is_400(self, daemon):
+        status, payload = get(daemon, "/jobs/abc")
+        assert status == 400
+        assert payload["error"]["code"] == "invalid-request"
+
+    def test_unknown_route_is_404(self, daemon):
+        status, payload = get(daemon, "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not-found"
+
+
+class TestBackpressure:
+    def test_queue_full_is_429_with_retry_after(self):
+        # A wide batch window keeps the dispatcher asleep while we
+        # overfill the 1-slot queue, making the 429 deterministic.
+        with ServeDaemon(
+            ServerConfig(queue_capacity=1, batch_window_seconds=0.5),
+            port=0,
+        ) as daemon:
+            first, *_ = post(daemon, "/jobs", JOB)
+            assert first == 202
+            status, payload, headers = post(daemon, "/jobs", JOB)
+            assert status == 429
+            assert payload["error"]["code"] == "queue-full"
+            assert float(headers["Retry-After"]) > 0
+            assert payload["error"]["retry_after_seconds"] > 0
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_drains(self):
+        daemon = ServeDaemon(
+            ServerConfig(batch_window_seconds=0), port=0
+        ).start()
+        _, submitted, _ = post(daemon, "/jobs", JOB)
+        status, payload, _ = post(daemon, "/shutdown", {})
+        assert status == 202 and payload == {"draining": True}
+        assert daemon.wait(timeout=60)
+        record = daemon.server.record(submitted["job_id"])
+        assert record.state == "done"
+        with pytest.raises(ServerStoppedError):
+            daemon.server.submit_payload(JOB)
+
+    def test_sigterm_drains_queued_jobs(self):
+        previous_term = signal.getsignal(signal.SIGTERM)
+        previous_int = signal.getsignal(signal.SIGINT)
+        daemon = ServeDaemon(
+            ServerConfig(batch_window_seconds=0), port=0
+        )
+        try:
+            daemon.install_signal_handlers()
+            daemon.start()
+            job_ids = [
+                post(daemon, "/jobs", JOB)[1]["job_id"] for _ in range(3)
+            ]
+            waiter = threading.Thread(
+                target=daemon.wait, kwargs={"timeout": 60}
+            )
+            waiter.start()
+            signal.raise_signal(signal.SIGTERM)
+            waiter.join(timeout=60)
+            assert not waiter.is_alive()
+            # Drained, not cancelled: every accepted job finished.
+            for job_id in job_ids:
+                assert daemon.server.record(job_id).state == "done"
+        finally:
+            signal.signal(signal.SIGTERM, previous_term)
+            signal.signal(signal.SIGINT, previous_int)
+            daemon.close()

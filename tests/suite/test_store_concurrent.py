@@ -1,0 +1,153 @@
+"""Concurrent store opens: the migration must not race itself.
+
+Two ``python -m repro suite run`` processes pointed at one SQLite
+store used to race the v1->v4 migration: both saw ``user_version < 4``,
+both issued the same ALTERs, and the loser died on ``duplicate column
+name``.  The fix takes the migration under ``BEGIN IMMEDIATE`` so the
+processes serialize; these tests drive real subprocesses against a
+shared v1 fixture to prove it.
+"""
+
+import sqlite3
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.suite import ResultStore
+from repro.suite.store import SCHEMA_VERSION
+
+from test_store_migrations import build_v1_fixture
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Subprocess body: wait for a go-file so both processes hit the store
+#: in the same instant, then open it (running the migration) and record
+#: a sentinel row.  Prints OK on success so the parent can assert.
+_WORKER = """
+import json, sys, time
+sys.path.insert(0, {src!r})
+from repro.suite import ResultStore, ScenarioResult, SuiteRun
+
+store_path, go_path, label = sys.argv[1], sys.argv[2], sys.argv[3]
+deadline = time.monotonic() + 30.0
+import os
+while not os.path.exists(go_path):
+    if time.monotonic() > deadline:
+        raise SystemExit("go-file never appeared")
+    time.sleep(0.001)
+
+with ResultStore(store_path) as store:
+    run = SuiteRun(label=label, fingerprint="beef",
+                   created_at="2026-08-08T00:00:00+00:00")
+    run.results.append(ScenarioResult(
+        scenario=label, workload="w", platform="p", algorithm="greedy",
+        constraint_fraction=0.5, timing_constraint=500,
+        initial_cycles=2000, total_cycles=1000, reduction_percent=50.0,
+        kernels_moved=1, moved_bb_ids=(3,), rows_used=1,
+        constraint_met=True, wall_time_seconds=0.1,
+    ))
+    store.record_run(run)
+print("OK", label)
+"""
+
+
+def _spawn(store_path, go_path, label):
+    return subprocess.Popen(
+        [sys.executable, "-c", _WORKER.format(src=SRC),
+         str(store_path), str(go_path), label],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def test_two_processes_migrate_one_v1_store(tmp_path):
+    """Both processes survive the simultaneous v1->v4 migration."""
+    store_path = tmp_path / "shared.sqlite"
+    go_path = tmp_path / "go"
+    build_v1_fixture(store_path)
+
+    workers = [_spawn(store_path, go_path, f"racer-{i}") for i in range(2)]
+    # Give both processes time to reach the go-file spin, then release
+    # them together so the ResultStore opens overlap.
+    time.sleep(0.3)
+    go_path.write_text("go")
+    outcomes = [w.communicate(timeout=60) for w in workers]
+    for worker, (out, err) in zip(workers, outcomes):
+        assert worker.returncode == 0, f"stdout={out!r} stderr={err!r}"
+        assert out.startswith("OK"), out
+
+    # The store migrated exactly once and holds the legacy row plus
+    # both sentinel runs.
+    connection = sqlite3.connect(store_path)
+    try:
+        version = connection.execute("PRAGMA user_version").fetchone()[0]
+        assert version == SCHEMA_VERSION
+        labels = {
+            row[0]
+            for row in connection.execute("SELECT label FROM runs")
+        }
+        assert labels == {"old", "racer-0", "racer-1"}
+        columns = {
+            row[1]
+            for row in connection.execute("PRAGMA table_info(results)")
+        }
+        assert {"configs_per_second", "pruned_subtrees", "phases"} <= columns
+    finally:
+        connection.close()
+
+
+def test_many_processes_open_fresh_store(tmp_path):
+    """Fresh-store creation is equally race-free (no fixture)."""
+    store_path = tmp_path / "fresh.sqlite"
+    go_path = tmp_path / "go"
+
+    workers = [_spawn(store_path, go_path, f"fresh-{i}") for i in range(4)]
+    time.sleep(0.3)
+    go_path.write_text("go")
+    outcomes = [w.communicate(timeout=60) for w in workers]
+    for worker, (out, err) in zip(workers, outcomes):
+        assert worker.returncode == 0, f"stdout={out!r} stderr={err!r}"
+
+    with ResultStore(store_path) as store:
+        labels = {row["label"] for row in store.runs_summary()}
+    assert labels == {f"fresh-{i}" for i in range(4)}
+
+
+def test_open_waits_behind_foreign_write_lock(tmp_path):
+    """The open serializes behind another writer instead of erroring.
+
+    A foreign connection holds ``BEGIN IMMEDIATE`` for a moment; the
+    store open must block on the busy timeout (not raise ``database is
+    locked``) and complete once the lock drops.
+    """
+    store_path = tmp_path / "locked.sqlite"
+    build_v1_fixture(store_path)
+
+    blocker = sqlite3.connect(store_path, check_same_thread=False)
+    blocker.execute("BEGIN IMMEDIATE")
+
+    hold_seconds = 0.5
+    release_timer = threading.Timer(hold_seconds, blocker.commit)
+    release_timer.start()
+    started = time.monotonic()
+    try:
+        store = ResultStore(store_path)
+    finally:
+        release_timer.join()
+        blocker.close()
+    waited = time.monotonic() - started
+    store.close()
+
+    assert waited >= hold_seconds * 0.5, (
+        f"open returned after {waited:.3f}s; expected it to wait for "
+        "the foreign write lock"
+    )
+    connection = sqlite3.connect(store_path)
+    try:
+        version = connection.execute("PRAGMA user_version").fetchone()[0]
+        assert version == SCHEMA_VERSION
+    finally:
+        connection.close()

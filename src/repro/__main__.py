@@ -177,6 +177,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="process cap for sharded exact search (default: machine "
         "cores; 1 forces an in-process run)",
     )
+    part.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the search; on expiry the best "
+        "configuration found so far is returned, marked uncertified",
+    )
 
     expl = sub.add_parser(
         "explore", help="sweep a (workload x platform x constraint x "
@@ -377,6 +382,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="on-disk profile cache directory for measured workloads",
     )
     srv.add_argument(
+        "--task-retries", type=int, default=0,
+        help="retries per failed job task before reporting the failure "
+        "(default 0)",
+    )
+    srv.add_argument(
+        "--retry-backoff", type=float, default=0.05,
+        help="base seconds of the deterministic exponential backoff "
+        "between retries (default 0.05)",
+    )
+    srv.add_argument(
+        "--search-deadline", type=float, default=None,
+        help="per-job wall-clock search budget in seconds; expired "
+        "searches return best-so-far marked uncertified (default: none)",
+    )
+    srv.add_argument(
+        "--breaker-threshold", type=int, default=0,
+        help="consecutive infrastructure-failure groups per "
+        "workload×platform pair before the circuit breaker opens; "
+        "0 disables the breaker (default 0)",
+    )
+    srv.add_argument(
+        "--breaker-cooldown", type=float, default=30.0,
+        help="seconds an open circuit breaker rejects jobs before "
+        "half-closing (default 30)",
+    )
+    srv.add_argument(
+        "--degrade", action="store_true",
+        help="when the search deadline truncates a non-greedy job, "
+        "answer with a completed greedy run instead (reported as "
+        "degraded) rather than an uncertified partial result",
+    )
+    srv.add_argument(
+        "--drain-deadline", type=float, default=None,
+        help="hard cap in seconds on the SIGTERM/shutdown drain; past "
+        "it pending jobs are failed fast so a stuck job cannot wedge "
+        "process exit (default: drain without limit)",
+    )
+    srv.add_argument(
         "--verbose", action="store_true",
         help="log every HTTP request",
     )
@@ -478,9 +521,23 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             print("error: --fraction must be positive", file=sys.stderr)
             return 2
         constraint = max(1, round(partitioner.initial_cycles() * args.fraction))
-    result = partitioner.run(constraint)
+    deadline = None
+    if args.deadline is not None:
+        if args.deadline <= 0:
+            print("error: --deadline must be positive", file=sys.stderr)
+            return 2
+        from .faults import Deadline
+
+        deadline = Deadline.after(args.deadline)
+    result = partitioner.run(constraint, deadline=deadline)
     print(f"algorithm: {algorithm.label}")
     print(result.summary())
+    if not result.certified:
+        print(
+            "warning: search deadline expired; result is the best "
+            "configuration found so far (uncertified)",
+            file=sys.stderr,
+        )
     shard_outcomes = getattr(partitioner, "shard_outcomes", [])
     pruned = getattr(partitioner, "pruned_subtrees", 0)
     if shard_outcomes or pruned:
@@ -843,13 +900,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_capacity=args.cache_capacity,
             default_timeout_seconds=args.default_timeout,
             profile_cache_dir=args.profile_cache_dir,
+            task_retries=args.task_retries,
+            retry_backoff_seconds=args.retry_backoff,
+            search_deadline_seconds=args.search_deadline,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_seconds=args.breaker_cooldown,
+            degrade_under_deadline=args.degrade,
         )
+        if args.drain_deadline is not None and args.drain_deadline <= 0:
+            raise ValueError("--drain-deadline must be positive")
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     try:
         return run_daemon(
-            config, host=args.host, port=args.port, verbose=args.verbose
+            config,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            drain_deadline_seconds=args.drain_deadline,
         )
     except OSError as error:
         print(

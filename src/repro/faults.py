@@ -1,0 +1,315 @@
+"""Deterministic fault injection and cooperative deadlines.
+
+Chaos testing is only useful when a failing run can be replayed: this
+module provides the seed-driven, picklable :class:`FaultPlan` that
+:func:`repro.parallel.map_tasks`, the serving layer, the fault tests and
+``benchmarks/bench_chaos.py`` all thread through.  A plan is a static
+schedule — every fault is addressed by ``(task_index, attempt)`` — so a
+chaos run is exactly as reproducible as a fault-free one and its
+assertions never flake.
+
+Five fault kinds cover the failure modes a process pool actually has:
+
+``crash``
+    The worker process dies mid-task (``os._exit``), breaking the pool.
+    In a serial/in-process run (where there is no process to kill) the
+    same schedule raises :class:`WorkerCrashError` instead, which the
+    retry machinery treats exactly like a pool break, so results stay
+    worker-count independent.
+``error``
+    The task raises :class:`InjectedFaultError` — an ordinary task
+    exception, retried against the per-task attempt budget.
+``slow``
+    The task sleeps ``seconds`` before running; latency injection for
+    deadline and p99 assertions.
+``hang``
+    The task sleeps ``seconds`` *instead of* finishing promptly; under a
+    per-task deadline the parent kills the pool and retries, so a finite
+    injected hang models an unbounded real one without wedging a test.
+``poison``
+    The task "succeeds" but returns a :class:`PoisonedResult` sentinel
+    instead of its real result; the parent detects and fails it
+    structurally instead of handing garbage downstream.
+
+The module also owns the cooperative cancellation primitives the rest
+of the robustness layer shares: :class:`Deadline` (a monotonic budget
+token that survives pickling across process boundaries by re-anchoring
+to the remaining seconds), :class:`RetryPolicy` (bounded attempts,
+deterministic exponential backoff, pool-rebuild budget), and the
+structured :class:`TaskFailure` record that replaces "the whole batch
+died" as a failure report.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Deadline",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "PoisonedResult",
+    "RetryPolicy",
+    "TaskFailure",
+    "TaskFailureError",
+    "WorkerCrashError",
+]
+
+#: The schedulable fault kinds.
+FAULT_KINDS = ("crash", "error", "slow", "hang", "poison")
+
+#: Exit status an injected crash kills the worker with (distinctive, so
+#: a pool-break in a chaos run is attributable at a glance).
+CRASH_EXIT_CODE = 23
+
+
+class InjectedFaultError(RuntimeError):
+    """The exception an ``error`` fault raises inside the task."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A ``crash`` fault simulated in-process (serial runs have no
+    worker process to kill); handled like a pool break, bounded by the
+    :class:`RetryPolicy` rebuild budget rather than the attempt budget."""
+
+
+@dataclass(frozen=True)
+class PoisonedResult:
+    """The sentinel a ``poison`` fault returns instead of a real result."""
+
+    task_index: int
+    attempt: int
+    note: str = "poisoned result"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: what happens when task ``task_index`` runs
+    its ``attempt``-th execution (attempts count from 0)."""
+
+    task_index: int
+    attempt: int
+    kind: str
+    #: Sleep length for ``slow``/``hang`` faults (ignored otherwise).
+    seconds: float = 0.0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.task_index < 0:
+            raise ValueError("task_index must be >= 0")
+        if self.attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, picklable schedule of injected faults.
+
+    Address space: ``(task_index, attempt)`` within one
+    :func:`repro.parallel.map_tasks` call — a worker consults the plan
+    with its task's index and how many times that task has been
+    submitted so far.  At most one fault fires per address (the first
+    matching spec wins).  Plans are data, not behaviour: shipping one to
+    a pool worker costs one small pickle and cannot drift between runs.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int | None = None
+
+    def lookup(self, task_index: int, attempt: int) -> FaultSpec | None:
+        """The fault scheduled at this address, if any."""
+        for spec in self.specs:
+            if spec.task_index == task_index and spec.attempt == attempt:
+                return spec
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultPlan":
+        """A plan from explicit fault specs (the assertable test form)."""
+        return cls(specs=tuple(specs))
+
+    @classmethod
+    def crash_at(cls, *task_indices: int, attempt: int = 0) -> "FaultPlan":
+        """Kill the worker running each listed task once (attempt 0 by
+        default); the canonical "N workers die mid-run" chaos schedule."""
+        return cls(
+            specs=tuple(
+                FaultSpec(task_index=index, attempt=attempt, kind="crash")
+                for index in task_indices
+            )
+        )
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        task_count: int,
+        *,
+        crash_rate: float = 0.0,
+        error_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        slow_seconds: float = 0.01,
+        attempt: int = 0,
+    ) -> "FaultPlan":
+        """A reproducible random schedule: each first-attempt execution
+        independently draws one fault (or none) from the given rates."""
+        if crash_rate + error_rate + slow_rate > 1.0:
+            raise ValueError("fault rates must sum to <= 1")
+        rng = random.Random(seed)
+        specs: list[FaultSpec] = []
+        for index in range(task_count):
+            draw = rng.random()
+            if draw < crash_rate:
+                specs.append(FaultSpec(index, attempt, "crash"))
+            elif draw < crash_rate + error_rate:
+                specs.append(
+                    FaultSpec(
+                        index, attempt, "error",
+                        message=f"seeded fault (seed={seed})",
+                    )
+                )
+            elif draw < crash_rate + error_rate + slow_rate:
+                specs.append(
+                    FaultSpec(index, attempt, "slow", seconds=slow_seconds)
+                )
+        return cls(specs=tuple(specs), seed=seed)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry behaviour for one task batch.
+
+    ``max_attempts`` bounds *counted* executions per task — a task
+    exception, a poisoned result, or a per-task deadline expiry each
+    consume one attempt.  Pool breaks do not: a crash's victims (the
+    crashed task and any innocent in-flight neighbours) are re-run
+    against the separate ``max_pool_rebuilds`` budget, so one flaky
+    worker cannot eat the attempt budget of every task it took down.
+    Backoff before retry ``k`` (counting from 1) is
+    ``backoff_seconds * backoff_factor ** (k - 1)`` — deterministic, and
+    slept inside the worker so the parent never stalls.
+    """
+
+    #: Counted executions allowed per task (1 = no retries).
+    max_attempts: int = 1
+    #: First-retry backoff; retries sleep before re-running.
+    backoff_seconds: float = 0.05
+    #: Exponential backoff multiplier per further retry.
+    backoff_factor: float = 2.0
+    #: Per-task deadline per attempt (seconds); expiry kills the pool,
+    #: fails or retries the expired task, and re-runs the innocents.
+    #: ``None`` disables the deadline.  Only enforceable where there is
+    #: a process to kill — in-process (serial) runs cannot preempt.
+    task_timeout_seconds: float | None = None
+    #: Pool resurrections allowed after genuine worker crashes before
+    #: the remaining tasks finish serially in-process.
+    max_pool_rebuilds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if (
+            self.task_timeout_seconds is not None
+            and self.task_timeout_seconds <= 0
+        ):
+            raise ValueError("task_timeout_seconds must be positive")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+
+    def backoff_for(self, prior_failures: int) -> float:
+        """Seconds to sleep before the next execution of a task that has
+        failed ``prior_failures`` times already (0 = no sleep)."""
+        if prior_failures <= 0 or self.backoff_seconds == 0:
+            return 0.0
+        return self.backoff_seconds * self.backoff_factor ** (
+            prior_failures - 1
+        )
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """The structured per-task report of an exhausted failure.
+
+    ``kind`` is one of ``"exception"``, ``"poisoned"``, ``"timeout"``,
+    ``"crashed"``.  In ``failure_mode="report"`` runs these occupy the
+    failed task's result slot so one poisoned task no longer loses the
+    whole batch; in ``failure_mode="raise"`` runs they surface as a
+    :class:`TaskFailureError` (or the task's own exception).
+    """
+
+    index: int
+    kind: str
+    attempts: int
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"task {self.index} failed ({self.kind}) after "
+            f"{self.attempts} attempt(s): {self.message}"
+        )
+
+
+class TaskFailureError(RuntimeError):
+    """Raised in ``failure_mode="raise"`` for failures that have no
+    original exception object (timeouts, crashes, poisoned results)."""
+
+    def __init__(self, failure: TaskFailure) -> None:
+        super().__init__(failure.describe())
+        self.failure = failure
+
+
+def _deadline_after(seconds: float) -> "Deadline":
+    """Pickle reconstructor: re-anchor a deadline to the remaining
+    budget in the receiving process (monotonic clocks do not travel)."""
+    return Deadline.after(seconds)
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A cooperative time budget, checked at batch boundaries.
+
+    Long-running search loops poll :meth:`expired` every few thousand
+    visits and stop with their best-so-far when the budget is gone —
+    cancellation without threads, signals, or non-determinism in the
+    work actually performed before the cut.  Pickling re-anchors to the
+    remaining seconds, so a deadline handed to a pool worker keeps
+    (approximately) the parent's budget rather than a meaningless
+    foreign clock value.
+    """
+
+    expires_at: float = field(default=0.0)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now (monotonic)."""
+        if seconds < 0:
+            seconds = 0.0
+        return cls(expires_at=time.monotonic() + seconds)
+
+    def remaining(self) -> float:
+        """Seconds left (<= 0 once expired)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def __reduce__(self):
+        return (_deadline_after, (max(0.0, self.remaining()),))

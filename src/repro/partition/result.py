@@ -54,6 +54,11 @@ class PartitionResult:
     #: Kernels whose move strictly worsened Eq. 2 and was undone (empty
     #: when ``EngineConfig.allow_regressing_moves`` is set).
     reverted_bb_ids: list[int] = field(default_factory=list)
+    #: True when the search stopped early (expired deadline) and this is
+    #: a best-so-far answer rather than the algorithm's full result; an
+    #: exhaustive/branch-and-bound result with ``partial=True`` is NOT a
+    #: certified optimum.
+    partial: bool = False
 
     @classmethod
     def all_fpga(
@@ -79,6 +84,12 @@ class PartitionResult:
             fpga_cycles=initial_cycles,
             constraint_met=initial_cycles <= timing_constraint,
         )
+
+    @property
+    def certified(self) -> bool:
+        """Whether the algorithm ran to completion (its usual guarantee
+        — optimality for exhaustive search — holds only when True)."""
+        return not self.partial
 
     @property
     def reduction_percent(self) -> float:
@@ -122,10 +133,14 @@ class PartitionResult:
     def summary(self) -> str:
         moved = ", ".join(str(b) for b in self.moved_bb_ids) or "none"
         status = "met" if self.constraint_met else "NOT met"
+        suffix = (
+            "" if self.certified
+            else " [UNCERTIFIED: deadline expired, best-so-far]"
+        )
         return (
             f"{self.workload_name} on {self.platform_name}: "
             f"{self.initial_cycles} -> {self.final_cycles} cycles "
             f"({self.reduction_percent:.1f}% reduction), "
             f"constraint {self.timing_constraint} {status}, "
-            f"BBs moved: {moved}"
+            f"BBs moved: {moved}{suffix}"
         )

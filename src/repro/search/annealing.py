@@ -102,6 +102,11 @@ class AnnealingPartitioner(Partitioner):
             return rng.random() < math.exp(-delta / temperature)
 
         for _level in range(self.temp_levels):
+            # Deadline poll per temperature level (a visit batch): an
+            # expired budget keeps the best-so-far, never mid-level.
+            if self._deadline_expired():
+                self._mark_partial()
+                break
             for _step in range(steps):
                 bb_id = candidates[rng.randrange(len(candidates))]
                 if bb_id in state.moved:
@@ -185,6 +190,11 @@ class AnnealingPartitioner(Partitioner):
         index_of = table.index_of
         n_bits = n.bit_length()
         for _level in range(self.temp_levels):
+            # Deadline poll per temperature level (a visit batch): an
+            # expired budget keeps the best-so-far, never mid-level.
+            if self._deadline_expired():
+                self._mark_partial()
+                break
             for _step in range(steps):
                 index = getrandbits(n_bits)
                 while index >= n:

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from .. import telemetry
 from ..analysis.weights import WeightModel
+from ..faults import Deadline
 from ..partition.costs import CostModel, CostState, CostStats
 from ..partition.engine import EngineConfig
 from ..partition.packed import (
@@ -265,6 +266,13 @@ class Partitioner(ABC):
         self._packed_log = PackedVisitLog()
         self._materialized: list[VisitedConfiguration] | None = None
         self._config_snapshot: EngineConfig | None = None
+        #: Cooperative budget for the current run (see :meth:`run`).
+        self._deadline: Deadline | None = None
+        #: Sticky truncation flag: once a run is cut short, the caches
+        #: engines share across a sweep (best-so-far, walk frontiers)
+        #: are incomplete, so every later result from this instance is
+        #: also uncertified.
+        self._partial = False
 
     @property
     def model(self) -> CostModel:
@@ -316,10 +324,24 @@ class Partitioner(ABC):
             return self.table.initial_cycles()
         return self.model.initial_cycles()
 
-    def run(self, timing_constraint: int) -> PartitionResult:
-        """Search against a timing constraint in FPGA clock cycles."""
+    def run(
+        self,
+        timing_constraint: int,
+        deadline: Deadline | None = None,
+    ) -> PartitionResult:
+        """Search against a timing constraint in FPGA clock cycles.
+
+        ``deadline`` is a cooperative :class:`~repro.faults.Deadline`
+        budget: engines poll it at visit-batch boundaries and stop with
+        their best-so-far when it expires, returning a result flagged
+        ``partial=True`` (``certified`` False) instead of hanging.  The
+        work performed before the cut is deterministic, so an expired
+        run is reproducible — only *where* the cut lands depends on
+        wall-clock speed.
+        """
         if timing_constraint <= 0:
             raise ValueError("timing constraint must be positive")
+        self._deadline = deadline
         # One span pair per run (search > algorithm name), never one per
         # visited configuration — telemetry stays off the hot loop.
         with telemetry.span("search"), telemetry.span(self.algorithm):
@@ -338,18 +360,31 @@ class Partitioner(ABC):
                 else:
                     self._record_visited(CostState(self.model))
                 if result.constraint_met:
+                    result.partial = self._partial
+                    return result
+                if deadline is not None and deadline.expired():
+                    # Expired before any search: the all-FPGA corner is
+                    # the best-so-far.
+                    self._mark_partial()
+                    result.partial = True
                     return result
                 self._search(timing_constraint, result)
+                result.partial = self._partial
                 result.validate()
                 return result
             finally:
+                self._deadline = None
                 telemetry.count(
                     "configs_visited", self.visited_count - visited_before
                 )
 
-    def sweep(self, constraints: list[int]) -> list[PartitionResult]:
+    def sweep(
+        self,
+        constraints: list[int],
+        deadline: Deadline | None = None,
+    ) -> list[PartitionResult]:
         """Run at several constraints, sharing all cached state."""
-        return [self.run(constraint) for constraint in constraints]
+        return [self.run(constraint, deadline) for constraint in constraints]
 
     @property
     def visited(self) -> list[VisitedConfiguration]:
@@ -433,6 +468,17 @@ class Partitioner(ABC):
     # ------------------------------------------------------------------
     # Shared machinery
     # ------------------------------------------------------------------
+    def _deadline_expired(self) -> bool:
+        """Poll the current run's cooperative budget (engines call this
+        at visit-batch boundaries, never per visited configuration)."""
+        return self._deadline is not None and self._deadline.expired()
+
+    def _mark_partial(self) -> None:
+        """Record that the current (and, via shared caches, every later)
+        result from this instance is best-so-far, not certified."""
+        self._partial = True
+        telemetry.count("search_deadline_cuts")
+
     def _freeze_config(self) -> None:
         if self._config_snapshot is None:
             self._config_snapshot = dataclasses.replace(self.config)

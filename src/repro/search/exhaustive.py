@@ -64,6 +64,12 @@ from ..partition.packed import PackedCostTable
 from ..partition.result import PartitionResult
 from .base import Partitioner, register_algorithm
 
+#: Hot enumeration loops poll an armed deadline every this-many + 1
+#: visits — cheap enough for the hot path, frequent enough that an
+#: expired budget cuts within milliseconds.
+DEADLINE_CHECK_MASK = 0x1FFF
+
+
 #: One exact-search fan-out unit's compact summary (picklable).
 @dataclass
 class ShardOutcome:
@@ -84,6 +90,9 @@ class ShardOutcome:
     #: The lossless (moved, rows) -> (cycles, mask) Pareto reduction
     #: (reduced mode; None when the raw columns are shipped instead).
     shape_items: tuple | None
+    #: True when the task stopped at an expired deadline before
+    #: exhausting its subspace (its best is best-so-far, not certified).
+    partial: bool = False
 
     @property
     def configs_per_second(self) -> float:
@@ -121,8 +130,13 @@ def _walk_shard(task) -> ShardOutcome:
     (``mask = gray(lo)``, one O(n) Eq. 2 sum); every following step is
     the usual O(1) toggle, so concatenating all shards' columns in
     shard order reproduces the serial walk's log exactly.
+
+    ``deadline`` (a re-anchoring :class:`~repro.faults.Deadline`, or
+    None) is polled every :data:`DEADLINE_CHECK_MASK` + 1 codes; an
+    expired shard stops and ships back its best-so-far with
+    ``partial=True``.
     """
-    table, shard, lo, hi, keep = task
+    table, shard, lo, hi, keep, deadline = task
     started = time.perf_counter()
     n = len(table)
     deltas = table.move_delta
@@ -158,7 +172,17 @@ def _walk_shard(task) -> ShardOutcome:
             (best_count, rows_used(mask)), mask,
         )
 
+    visited = hi - lo
+    partial = False
     for code in range(lo + 1, hi):
+        if (
+            deadline is not None
+            and not code & DEADLINE_CHECK_MASK
+            and deadline.expired()
+        ):
+            visited = code - lo
+            partial = True
+            break
         bit = code & -code
         if mask & bit:
             total -= delta_by_bit[bit]
@@ -187,7 +211,7 @@ def _walk_shard(task) -> ShardOutcome:
                 best_mask, best_ids = mask, candidate_ids
     return ShardOutcome(
         shard=shard,
-        visits=hi - lo,
+        visits=visited,
         pruned_subtrees=0,
         seconds=time.perf_counter() - started,
         best_total=best_total,
@@ -198,6 +222,7 @@ def _walk_shard(task) -> ShardOutcome:
         shape_items=(
             None if shape_best is None else tuple(shape_best.items())
         ),
+        partial=partial,
     )
 
 
@@ -215,8 +240,12 @@ def _bb_shard(task) -> ShardOutcome:
     rows)`` Pareto-reduction incumbent (``<=`` on cycles, so
     cycle-level tie representatives are preserved) — which is what
     makes the pruned front bit-identical to the unpruned one.
+
+    An armed ``deadline`` is polled every :data:`DEADLINE_CHECK_MASK` + 1
+    recorded visits; expiry unwinds the DFS and ships the best-so-far
+    with ``partial=True``.
     """
-    table, shard, p, s, order, budget, keep, slack = task
+    table, shard, p, s, order, budget, keep, slack, deadline = task
     started = time.perf_counter()
     n = len(table)
     deltas = table.move_delta
@@ -270,12 +299,19 @@ def _bb_shard(task) -> ShardOutcome:
     cols_masks: list[int] | None = [] if keep else None
     visits = 0
     pruned = 0
+    stopped = False
     best_total, best_mask, best_count = total, mask, count
     best_ids: tuple[int, ...] | None = None
 
     def record(t: int, m: int, c: int) -> None:
-        nonlocal visits
+        nonlocal visits, stopped
         visits += 1
+        if (
+            deadline is not None
+            and not visits & DEADLINE_CHECK_MASK
+            and deadline.expired()
+        ):
+            stopped = True
         if keep:
             cols_ticks.append(t)  # type: ignore[union-attr]
             cols_masks.append(m)  # type: ignore[union-attr]
@@ -315,7 +351,7 @@ def _bb_shard(task) -> ShardOutcome:
 
     def walk(j: int, t: int, m: int, c: int) -> None:
         nonlocal pruned
-        if j == len_rest:
+        if j == len_rest or stopped:
             return
         k_left = (budget - c) if budget is not None else len_rest - j
         if t + gain(j, k_left) - slack > best_total and not (
@@ -353,6 +389,7 @@ def _bb_shard(task) -> ShardOutcome:
         ticks=cols_ticks,
         masks=cols_masks,
         shape_items=None if keep else tuple(shape_best.items()),
+        partial=stopped,
     )
 
 
@@ -471,15 +508,18 @@ class ExhaustivePartitioner(Partitioner):
         best_key = self._subset_key(state.total_ticks, state.moved)
         best_subset = frozenset()
         self._record_visited(state)
+        deadline = self._deadline
+        visits = 0
+        stopped = False
 
         def walk(index: int) -> None:
-            nonlocal best_key, best_subset
-            if index == len(supported):
+            nonlocal best_key, best_subset, visits, stopped
+            if index == len(supported) or stopped:
                 return
             # Exclude branch first so the all-FPGA prefix is explored
             # without touching the state.
             walk(index + 1)
-            if budget is not None and len(state.moved) >= budget:
+            if (budget is not None and len(state.moved) >= budget) or stopped:
                 return
             bb_id = supported[index].bb_id
             state.apply_move(bb_id)
@@ -488,10 +528,19 @@ class ExhaustivePartitioner(Partitioner):
             if key < best_key:
                 best_key = key
                 best_subset = frozenset(state.moved)
+            visits += 1
+            if (
+                deadline is not None
+                and not visits & DEADLINE_CHECK_MASK
+                and deadline.expired()
+            ):
+                stopped = True
             walk(index + 1)
             state.revert_move(bb_id)
 
         walk(0)
+        if stopped:
+            self._mark_partial()
         self._best = (best_key, best_subset, skipped)
         return self._best
 
@@ -555,6 +604,8 @@ class ExhaustivePartitioner(Partitioner):
         best_mask = 0
         best_ids: tuple[int, ...] | None = None
         for outcome in outcomes:
+            if outcome.partial:
+                self._mark_partial()
             if outcome.shape_items is None:
                 log.absorb_columns(outcome.ticks, outcome.masks)
             else:
@@ -602,7 +653,7 @@ class ExhaustivePartitioner(Partitioner):
             lo = 1 + (codes * index) // shards
             hi = 1 + (codes * (index + 1)) // shards
             if lo < hi:
-                tasks.append((table, index, lo, hi, keep))
+                tasks.append((table, index, lo, hi, keep, self._deadline))
         if not tasks:
             return 0
         outcomes, _ = map_tasks(
@@ -627,7 +678,10 @@ class ExhaustivePartitioner(Partitioner):
             sorted(range(n), key=lambda i: (table.move_delta[i], i))
         )
         tasks = [
-            (table, p, p, s, order, budget, keep, self._bound_slack)
+            (
+                table, p, p, s, order, budget, keep,
+                self._bound_slack, self._deadline,
+            )
             for p in range(1 << s)
         ]
         outcomes, _ = map_tasks(
@@ -667,7 +721,15 @@ class ExhaustivePartitioner(Partitioner):
         best_count = 0
         best_ids: tuple[int, ...] | None = ()
         mask = 0
+        deadline = self._deadline
         for code in range(1, 1 << n):
+            if (
+                deadline is not None
+                and not code & DEADLINE_CHECK_MASK
+                and deadline.expired()
+            ):
+                self._mark_partial()
+                break
             bit = code & -code
             if mask & bit:
                 total -= delta_by_bit[bit]
@@ -698,6 +760,9 @@ class ExhaustivePartitioner(Partitioner):
         table = self.table
         deltas = table.move_delta
         log = self._packed_log
+        deadline = self._deadline
+        visits = 0
+        stopped = False
         best_total = table.initial_ticks
         best_mask = 0
         best_count = 0
@@ -718,18 +783,29 @@ class ExhaustivePartitioner(Partitioner):
                     best_mask, best_ids = mask, candidate_ids
 
         def walk(index: int, total: int, mask: int, count: int) -> None:
-            if index == n:
+            nonlocal visits, stopped
+            if index == n or stopped:
                 return
             walk(index + 1, total, mask, count)
-            if count >= budget:
+            if count >= budget or stopped:
                 return
             total += deltas[index]
             mask |= 1 << index
             log.record_unchecked(total, mask)
             consider(total, mask, count + 1)
+            visits += 1
+            if (
+                deadline is not None
+                and not visits & DEADLINE_CHECK_MASK
+                and deadline.expired()
+            ):
+                stopped = True
+                return
             walk(index + 1, total, mask, count + 1)
 
         walk(0, table.initial_ticks, 0, 0)
+        if stopped:
+            self._mark_partial()
         return best_mask
 
     def _search(

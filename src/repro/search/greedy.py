@@ -71,15 +71,32 @@ class GreedyPartitioner(Partitioner):
             return super().initial_cycles()
         return self.engine.initial_cycles()
 
-    def run(self, timing_constraint: int) -> PartitionResult:
+    def run(self, timing_constraint, deadline=None) -> PartitionResult:
         if self._uses_packed_substrate():
-            return super().run(timing_constraint)
+            return super().run(timing_constraint, deadline)
         # The engine owns constraint validation, the config freeze, the
         # early exit and the loop itself; span it like the base run() so
-        # both paths report the same phase names.
+        # both paths report the same phase names.  Greedy is O(n) per
+        # run, so the deadline is only honoured as a pre-check — an
+        # already-expired budget returns the all-FPGA corner partial.
         with telemetry.span("search"), telemetry.span(self.algorithm):
             visited_before = self.visited_count
+            if deadline is not None and deadline.expired():
+                self._mark_partial()
+                result = PartitionResult.all_fpga(
+                    self.workload.name,
+                    self.platform.name,
+                    timing_constraint,
+                    self.initial_cycles(),
+                )
+                result.partial = True
+                self._record_visited(CostState(self.model))
+                telemetry.count(
+                    "configs_visited", self.visited_count - visited_before
+                )
+                return result
             result = self.engine.run(timing_constraint)
+            result.partial = self._partial
             self._record_visited(CostState(self.model))  # all-FPGA corner
             self._record_steps(result)
             telemetry.count(

@@ -70,6 +70,11 @@ class MultiStartPartitioner(Partitioner):
         best_key: tuple | None = None
         best_subset = frozenset()
         for restart in range(self.restarts):
+            # Deadline poll per restart (a visit batch); restart 0
+            # always runs, so the result is never worse than greedy.
+            if restart and self._deadline_expired():
+                self._mark_partial()
+                break
             state = CostState(self.model)
             for kernel in self._restart_order(supported, restart):
                 if budget is not None and len(state.moved) >= budget:
@@ -106,6 +111,11 @@ class MultiStartPartitioner(Partitioner):
         best_key: tuple | None = None
         best_mask = 0
         for restart in range(self.restarts):
+            # Deadline poll per restart (a visit batch); restart 0
+            # always runs, so the result is never worse than greedy.
+            if restart and self._deadline_expired():
+                self._mark_partial()
+                break
             if restart == 0:
                 order = range(n)
             else:

@@ -26,7 +26,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .jobs import JobError, JobValidationError, QueueFullError
-from .server import Server, ServerConfig
+from .server import Server, ServerConfig, ServerStoppedError
 
 __all__ = ["ServeDaemon", "run_daemon"]
 
@@ -93,6 +93,16 @@ class _Handler(BaseHTTPRequestHandler):
                     },
                 )
                 return
+            except ServerStoppedError as error:
+                # Shutting down: this instance will not take the job,
+                # but another (post-restart) one will — 503 with a
+                # Retry-After, not a 400 that blames the request.
+                self._reply(
+                    503,
+                    {"error": error.to_payload()},
+                    headers={"Retry-After": "1"},
+                )
+                return
             except JobError as error:
                 self._reply(400, {"error": error.to_payload()})
                 return
@@ -148,9 +158,20 @@ class ServeDaemon:
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
+        drain_deadline_seconds: float | None = None,
     ) -> None:
+        if (
+            drain_deadline_seconds is not None
+            and drain_deadline_seconds <= 0
+        ):
+            raise ValueError("drain_deadline_seconds must be positive")
         self.server = Server(config)
         self.verbose = verbose
+        #: Hard cap on the SIGTERM/shutdown drain: after this many
+        #: seconds any still-pending job is failed (``server-stopped``)
+        #: and the process exits anyway — a stuck job cannot wedge it.
+        #: ``None`` drains without limit.
+        self.drain_deadline_seconds = drain_deadline_seconds
         self._stop_event = threading.Event()
         handler = type("_BoundHandler", (_Handler,), {"daemon": self})
         self._http = ThreadingHTTPServer((host, port), handler)
@@ -200,9 +221,15 @@ class ServeDaemon:
         return True
 
     def close(self) -> None:
-        """Stop intake, drain the queue, stop the HTTP loop."""
+        """Stop intake, drain the queue, stop the HTTP loop.
+
+        The drain is bounded by :attr:`drain_deadline_seconds`; past it,
+        pending jobs are failed fast and teardown proceeds.
+        """
         self._stop_event.set()
-        self.server.shutdown(drain=True)
+        self.server.shutdown(
+            drain=True, timeout=self.drain_deadline_seconds
+        )
         self._http.shutdown()
         self._http.server_close()
         if self._http_thread is not None:
@@ -220,9 +247,16 @@ def run_daemon(
     host: str,
     port: int,
     verbose: bool = False,
+    drain_deadline_seconds: float | None = None,
 ) -> int:
     """The blocking ``python -m repro serve`` body."""
-    daemon = ServeDaemon(config, host=host, port=port, verbose=verbose)
+    daemon = ServeDaemon(
+        config,
+        host=host,
+        port=port,
+        verbose=verbose,
+        drain_deadline_seconds=drain_deadline_seconds,
+    )
     daemon.install_signal_handlers()
     daemon.start()
     bound_host, bound_port = daemon.address

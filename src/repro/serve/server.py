@@ -49,6 +49,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from .. import telemetry
+from ..faults import Deadline, FaultPlan, RetryPolicy, TaskFailure
 from ..parallel import map_tasks
 from ..partition.engine import EngineConfig
 from ..partition.packed import PackedCostTable
@@ -57,6 +58,7 @@ from ..partition.workload import ApplicationWorkload
 from ..explore.space import PlatformSpec, WorkloadSpec
 from ..interp.cache import ProfileCache, default_profile_cache
 from ..search import make_partitioner
+from ..search.base import AlgorithmSpec
 from .cache import PricedTableCache
 from .jobs import (
     JobError,
@@ -96,6 +98,29 @@ class ServerConfig:
     #: On-disk directory for the shared profile cache (measured
     #: workloads); ``None`` keeps profiling results in memory only.
     profile_cache_dir: str | None = None
+    #: Extra executions allowed per crashed/errored job task (0 = fail
+    #: on the first counted failure, the historical behaviour).
+    task_retries: int = 0
+    #: First-retry backoff for job-task retries (doubles per retry).
+    retry_backoff_seconds: float = 0.05
+    #: Cooperative per-job search budget (seconds); an expired budget
+    #: returns the engine's best-so-far flagged uncertified (or the
+    #: greedy fallback, with ``degrade_under_deadline``).  ``None``
+    #: leaves searches unbounded.
+    search_deadline_seconds: float | None = None
+    #: Consecutive infrastructure-failure *group* events per (workload ×
+    #: platform) pair before its circuit breaker opens and jobs on that
+    #: pair fail fast; 0 disables the breaker.
+    breaker_threshold: int = 0
+    #: How long an open breaker rejects before going half-open.
+    breaker_cooldown_seconds: float = 30.0
+    #: Opt-in graceful degradation: when the search deadline expires on
+    #: a non-greedy algorithm, rerun with greedy (fast, complete) and
+    #: mark the job ``degraded`` instead of shipping a partial result.
+    degrade_under_deadline: bool = False
+    #: Deterministic chaos injection threaded into every group fan-out
+    #: (tests / ``benchmarks/bench_chaos.py``); ``None`` in production.
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -111,6 +136,19 @@ class ServerConfig:
             and self.default_timeout_seconds < 0
         ):
             raise ValueError("default_timeout_seconds must be >= 0")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
+        if self.retry_backoff_seconds < 0:
+            raise ValueError("retry_backoff_seconds must be >= 0")
+        if (
+            self.search_deadline_seconds is not None
+            and self.search_deadline_seconds <= 0
+        ):
+            raise ValueError("search_deadline_seconds must be positive")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0")
+        if self.breaker_cooldown_seconds < 0:
+            raise ValueError("breaker_cooldown_seconds must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -122,6 +160,10 @@ class _JobTask:
     algorithm: "object"  # AlgorithmSpec; typed loosely to stay picklable-simple
     constraint: int
     table: PackedCostTable
+    #: Cooperative search budget per attempt; None = unbounded.
+    deadline_seconds: float | None = None
+    #: Exact -> greedy fallback when the budget expires mid-search.
+    degrade: bool = False
 
 
 #: Per-process workload cache for pool workers (grown lazily, exactly
@@ -129,20 +171,24 @@ class _JobTask:
 _WORKER_WORKLOADS: dict[WorkloadSpec, ApplicationWorkload] = {}
 
 
-def _execute_task(task: _JobTask) -> tuple[str, object]:
-    """Run one job; never raises (errors come back structured).
+def _partition_once(
+    task: _JobTask,
+    workload: ApplicationWorkload,
+    platform,
+) -> tuple[str, object]:
+    """The deadline/degrade-aware partitioning core (shared by the pool
+    worker entry point and the dispatcher's serial runner).
 
-    Used both by pool workers (hence top-level and picklable) and, via
-    the serial runner, in the dispatcher thread.  The injected table
-    means a worker prices nothing — ``cost_table_builds`` stays with
-    the dispatcher's cache.
+    Statuses: ``"ok"`` (result, possibly ``partial``), ``"degraded"``
+    (the deadline expired and the greedy fallback answered instead),
+    ``"error"`` (the job's own failure, structured, never raising).
     """
     try:
-        workload = _WORKER_WORKLOADS.get(task.workload)
-        if workload is None:
-            workload = task.workload.build()
-            _WORKER_WORKLOADS[task.workload] = workload
-        platform = task.platform.build()
+        deadline = (
+            None
+            if task.deadline_seconds is None
+            else Deadline.after(task.deadline_seconds)
+        )
         partitioner = make_partitioner(
             task.algorithm,  # type: ignore[arg-type]
             workload,
@@ -150,9 +196,43 @@ def _execute_task(task: _JobTask) -> tuple[str, object]:
             config=EngineConfig(),
             packed_table=task.table,
         )
-        return "ok", partitioner.run(task.constraint)
+        result = partitioner.run(task.constraint, deadline)
+        if (
+            result.partial
+            and task.degrade
+            and getattr(task.algorithm, "name", None) != "greedy"
+        ):
+            # Graceful degradation: greedy is O(n) and always completes;
+            # its certified answer beats an uncertified partial one.
+            fallback = make_partitioner(
+                AlgorithmSpec.greedy(),
+                workload,
+                platform,
+                config=EngineConfig(),
+                packed_table=task.table,
+            )
+            return "degraded", fallback.run(task.constraint)
+        return "ok", result
     except Exception as error:  # noqa: BLE001 - a job must not kill the batch
         return "error", f"{type(error).__name__}: {error}"
+
+
+def _execute_task(task: _JobTask) -> tuple[str, object]:
+    """Run one job; never raises (errors come back structured).
+
+    Used by pool workers (hence top-level and picklable).  The injected
+    table means a worker prices nothing — ``cost_table_builds`` stays
+    with the dispatcher's cache.
+    """
+    try:
+        workload = _WORKER_WORKLOADS.get(task.workload)
+        if workload is None:
+            workload = task.workload.build()
+            _WORKER_WORKLOADS[task.workload] = workload
+        platform = task.platform.build()
+    except Exception as error:  # noqa: BLE001
+        return "error", f"{type(error).__name__}: {error}"
+    return _partition_once(task, workload, platform)
 
 
 class Server:
@@ -201,6 +281,25 @@ class Server:
             "rejected": 0,
             "batches": 0,
         }
+        #: Supervision counters (fed by map_tasks' counters sink plus
+        #: the breaker/degrade events); surfaced under /stats
+        #: "robustness".  Written only by the dispatcher thread.
+        self._robust_counts: dict[str, int] = {
+            "task_retries": 0,
+            "pool_rebuilds": 0,
+            "task_timeouts": 0,
+            "tasks_failed": 0,
+            "tasks_recovered": 0,
+            "breaker_trips": 0,
+            "breaker_rejections": 0,
+            "degraded_jobs": 0,
+        }
+        #: Per-(workload × platform) circuit breakers:
+        #: pair -> {"failures": consecutive infra-failure group events,
+        #:          "open_until": monotonic fail-fast horizon}.
+        self._breakers: dict[
+            tuple[WorkloadSpec, PlatformSpec], dict[str, float]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -226,7 +325,11 @@ class Server:
         """Stop intake; finish (``drain=True``) or cancel the queue.
 
         Joins the dispatcher, so on return every accepted job is in a
-        terminal state.  Idempotent.
+        terminal state.  ``timeout`` is a hard drain deadline: if the
+        dispatcher has not finished by then (a stuck job), every job
+        still pending is failed with a structured ``server-stopped``
+        error and shutdown returns anyway — the dispatcher thread is a
+        daemon, so a wedged job cannot block process exit.  Idempotent.
         """
         with self._wakeup:
             self._stopping = True
@@ -245,6 +348,25 @@ class Server:
             )
         if self._thread is not None:
             self._thread.join(timeout)
+            if self._thread.is_alive():
+                # Drain deadline hit with the dispatcher still running:
+                # resolve everything pending so no caller blocks on a
+                # job that will never be delivered.
+                with self._wakeup:
+                    self._queue.clear()
+                    stuck = [
+                        record
+                        for record in self._jobs.values()
+                        if not record.finished
+                    ]
+                for record in stuck:
+                    self._finish_error(
+                        record,
+                        "failed",
+                        f"drain deadline ({timeout:g}s) expired before "
+                        "the job finished",
+                        code="server-stopped",
+                    )
 
     def __enter__(self) -> "Server":
         return self.start()
@@ -315,15 +437,35 @@ class Server:
         """Block until the job reaches a terminal state.
 
         Raises :class:`TimeoutError` when the *wait* (not the job's own
-        queue timeout) expires first.
+        queue timeout) expires first, and :class:`ServerStoppedError`
+        when the dispatcher thread has died with the job still pending —
+        a dead dispatcher can never finish it, so callers are failed
+        fast instead of blocking forever.
         """
         record = self.record(job_id)
-        if not record.done_event.wait(timeout):
-            raise TimeoutError(
-                f"job {job_id} still {record.state} after waiting "
-                f"{timeout}s"
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
             )
-        return record
+            if remaining is not None and remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} still {record.state} after waiting "
+                    f"{timeout}s"
+                )
+            wait_for = 0.1 if remaining is None else min(0.1, remaining)
+            if record.done_event.wait(wait_for):
+                return record
+            thread = self._thread
+            if (
+                self._started
+                and (thread is None or not thread.is_alive())
+                and not record.finished
+            ):
+                raise ServerStoppedError(
+                    f"dispatcher thread died with job {job_id} still "
+                    f"{record.state}"
+                )
 
     def cancel(self, job_id: int) -> bool:
         """Cancel a still-queued job; False if it already left the queue."""
@@ -338,9 +480,17 @@ class Server:
 
     def stats(self) -> dict[str, object]:
         """A JSON-ready snapshot of counters, caches, and queue state."""
+        now = time.monotonic()
         with self._lock:
             queued = len(self._queue)
             counts = dict(self._counts)
+            robust: dict[str, object] = dict(self._robust_counts)
+            robust["open_breakers"] = sum(
+                1
+                for state in self._breakers.values()
+                if state["failures"] >= self.config.breaker_threshold
+                and now < state["open_until"]
+            )
         return {
             "state": (
                 "stopped" if self._stopping
@@ -351,6 +501,7 @@ class Server:
             "queue_capacity": self.config.queue_capacity,
             "workers": self.config.workers,
             "jobs": counts,
+            "robustness": robust,
             "caches": self.caches.stats(),
             "retry_after_seconds": round(self._retry_after_locked(), 3),
         }
@@ -366,6 +517,34 @@ class Server:
         )
 
     def _dispatch_loop(self) -> None:
+        """Dispatcher thread body: the loop, plus a crash boundary.
+
+        An exception escaping the loop means the dispatcher is gone for
+        good; every pending job is failed with a structured
+        ``server-stopped`` error so pollers and ``await_result`` callers
+        see a terminal state instead of hanging forever.
+        """
+        try:
+            self._dispatch_forever()
+        except BaseException as error:
+            with self._wakeup:
+                self._stopping = True
+                self._queue.clear()
+                pending = [
+                    record
+                    for record in self._jobs.values()
+                    if not record.finished
+                ]
+            for record in pending:
+                self._finish_error(
+                    record,
+                    "failed",
+                    f"dispatcher died: {type(error).__name__}: {error}",
+                    code="server-stopped",
+                )
+            raise
+
+    def _dispatch_forever(self) -> None:
         while True:
             with self._wakeup:
                 while not self._queue and not self._stopping:
@@ -416,11 +595,48 @@ class Server:
         for pair, records in groups.items():
             self._run_group(pair, records)
 
+    def _breaker_check(
+        self, pair: tuple[WorkloadSpec, PlatformSpec]
+    ) -> dict[str, float] | None:
+        """The pair's breaker state, or None when breakers are off.
+
+        Raises nothing; an *open* breaker is reported by the caller via
+        the returned state (``open_until`` in the future).
+        """
+        if self.config.breaker_threshold <= 0:
+            return None
+        return self._breakers.setdefault(
+            pair, {"failures": 0, "open_until": 0.0}
+        )
+
     def _run_group(
         self,
         pair: tuple[WorkloadSpec, PlatformSpec],
         records: list[JobRecord],
     ) -> None:
+        breaker = self._breaker_check(pair)
+        if breaker is not None:
+            now = time.monotonic()
+            if (
+                breaker["failures"] >= self.config.breaker_threshold
+                and now < breaker["open_until"]
+            ):
+                # Open: fail fast, protect the pool from a pair that
+                # keeps taking workers down.
+                retry_after = round(breaker["open_until"] - now, 3)
+                self._robust_counts["breaker_rejections"] += len(records)
+                telemetry.count("serve_breaker_rejections", len(records))
+                for record in records:
+                    self._finish_error(
+                        record,
+                        "failed",
+                        f"circuit breaker open for {pair[0].label!r} on "
+                        f"{pair[1].label!r} after repeated failures; "
+                        f"retry in {retry_after:g}s",
+                        extra={"retry_after_seconds": retry_after},
+                        code="circuit-open",
+                    )
+                return
         try:
             workload, platform, table = self.caches.resolve(pair)
         except Exception as error:  # noqa: BLE001 - bad spec, not a crash
@@ -450,47 +666,79 @@ class Server:
                     algorithm=request.algorithm,
                     constraint=constraint,
                     table=table,
+                    deadline_seconds=self.config.search_deadline_seconds,
+                    degrade=self.config.degrade_under_deadline,
                 )
             )
 
         def run_serially(serial_tasks) -> list[tuple[str, object]]:
             # The dispatcher already holds the built objects: no
             # per-task rebuild, no pickling.
-            outcomes = []
-            for task in serial_tasks:
-                try:
-                    partitioner = make_partitioner(
-                        task.algorithm,
-                        workload,
-                        platform,
-                        config=EngineConfig(),
-                        packed_table=table,
-                    )
-                    outcomes.append(("ok", partitioner.run(task.constraint)))
-                except Exception as error:  # noqa: BLE001
-                    outcomes.append(
-                        ("error", f"{type(error).__name__}: {error}")
-                    )
-            return outcomes
+            return [
+                _partition_once(task, workload, platform)
+                for task in serial_tasks
+            ]
 
+        policy = RetryPolicy(
+            max_attempts=self.config.task_retries + 1,
+            backoff_seconds=self.config.retry_backoff_seconds,
+        )
         outcomes, _ = map_tasks(
             _execute_task,
             tasks,
             self.config.workers if len(tasks) > 1 else 1,
             what=f"serve batch ({pair[0].label})",
             serial_runner=run_serially,
+            policy=policy,
+            fault_plan=self.config.fault_plan,
+            failure_mode="report",
+            counters=self._robust_counts,
         )
         finished = time.monotonic()
         per_job = (finished - started) / max(1, len(records))
         self._job_seconds_ema = (
             0.8 * self._job_seconds_ema + 0.2 * per_job
         )
-        for record, (status, value) in zip(records, outcomes, strict=True):
-            if status == "ok":
+        infra_failures = 0
+        for record, outcome in zip(records, outcomes, strict=True):
+            if isinstance(outcome, TaskFailure):
+                # Supervision exhausted the task's attempts: crashed /
+                # timed out / kept raising even after retries.
+                if outcome.kind in ("crashed", "timeout"):
+                    infra_failures += 1
+                self._finish_error(
+                    record,
+                    "failed",
+                    outcome.describe(),
+                    extra={
+                        "failure_kind": outcome.kind,
+                        "attempts": outcome.attempts,
+                    },
+                )
+                continue
+            status, value = outcome
+            if status in ("ok", "degraded"):
                 assert isinstance(value, PartitionResult)
-                self._finish_ok(record, value, finished)
+                self._finish_ok(
+                    record, value, finished, degraded=status == "degraded"
+                )
             else:
                 self._finish_error(record, "failed", str(value))
+        if breaker is not None:
+            if infra_failures:
+                breaker["failures"] += 1
+                if breaker["failures"] >= self.config.breaker_threshold:
+                    breaker["open_until"] = (
+                        time.monotonic()
+                        + self.config.breaker_cooldown_seconds
+                    )
+                    self._robust_counts["breaker_trips"] += 1
+                    telemetry.count("serve_breaker_trips")
+            else:
+                # A clean group closes the breaker (half-open probe
+                # succeeded, or the pair recovered on its own).
+                breaker["failures"] = 0
+                breaker["open_until"] = 0.0
 
     # ------------------------------------------------------------------
     # Completion
@@ -500,12 +748,21 @@ class Server:
         record: JobRecord,
         result: PartitionResult,
         finished_at: float,
+        degraded: bool = False,
     ) -> None:
+        if record.done_event.is_set():
+            # Already resolved (e.g. force-failed at the drain
+            # deadline while the stuck dispatcher kept running).
+            return
         record.result = result
         record.finished_at = finished_at
         record.state = "done"
+        record.degraded = degraded
         self._counts["completed"] += 1
         telemetry.count("serve_jobs_completed")
+        if degraded:
+            self._robust_counts["degraded_jobs"] += 1
+            telemetry.count("serve_jobs_degraded")
         record.done_event.set()
 
     def _finish_error(
@@ -514,8 +771,11 @@ class Server:
         state: str,
         message: str,
         extra: dict[str, object] | None = None,
+        code: str | None = None,
     ) -> None:
-        error: dict[str, object] = {"code": state, "message": message}
+        if record.done_event.is_set():
+            return
+        error: dict[str, object] = {"code": code or state, "message": message}
         if extra:
             error.update(extra)
         record.error = error
